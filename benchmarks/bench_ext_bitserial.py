@@ -1,0 +1,107 @@
+"""Extension — APU cost structure from the functional bit-serial simulator.
+
+The calibrated APU model consumes per-PE throughputs derived from the
+paper; this bench *derives* the same structure from first principles:
+bit-sliced SHA-1 and Keccak implementations (validated against hashlib)
+executed on the associative-processor simulator, counting column
+operations and live state columns.
+
+Reproduced findings:
+
+* SHA-3 costs ~3x the column ops of SHA-1 per hash — the paper's per-PE
+  rate ratio is 84.6k/24.6k = 3.44x;
+* SHA-3 needs ~3.5x SHA-1's live state columns — the paper allocates
+  2.5x the bit-processors per SHA-3 PE (its 80-vs-32-bit state metric);
+* combining both, the whole-chip SHA-3:SHA-1 throughput ratio lands
+  within a factor ~1.5 of the paper's measured 8.6x — emergent, not
+  calibrated.
+"""
+
+from conftest import comparison_table, record_report
+
+from repro.analysis.tables import format_table
+from repro.devices.bitserial import hash_cost_profile
+from repro.devices.calibration import APU_PE_COUNT, APU_PE_THROUGHPUT
+
+
+def test_bitserial_cost_structure(benchmark, report):
+    profile = benchmark.pedantic(
+        lambda: hash_cost_profile(num_pes=2), rounds=1, iterations=1
+    )
+
+    rows = [
+        [name, f"{p['ops_per_hash']:,.0f}", f"{p['peak_columns']:,.0f}"]
+        for name, p in profile.items()
+    ]
+    op_ratio = profile["sha3-256"]["ops_per_hash"] / profile["sha1"]["ops_per_hash"]
+    col_ratio = (
+        profile["sha3-256"]["peak_columns"] / profile["sha1"]["peak_columns"]
+    )
+
+    paper_rate_ratio = (
+        APU_PE_THROUGHPUT["sha1"] / APU_PE_THROUGHPUT["sha3-256"]
+    )
+    paper_footprint_ratio = 5 / 2  # BPs per PE, Section 3.3
+    # Whole-chip throughput ratio combines per-PE rate and PE count.
+    paper_chip_ratio = (
+        APU_PE_THROUGHPUT["sha1"] * APU_PE_COUNT["sha1"]
+    ) / (APU_PE_THROUGHPUT["sha3-256"] * APU_PE_COUNT["sha3-256"])
+    emergent_chip_ratio = op_ratio * col_ratio  # ops/hash x PEs displaced
+
+    report(
+        "ext_bitserial",
+        format_table(
+            ["hash", "column ops / hash", "peak live columns"],
+            rows,
+            title="Bit-serial hash programs on the associative simulator "
+            "(hashlib-validated)",
+        )
+        + "\n\n"
+        + comparison_table(
+            "Emergent vs paper-calibrated APU cost structure",
+            [
+                ("SHA-3/SHA-1 per-PE cost ratio", paper_rate_ratio, op_ratio),
+                ("SHA-3/SHA-1 state footprint ratio", paper_footprint_ratio, col_ratio),
+                ("whole-chip throughput ratio", paper_chip_ratio, emergent_chip_ratio),
+            ],
+        )
+        + "\n(emergent values come from counted column operations of real "
+        "bit-sliced programs; 'dev' here measures how well first-principles "
+        "simulation explains the paper's measurement)",
+    )
+
+    # Same regime: within a factor of 1.6 on each axis.
+    assert 1 / 1.6 < op_ratio / paper_rate_ratio < 1.6
+    assert 1 / 1.6 < col_ratio / paper_footprint_ratio < 1.6
+
+
+def test_bitserial_explains_why_rotations_are_free(benchmark, report):
+    """Keccak's rho step costs zero ops on this machine; SHA-1's adds
+    dominate — the architectural inversion the APU exposes."""
+    import numpy as np
+
+    from repro.devices.associative import AssociativeProcessor
+    from repro.devices.bitserial import sha1_bitserial, sha3_256_bitserial
+
+    seeds = np.zeros((1, 4), dtype=np.uint64)
+
+    proc1 = AssociativeProcessor(1)
+    sha1_bitserial(proc1, seeds)
+    adder_ops = (80 * 4 + 5) * 5 * 32
+    sha1_adder_fraction = adder_ops / proc1.op_count
+
+    proc3 = AssociativeProcessor(1)
+    sha3_256_bitserial(proc3, seeds)
+
+    record_report(
+        "ext_bitserial_structure",
+        f"SHA-1 on associative hardware: {proc1.op_count:,} ops, "
+        f"{sha1_adder_fraction:.0%} spent in ripple-carry adders.\n"
+        f"Keccak on associative hardware: {proc3.op_count:,} ops, "
+        "0% in adders (none exist), all rho/pi rotations free.\n"
+        "Keccak still loses per-PE because theta+chi touch 1600 state "
+        "columns 24 times — width, not arithmetic, is its cost.",
+    )
+    assert sha1_adder_fraction > 0.7
+
+    benchmark(lambda: AssociativeProcessor(1).stats())

@@ -1,0 +1,94 @@
+"""Extension — CA server capacity: the operational meaning of Table 5.
+
+Converts each platform's search throughput into authentications per hour
+under a realistic TAPKI-masked distance mix, with M/G/1 latency
+estimates cross-checked by discrete-event simulation. This is the
+"high-throughput" of the paper's title, quantified as a service level.
+"""
+
+import numpy as np
+import pytest
+from conftest import record_report
+
+from repro.analysis.tables import format_table
+from repro.analysis.workload import (
+    ServerCapacityModel,
+    WorkloadGenerator,
+    service_time_distribution,
+    simulate_queue,
+)
+from repro.devices import APUModel, CPUModel, GPUModel
+
+
+def capacity_table(rng):
+    generator = WorkloadGenerator(1.0, rng=rng)
+    requests = generator.generate(800)
+    rows = []
+    capacities = {}
+    for label, model in (
+        ("GPU (A100)", GPUModel()),
+        ("APU (Gemini)", APUModel()),
+        ("CPU (64c)", CPUModel()),
+    ):
+        for hash_name in ("sha1", "sha3-256"):
+            service = service_time_distribution(model, hash_name, requests)
+            capacity = ServerCapacityModel(service)
+            rate = capacity.max_stable_rate(0.8)
+            estimate = capacity.estimate(rate)
+            capacities[(label, hash_name)] = rate * 3600
+            rows.append(
+                [
+                    label,
+                    hash_name,
+                    f"{capacity.mean:.3f}",
+                    f"{rate * 3600:,.0f}",
+                    f"{estimate.mean_response_seconds:.2f}",
+                ]
+            )
+    return rows, capacities, requests
+
+
+def test_capacity_reproduction(benchmark, report):
+    rng = np.random.default_rng(79)
+    rows, capacities, requests = benchmark.pedantic(
+        lambda: capacity_table(rng), rounds=1, iterations=1
+    )
+    report(
+        "ext_capacity",
+        format_table(
+            ["platform", "hash", "mean search (s)", "auths/hour @80% util",
+             "mean response (s)"],
+            rows,
+            title="CA capacity under a TAPKI fleet mix (30% d=0 ... 6% d=5)",
+        ),
+    )
+    # Operational orderings implied by Table 5.
+    assert capacities[("GPU (A100)", "sha3-256")] > 5 * capacities[("CPU (64c)", "sha3-256")]
+    assert capacities[("GPU (A100)", "sha1")] > capacities[("GPU (A100)", "sha3-256")]
+    apu_gpu = capacities[("APU (Gemini)", "sha1")] / capacities[("GPU (A100)", "sha1")]
+    assert 0.8 < apu_gpu < 1.25  # near-parity on SHA-1
+
+
+def test_simulation_cross_checks_analytics(benchmark, report):
+    rng = np.random.default_rng(83)
+    gpu = GPUModel()
+    generator = WorkloadGenerator(0.5, rng=rng)  # one auth every 2 s
+    requests = generator.generate(1500)
+    service = service_time_distribution(gpu, "sha3-256", requests)
+    model = ServerCapacityModel(service)
+    analytic = model.estimate(0.5)
+    sim = benchmark.pedantic(
+        lambda: simulate_queue(requests, service), rounds=1, iterations=1
+    )
+    record_report(
+        "ext_capacity_simulation",
+        f"GPU/SHA-3 CA at 0.5 auth/s (rho = {analytic.utilization:.2f}):\n"
+        f"  M/G/1 mean wait {analytic.mean_wait_seconds:.2f} s vs "
+        f"simulated {sim['mean_wait_seconds']:.2f} s "
+        f"(p95 {sim['p95_wait_seconds']:.2f} s); "
+        f"busy fraction {sim['busy_fraction']:.2f}",
+    )
+    assert analytic.stable
+    assert sim["mean_wait_seconds"] == pytest.approx(
+        analytic.mean_wait_seconds, rel=0.5
+    )

@@ -1,0 +1,69 @@
+"""Experiment F3 — Figure 3: grid search over (seeds/thread n, threads/block b).
+
+Regenerates the heatmap of exhaustive SHA-3 d=5 search time on the GPU
+model and checks the paper's two findings: the optimum sits at
+(n=100, b=128), and a wide parameter range performs similarly.
+"""
+
+from conftest import record_report
+
+from repro.analysis.tables import format_heatmap
+from repro.devices import GPUModel
+
+N_VALUES = (10, 25, 50, 100, 200, 400, 800)
+B_VALUES = (32, 64, 128, 256, 512, 1024)
+
+
+def grid(gpu: GPUModel) -> dict[tuple[int, int], float]:
+    return {
+        (n, b): gpu.search_time(
+            "sha3-256", 5, seeds_per_thread=n, threads_per_block=b
+        )
+        for n in N_VALUES
+        for b in B_VALUES
+    }
+
+
+def test_fig3_heatmap(benchmark, report):
+    gpu = GPUModel()
+    times = benchmark(grid, gpu)
+
+    heat = format_heatmap(
+        N_VALUES,
+        B_VALUES,
+        [[times[(n, b)] for b in B_VALUES] for n in N_VALUES],
+        row_axis="n",
+        col_axis="b",
+    )
+    best = min(times, key=times.get)
+    lines = [
+        "Figure 3 — exhaustive SHA-3 d=5 search time (s) over (n, b)",
+        heat,
+        f"minimum at n={best[0]}, b={best[1]} "
+        f"({times[best]:.3f} s; paper: n=100, b=128, 4.67 s)",
+    ]
+    # The paper's flat-plateau observation: how many configs are within 2%.
+    plateau = sum(1 for v in times.values() if v / times[best] < 1.02)
+    lines.append(
+        f"{plateau}/{len(times)} configurations within 2% of the optimum "
+        "(paper: 'parameters can be selected in a large range')"
+    )
+    report("fig3_gridsearch", "\n".join(lines))
+
+    assert best == (100, 128)
+    assert abs(times[best] - 4.67) / 4.67 < 0.05
+    assert plateau >= 8
+
+
+def test_fig3_total_threads_annotation(benchmark, report):
+    """The heatmap's secondary axis: total threads implied by each n."""
+    import math
+
+    from repro.combinatorics.binomial import binomial
+
+    shell = benchmark(binomial, 256, 5)
+    rows = [f"Figure 3 annotation — total threads p = ceil(C(256,5)/n):"]
+    for n in N_VALUES:
+        rows.append(f"  n={n:4d}: p = {math.ceil(shell / n):,}")
+    record_report("fig3_thread_counts", "\n".join(rows))
+    assert math.ceil(shell / 100) == 88095491  # ~88M threads at the optimum

@@ -1,0 +1,112 @@
+"""Experiment S4.3 — CPU strong scaling (59x / 63x on 64 cores).
+
+Modeled reproduction of the Section 4.3 speedups plus the Section 5
+future-work cluster extrapolation, and a real multiprocessing scaling
+measurement on this host's cores.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+from conftest import comparison_table, record_report
+
+from repro.analysis.tables import format_table
+from repro.devices import CPUModel
+
+PAPER_SPEEDUPS = {"sha1": 59.0, "sha3-256": 63.0}
+
+
+def modeled_speedups():
+    cpu = CPUModel()
+    return {h: cpu.speedup(h, 64) for h in PAPER_SPEEDUPS}
+
+
+def test_s43_speedup_reproduction(benchmark, report):
+    ours = benchmark(modeled_speedups)
+    report(
+        "s43_cpu_scaling",
+        comparison_table(
+            "Section 4.3 — speedup on 64 CPU cores (exhaustive d=5)",
+            [(h, PAPER_SPEEDUPS[h], ours[h]) for h in PAPER_SPEEDUPS],
+        ),
+    )
+    for h, paper in PAPER_SPEEDUPS.items():
+        assert abs(ours[h] - paper) / paper < 0.02
+
+
+def test_s43_scaling_curve(benchmark, report):
+    cpu = CPUModel()
+    benchmark(lambda: cpu.speedup("sha1", 64))
+    rows = []
+    for p in (1, 2, 4, 8, 16, 32, 64):
+        rows.append(
+            [p]
+            + [f"{cpu.speedup(h, p):.1f}x" for h in ("sha1", "sha3-256")]
+        )
+    record_report(
+        "s43_scaling_curve",
+        format_table(
+            ["cores", "sha1 speedup", "sha3 speedup"],
+            rows,
+            title="Modeled strong-scaling curve (EPYC 7542 x2)",
+        ),
+    )
+    # Near-perfect parallel efficiency at 64 cores, as the paper reports.
+    assert cpu.speedup("sha3-256", 64) / 64 > 0.95
+
+
+def test_s5_cluster_future_work(benchmark, report):
+    """Section 5: scale the CPU engine across nodes until SHA-3 meets T."""
+    cpu = CPUModel()
+    benchmark(lambda: cpu.cluster_time("sha3-256", 5, nodes=4))
+    rows = []
+    first_ok = None
+    for nodes in (1, 2, 3, 4, 8):
+        t = cpu.cluster_time("sha3-256", 5, nodes=nodes)
+        ok = t <= 20.0
+        if ok and first_ok is None:
+            first_ok = nodes
+        rows.append([nodes, f"{t:.2f}", "yes" if ok else "no"])
+    record_report(
+        "s5_cluster_extrapolation",
+        format_table(
+            ["nodes (64 cores each)", "search (s)", "meets T=20?"],
+            rows,
+            title="Future work — multi-node CPU cluster, SHA-3 exhaustive d=5",
+        ),
+    )
+    assert first_ok is not None and first_ok <= 4
+
+
+def test_real_host_scaling(benchmark, report):
+    """Actual multiprocessing speedup on this machine (reduced scale)."""
+    from repro.hashes.sha1 import sha1
+    from repro.runtime.parallel import ParallelSearchExecutor
+
+    rng = np.random.default_rng(17)
+    base = rng.bytes(32)
+    absent = sha1(rng.bytes(32))  # force full d=2 exhaustion
+    benchmark(lambda: sha1(base))
+
+    available = multiprocessing.cpu_count()
+    counts = sorted({1, 2, min(4, available)})
+    times = {}
+    for workers in counts:
+        executor = ParallelSearchExecutor("sha1", workers=workers, batch_size=4096)
+        start = time.perf_counter()
+        executor.search(base, absent, 2)
+        times[workers] = time.perf_counter() - start
+    rows = [
+        [w, f"{times[w]:.2f}", f"{times[1] / times[w]:.2f}x",
+         f"{times[1] / times[w] / w:.0%}"]
+        for w in counts
+    ]
+    record_report(
+        "s43_real_host_scaling",
+        format_table(
+            ["workers", "seconds", "speedup", "efficiency"],
+            rows,
+            title=f"Real scaling on this host ({available} cpus), exhaustive d=2",
+        ),
+    )

@@ -1,0 +1,39 @@
+"""Experiment T1 — Table 1: seeds searched per Hamming distance.
+
+Pure math (Equations 1 and 3); the reproduction is exact. The benchmark
+times the exact-arithmetic computation of the full table.
+"""
+
+from conftest import comparison_table, record_report
+
+from repro.core.complexity import table1_rows
+
+#: Table 1 as printed in the paper (d -> (exhaustive, average)).
+PAPER_TABLE_1 = {
+    1: (256, 129),
+    2: (3.3e4, 1.7e4),
+    3: (2.8e6, 1.4e6),
+    4: (1.8e8, 9.0e7),
+    5: (9.0e9, 4.6e9),
+}
+
+
+def test_table1_reproduction(benchmark, report):
+    rows = benchmark(table1_rows, 5)
+    comparisons = []
+    for row in rows:
+        paper_exh, paper_avg = PAPER_TABLE_1[row.d]
+        comparisons.append((f"exhaustive d={row.d}", paper_exh, float(row.exhaustive)))
+        comparisons.append((f"average    d={row.d}", paper_avg, float(row.average)))
+    report(
+        "table1_complexity",
+        comparison_table("Table 1 — seeds searched (Eqs. 1 & 3)", comparisons),
+    )
+    # The paper rounds to 2 significant figures; exact values must agree
+    # to that precision. (d=1 exhaustive: the paper prints the shell 256.)
+    assert rows[4].exhaustive == 8987138113
+    assert rows[4].average == 4582363585
+    for row in rows[1:]:
+        paper_exh, paper_avg = PAPER_TABLE_1[row.d]
+        assert abs(row.exhaustive - paper_exh) / paper_exh < 0.05
+        assert abs(row.average - paper_avg) / paper_avg < 0.05

@@ -1,0 +1,124 @@
+"""Experiment T5 — Table 5: end-to-end response times, all platforms.
+
+Regenerates every row of Table 5 from the device models plus the
+communication model, and cross-checks the qualitative findings (speedup
+ratios between platforms) the paper derives from the table. A real
+reduced-scale end-to-end run over the latency-modeled transport verifies
+the 0.90 s communication figure with the actual protocol messages.
+"""
+
+import numpy as np
+from conftest import comparison_table, record_report
+
+from repro.analysis.tables import format_table
+from repro.devices import APUModel, COMM_TIME_SECONDS, CPUModel, GPUModel
+
+#: (algorithm, hash, mode) -> (comm, search, total) from the paper.
+PAPER_TABLE_5 = {
+    ("gpu", "sha1", "exhaustive"): (0.90, 1.56, 2.46),
+    ("apu", "sha1", "exhaustive"): (0.90, 1.62, 2.52),
+    ("cpu", "sha1", "exhaustive"): (0.90, 12.09, 12.99),
+    ("gpu", "sha1", "average"): (0.90, 0.85, 1.75),
+    ("apu", "sha1", "average"): (0.90, 0.83, 1.73),
+    ("cpu", "sha1", "average"): (0.90, 6.04, 6.94),
+    ("gpu", "sha3-256", "exhaustive"): (0.90, 4.67, 5.57),
+    ("apu", "sha3-256", "exhaustive"): (0.90, 13.95, 14.85),
+    ("cpu", "sha3-256", "exhaustive"): (0.90, 60.68, 61.58),
+    ("gpu", "sha3-256", "average"): (0.90, 2.42, 3.32),
+    ("apu", "sha3-256", "average"): (0.90, 7.05, 7.95),
+    ("cpu", "sha3-256", "average"): (0.90, 30.52, 31.42),
+}
+
+
+def reproduce_table5():
+    models = {"gpu": GPUModel(), "apu": APUModel(), "cpu": CPUModel()}
+    out = {}
+    for (platform, hash_name, mode), _paper in PAPER_TABLE_5.items():
+        search = models[platform].search_time(hash_name, 5, mode)
+        out[(platform, hash_name, mode)] = (
+            COMM_TIME_SECONDS,
+            search,
+            COMM_TIME_SECONDS + search,
+        )
+    return out
+
+
+def test_table5_reproduction(benchmark, report):
+    ours = benchmark(reproduce_table5)
+    comparisons = []
+    for key, (p_comm, p_search, p_total) in PAPER_TABLE_5.items():
+        platform, hash_name, mode = key
+        label = f"{platform}/{hash_name}/{mode[:4]}"
+        comparisons.append((f"{label} search", p_search, ours[key][1]))
+    report(
+        "table5_end_to_end",
+        comparison_table("Table 5 — end-to-end response time (s), d=5", comparisons),
+    )
+    for key, (p_comm, p_search, _p_total) in PAPER_TABLE_5.items():
+        assert abs(ours[key][1] - p_search) / p_search < 0.05, key
+
+
+def test_table5_derived_findings(benchmark, report):
+    """Section 4.6's speedup claims derived from the table.
+
+    Reproduction note: the paper's SHA-1 ratios only reconcile with its
+    own Table 5 when computed on *total* (comm + search) time, while the
+    SHA-3 ratios reconcile on *search-only* time (e.g. 0.99 = 1.73/1.75
+    total; 12.61 = 30.52/2.42 search-only). We follow each claim's own
+    arithmetic. The 5.54x SHA-1 CPU figure does not reconcile either way
+    (Table 5 gives 12.99/2.46 = 5.28x total); we compare against 5.28.
+    """
+
+    def total(model, h, mode="exhaustive"):
+        return COMM_TIME_SECONDS + model.search_time(h, 5, mode)
+
+    gpu, apu, cpu = GPUModel(), APUModel(), CPUModel()
+    benchmark(lambda: total(gpu, "sha3-256"))
+    checks = [
+        ("GPU vs APU, SHA-1 exh (total)", 1.02,
+         total(apu, "sha1") / total(gpu, "sha1")),
+        ("GPU vs APU, SHA-1 avg (total)", 0.99,
+         total(apu, "sha1", "average") / total(gpu, "sha1", "average")),
+        ("GPU vs CPU, SHA-1 exh (total)", 5.28,
+         total(cpu, "sha1") / total(gpu, "sha1")),
+        ("GPU vs CPU, SHA-1 avg (total)", 3.97,
+         total(cpu, "sha1", "average") / total(gpu, "sha1", "average")),
+        ("GPU vs APU, SHA-3 exh (search)", 2.99,
+         apu.search_time("sha3-256", 5) / gpu.search_time("sha3-256", 5)),
+        ("GPU vs APU, SHA-3 avg (search)", 2.91,
+         apu.search_time("sha3-256", 5, "average") / gpu.search_time("sha3-256", 5, "average")),
+        ("GPU vs CPU, SHA-3 exh (search)", 13.06,
+         cpu.search_time("sha3-256", 5) / gpu.search_time("sha3-256", 5)),
+        ("GPU vs CPU, SHA-3 avg (search)", 12.61,
+         cpu.search_time("sha3-256", 5, "average") / gpu.search_time("sha3-256", 5, "average")),
+    ]
+    record_report(
+        "table5_speedup_findings",
+        comparison_table("Section 4.6 — cross-platform speedup factors", checks),
+    )
+    for name, paper, ours in checks:
+        assert abs(ours - paper) / paper < 0.12, name
+
+
+def test_real_communication_cost(benchmark, report):
+    """The 0.90 s comm figure, measured with actual protocol messages."""
+    from repro import quick_setup
+    from repro.net import CAServer, InProcessTransport, NetworkClient, US_LINK
+
+    authority, client, mask = quick_setup(seed=55, noise_target_distance=1)
+    benchmark(lambda: US_LINK.message_cost(256))
+    transport = InProcessTransport(latency=US_LINK)
+    result = NetworkClient(client, transport, reference_mask=mask).authenticate(
+        CAServer(authority)
+    )
+    assert result.authenticated
+    breakdown = format_table(
+        ["message", "bytes", "seconds"],
+        [[label, size, f"{cost:.3f}"] for label, size, cost in transport.log],
+        title="Communication breakdown of one real authentication round",
+    )
+    record_report(
+        "table5_comm_breakdown",
+        breakdown + f"\ntotal: {transport.elapsed_seconds:.3f} s (paper: 0.90 s)",
+    )
+    assert abs(transport.elapsed_seconds - 0.90) < 0.05

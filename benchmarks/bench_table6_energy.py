@@ -1,0 +1,103 @@
+"""Experiment T6 — Table 6: GPU vs APU energy on the exhaustive d=5 search.
+
+Regenerates total joules, max watts, and idle watts per (device, hash)
+and checks the paper's two findings: the APU needs only ~39% of the
+GPU's energy on SHA-1, and the two are roughly equal on SHA-3 (the APU's
+3x runtime deficit cancels its power advantage).
+"""
+
+from conftest import comparison_table, record_report
+
+from repro.analysis.tables import format_table
+from repro.devices import APUModel, GPUModel
+from repro.devices.energy import EnergyModel, idle_adjusted_energy
+
+PAPER_TABLE_6 = {
+    ("gpu", "sha1"): (317.20, 253.43, 31.53),
+    ("apu", "sha1"): (124.43, 83.81, 22.10),
+    ("gpu", "sha3-256"): (946.55, 258.29, 31.53),
+    ("apu", "sha3-256"): (974.06, 83.63, 22.10),
+}
+
+
+def reproduce_table6():
+    models = {"gpu": GPUModel(), "apu": APUModel()}
+    out = {}
+    for (platform, hash_name), _paper in PAPER_TABLE_6.items():
+        model = models[platform]
+        timing = model.simulate_search(hash_name, 5)
+        energy = EnergyModel(model.spec).report(timing)
+        out[(platform, hash_name)] = energy
+    return out
+
+
+def test_table6_reproduction(benchmark, report):
+    ours = benchmark(reproduce_table6)
+    comparisons = []
+    for key, (p_joules, p_max, p_idle) in PAPER_TABLE_6.items():
+        platform, hash_name = key
+        comparisons.append((f"{platform}/{hash_name} joules", p_joules, ours[key].total_joules))
+        comparisons.append((f"{platform}/{hash_name} max W", p_max, ours[key].max_watts))
+        comparisons.append((f"{platform}/{hash_name} idle W", p_idle, ours[key].idle_watts))
+    report(
+        "table6_energy",
+        comparison_table("Table 6 — search-only energy, exhaustive d=5", comparisons),
+    )
+    for key, (p_joules, _p_max, _p_idle) in PAPER_TABLE_6.items():
+        assert abs(ours[key].total_joules - p_joules) / p_joules < 0.05, key
+
+
+def test_table6_findings(benchmark, report):
+    gpu, apu = GPUModel(), APUModel()
+    benchmark(lambda: gpu.simulate_search("sha1", 5).energy_joules)
+    sha1_ratio = (
+        apu.simulate_search("sha1", 5).energy_joules
+        / gpu.simulate_search("sha1", 5).energy_joules
+    )
+    sha3_ratio = (
+        apu.simulate_search("sha3-256", 5).energy_joules
+        / gpu.simulate_search("sha3-256", 5).energy_joules
+    )
+    record_report(
+        "table6_findings",
+        comparison_table(
+            "Section 4.7 — energy ratios (APU / GPU)",
+            [
+                ("SHA-1 (paper: 39.2%)", 0.392, sha1_ratio),
+                ("SHA-3 (roughly equal)", 974.06 / 946.55, sha3_ratio),
+            ],
+        ),
+    )
+    assert abs(sha1_ratio - 0.392) < 0.05
+    assert 0.9 < sha3_ratio < 1.15
+
+
+def test_energy_per_seed_ablation(benchmark, report):
+    """Extension: joules per hashed seed with and without the idle floor —
+    the architecture-level efficiency the paper's Section 4.7 argues from."""
+    benchmark(lambda: EnergyModel.energy_per_seed(GPUModel().simulate_search("sha1", 5)))
+    rows = []
+    for label, model in (("GPU", GPUModel()), ("APU", APUModel())):
+        for hash_name in ("sha1", "sha3-256"):
+            timing = model.simulate_search(hash_name, 5)
+            with_idle = EnergyModel.energy_per_seed(timing) * 1e9
+            without = (
+                idle_adjusted_energy(model, timing, include_idle=False)
+                / timing.seeds_searched
+                * 1e9
+            )
+            rows.append(
+                [label, hash_name, f"{with_idle:.2f}", f"{without:.2f}"]
+            )
+    record_report(
+        "table6_energy_per_seed",
+        format_table(
+            ["device", "hash", "nJ/seed (incl. idle)", "nJ/seed (active only)"],
+            rows,
+            title="Ablation — energy per hashed seed",
+        ),
+    )
+    # The APU's compute-in-memory advantage survives idle accounting on SHA-1.
+    gpu_sha1 = EnergyModel.energy_per_seed(GPUModel().simulate_search("sha1", 5))
+    apu_sha1 = EnergyModel.energy_per_seed(APUModel().simulate_search("sha1", 5))
+    assert apu_sha1 < gpu_sha1

@@ -1,0 +1,130 @@
+"""Experiment T7 — Table 7: RBC-SALTED vs prior algorithm-aware RBC.
+
+Two reproductions:
+
+1. *Modeled*: authentication times of the prior-work engines (AES-128
+   d=5, LightSABER d=4, Dilithium3 d=4) from their calibrated keygen
+   rates, against this work's SHA-3 d=5 on CPU/GPU/APU.
+2. *Measured on this host*: the per-candidate cost asymmetry that makes
+   the table — real keygen rates of the from-scratch AES and toy-PQC
+   implementations vs the real batched SHA-3 hash rate, run through the
+   actual original-RBC and RBC-SALTED engines at reduced scale.
+"""
+
+import time
+
+import numpy as np
+from conftest import comparison_table, record_report
+
+from repro._bitutils import flip_bits
+from repro.analysis.tables import format_table
+from repro.combinatorics.binomial import exhaustive_seed_count
+from repro.core.original_rbc import OriginalRBCSearch
+from repro.devices import APUModel, CPUModel, GPUModel
+from repro.devices.calibration import PRIOR_WORK_KEYGEN_RATE, U4, U5
+from repro.keygen.interface import get_keygen
+from repro.runtime.executor import BatchSearchExecutor
+
+#: Table 7 rows: (ref, algorithm, d, cpu_s, gpu_s, apu_s)
+PAPER_TABLE_7 = [
+    ("[39]", "aes-128", 5, 44.7, 2.56, None),
+    ("[29]", "lightsaber", 4, 44.58, 14.03, None),
+    ("[40]", "dilithium3", 4, 204.92, 27.91, None),
+    ("This work", "sha3-256", 5, 60.68, 4.67, 13.95),
+]
+
+
+def reproduce_table7():
+    gpu, cpu, apu = GPUModel(), CPUModel(), APUModel()
+    rows = []
+    for ref, algorithm, d, _pc, _pg, _pa in PAPER_TABLE_7:
+        if algorithm == "sha3-256":
+            cpu_s = cpu.search_time("sha3-256", d)
+            gpu_s = gpu.search_time("sha3-256", d)
+            apu_s = apu.search_time("sha3-256", d)
+        else:
+            seeds = exhaustive_seed_count(d)
+            cpu_s = seeds / PRIOR_WORK_KEYGEN_RATE[(algorithm, "cpu")]
+            gpu_s = seeds / PRIOR_WORK_KEYGEN_RATE[(algorithm, "gpu")]
+            apu_s = None
+        rows.append((ref, algorithm, d, cpu_s, gpu_s, apu_s))
+    return rows
+
+
+def test_table7_reproduction(benchmark, report):
+    ours = benchmark(reproduce_table7)
+    comparisons = []
+    for (ref, algo, d, pc, pg, pa), (_, _, _, oc, og, oa) in zip(PAPER_TABLE_7, ours):
+        comparisons.append((f"{algo} d={d} CPU", pc, oc))
+        comparisons.append((f"{algo} d={d} GPU", pg, og))
+        if pa is not None:
+            comparisons.append((f"{algo} d={d} APU", pa, oa))
+    report(
+        "table7_prior_work",
+        comparison_table("Table 7 — prior RBC engines vs this work (s)", comparisons),
+    )
+    for (_, _, _, pc, pg, pa), (_, _, _, oc, og, oa) in zip(PAPER_TABLE_7, ours):
+        assert abs(oc - pc) / pc < 0.05
+        assert abs(og - pg) / pg < 0.05
+
+    # The headline: SALTED searches d=5 faster than the PQC engines
+    # search d=4, on both CPU-platform and GPU-platform numbers.
+    salted_gpu = ours[3][4]
+    assert salted_gpu < ours[1][4] and salted_gpu < ours[2][4]
+    # And the AES engine remains faster (the paper concedes ~45.2%) but
+    # is symmetric-only.
+    assert ours[0][4] < salted_gpu < 2.2 * ours[0][4]
+
+
+def test_real_cost_asymmetry(benchmark, report):
+    """Real per-candidate costs on this host: hash vs key generation."""
+    hash_rate = BatchSearchExecutor("sha3-256").throughput_probe(30000)
+    benchmark(lambda: get_keygen("aes-128").public_key(b"\x07" * 32))
+    rows = [["sha3-256 (batched hash)", f"{hash_rate:12,.0f}", "1.0x"]]
+    for name in ("aes-128", "lightsaber", "dilithium3"):
+        engine = OriginalRBCSearch(get_keygen(name))
+        samples = 40 if name == "aes-128" else 3
+        rate = engine.measure_keygen_rate(samples)
+        rows.append(
+            [f"{name} (keygen)", f"{rate:12,.0f}", f"{hash_rate / rate:.0f}x slower"]
+        )
+    record_report(
+        "table7_real_asymmetry",
+        format_table(
+            ["operation", "ops/s (this host)", "vs hash"],
+            rows,
+            title="Per-candidate cost, real implementations",
+        ),
+    )
+
+
+def test_salted_vs_original_same_search(benchmark, report):
+    """Run both engines on the identical d=1 problem, real code."""
+    rng = np.random.default_rng(9)
+    base = rng.bytes(32)
+    client = flip_bits(base, [200])
+    benchmark(lambda: flip_bits(base, [200]))
+
+    from repro.hashes.sha3 import sha3_256
+
+    salted = BatchSearchExecutor("sha3-256", batch_size=512)
+    start = time.perf_counter()
+    r1 = salted.search(base, sha3_256(client), 1)
+    salted_seconds = time.perf_counter() - start
+
+    keygen = get_keygen("lightsaber")
+    original = OriginalRBCSearch(keygen)
+    start = time.perf_counter()
+    r2 = original.search(base, keygen.public_key(client), 1)
+    original_seconds = time.perf_counter() - start
+
+    assert r1.found and r2.found and r1.seed == r2.seed == client
+    record_report(
+        "table7_live_comparison",
+        f"Identical d=1 search, real engines on this host:\n"
+        f"  RBC-SALTED (SHA-3 hash search):      {salted_seconds:8.3f} s\n"
+        f"  Original RBC (LightSABER keygen/seed): {original_seconds:8.3f} s\n"
+        f"  advantage: {original_seconds / salted_seconds:.0f}x "
+        "(the paper's core optimization, observed live)",
+    )
+    assert salted_seconds < original_seconds

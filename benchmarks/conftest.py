@@ -1,0 +1,49 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one table or figure of the paper and registers a
+paper-vs-measured report. Reports are printed in the terminal summary
+(so they survive pytest's output capture) and written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(name: str, text: str) -> None:
+    """Register a report for terminal display and write it to disk."""
+    _REPORTS.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def report():
+    """Fixture alias for record_report."""
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("=", f"report: {name}")
+        terminalreporter.write_line(text)
+
+
+def comparison_table(title: str, rows: list[tuple[str, float, float]]) -> str:
+    """Render (quantity, paper, measured) rows with deviation column."""
+    from repro.analysis.tables import format_table
+
+    body = []
+    for quantity, paper, measured in rows:
+        deviation = (measured / paper - 1.0) * 100.0 if paper else float("nan")
+        body.append(
+            [quantity, f"{paper:g}", f"{measured:.4g}", f"{deviation:+.1f}%"]
+        )
+    return format_table(["quantity", "paper", "reproduced", "dev"], body, title=title)

@@ -1,0 +1,112 @@
+"""Cross-platform accelerator comparison (the paper's Section 4 in one run).
+
+Uses the calibrated device models to reproduce the paper's comparison of
+the A100 GPU, Gemini APU, and 64-core EPYC CPU on the d=5 RBC-SALTED
+search — response times, energy footprints, multi-GPU scaling — and then
+probes this host's real vectorized kernels to show the same SHA-1/SHA-3
+cost structure holds off-model.
+
+    python examples/accelerator_comparison.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.complexity import tractable_distance
+from repro.devices import (
+    APUModel,
+    COMM_TIME_SECONDS,
+    CPUModel,
+    GPUModel,
+    speedup_curve,
+)
+from repro.runtime.executor import BatchSearchExecutor
+
+
+def response_time_table(models) -> str:
+    rows = []
+    for hash_name in ("sha1", "sha3-256"):
+        for mode in ("exhaustive", "average"):
+            for label, model in models:
+                search = model.search_time(hash_name, 5, mode)
+                rows.append(
+                    [
+                        label,
+                        hash_name,
+                        mode,
+                        f"{COMM_TIME_SECONDS:.2f}",
+                        f"{search:.2f}",
+                        f"{COMM_TIME_SECONDS + search:.2f}",
+                    ]
+                )
+    return format_table(
+        ["platform", "hash", "search type", "comm (s)", "search (s)", "total (s)"],
+        rows,
+        title="End-to-end response time, d=5 (cf. paper Table 5)",
+    )
+
+
+def energy_table(models) -> str:
+    rows = []
+    for hash_name in ("sha1", "sha3-256"):
+        for label, model in models:
+            timing = model.simulate_search(hash_name, 5)
+            rows.append(
+                [
+                    label,
+                    hash_name,
+                    f"{timing.energy_joules:.1f}",
+                    f"{model.spec.max_watts:.1f}",
+                    f"{model.spec.idle_watts:.1f}",
+                ]
+            )
+    return format_table(
+        ["platform", "hash", "total J", "max W", "idle W"],
+        rows,
+        title="Search-only energy, exhaustive d=5 (cf. paper Table 6)",
+    )
+
+
+def main() -> None:
+    gpu, apu, cpu = GPUModel(), APUModel(), CPUModel()
+    accelerators = [("GPU (A100)", gpu), ("APU (Gemini)", apu)]
+    all_models = accelerators + [("CPU (64 cores)", cpu)]
+
+    print(response_time_table(all_models))
+
+    print("\nAuthentication threshold check (T = 20 s):")
+    for label, model in all_models:
+        for h in ("sha1", "sha3-256"):
+            t = model.search_time(h, 5)
+            verdict = "meets T" if t <= 20 else "MISSES T"
+            print(f"  {label:15s} {h:9s}: {t:6.2f} s  -> {verdict}")
+
+    print()
+    print(energy_table(accelerators))
+    sha1_ratio = (
+        apu.simulate_search("sha1", 5).energy_joules
+        / gpu.simulate_search("sha1", 5).energy_joules
+    )
+    print(f"\nAPU/GPU energy ratio on SHA-1: {sha1_ratio:.1%} "
+          "(paper: 39.2% — compute-in-memory wins when runtimes are close)")
+
+    print("\nMulti-GPU scaling (cf. paper Figure 4):")
+    for h in ("sha1", "sha3-256"):
+        for mode in ("exhaustive", "average"):
+            pts = speedup_curve(h, mode, 3)
+            series = ", ".join(f"{p.num_gpus}xGPU={p.speedup:.2f}x" for p in pts)
+            print(f"  {h:9s} {mode:11s}: {series}")
+
+    print("\nSearch-radius planning (largest d within T=20 s, exhaustive):")
+    for label, model in all_models:
+        for h in ("sha1", "sha3-256"):
+            rate = 8987138113 / model.search_time(h, 5)
+            print(f"  {label:15s} {h:9s}: d_max = {tractable_distance(rate, 20.0)}")
+
+    print("\nReal kernels on this host (NumPy lanes, not a model):")
+    for name in ("sha1", "sha256", "sha3-256"):
+        rate = BatchSearchExecutor(name).throughput_probe(50000)
+        print(f"  {name:9s}: {rate:12,.0f} hashes/s")
+    print("  (the SHA-3 > SHA-1 cost ordering that drives every table above)")
+
+
+if __name__ == "__main__":
+    main()

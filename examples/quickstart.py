@@ -1,0 +1,53 @@
+"""Quickstart: authenticate one PUF-equipped client with RBC-SALTED.
+
+Runs the full Figure-1 flow at interactive scale (Hamming distance <= 2):
+enrollment in the secure facility, handshake, noisy PUF read, the hash
+search on the server, salting, key generation, and the RA update.
+
+    python examples/quickstart.py
+"""
+
+from repro import quick_setup
+from repro.core import RBCSaltedProtocol
+
+
+def main() -> None:
+    # Build a CA with an enrolled client. quick_setup wires together the
+    # PUF, TAPKI enrollment, encrypted image DB, search service (SHA3-256,
+    # vectorized batch executor), salt scheme, and AES key generator.
+    authority, client, mask = quick_setup(
+        seed=7,
+        hash_name="sha3-256",
+        max_distance=2,
+        noise_target_distance=2,  # force a d=2 search, as the paper does
+    )
+
+    protocol = RBCSaltedProtocol(authority)
+    outcome = protocol.authenticate(client, reference_mask=mask)
+
+    print("RBC-SALTED quickstart")
+    print("=" * 50)
+    print(f"client:               {outcome.client_id}")
+    print(f"authenticated:        {outcome.authenticated}")
+    print(f"Hamming distance:     {outcome.distance}")
+    print(f"seeds hashed:         {outcome.seeds_hashed:,}")
+    print(f"search time:          {outcome.search_seconds:.3f} s")
+    print(f"attempts:             {outcome.attempts}")
+    assert outcome.public_key is not None
+    print(f"public key (first 16 bytes): {outcome.public_key[:16].hex()}")
+
+    # The RA now serves the client's one-time public key.
+    registered = authority.registration_authority.lookup(outcome.client_id)
+    assert registered == outcome.public_key
+    print("registration authority updated: OK")
+
+    # One-time keys: a second session recovers a fresh noisy seed and
+    # registers a fresh key.
+    second = protocol.authenticate(client, reference_mask=mask)
+    assert second.authenticated
+    rotations = authority.registration_authority.update_count(outcome.client_id)
+    print(f"sessions completed:   {rotations} (one key per session)")
+
+
+if __name__ == "__main__":
+    main()

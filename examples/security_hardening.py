@@ -1,0 +1,108 @@
+"""Security analysis and hardening (Sections 2.2 and 5 of the paper).
+
+Shows the three security dials of RBC-SALTED:
+
+1. the server/opponent complexity asymmetry (Equations 1-3);
+2. deliberate noise injection — spending spare search budget to raise
+   the Hamming distance an opponent must cover (the paper's future work);
+3. the timeout discipline — an intractable search fails safe at T.
+
+    python examples/security_hardening.py
+"""
+
+import numpy as np
+
+from repro import quick_setup
+from repro.analysis.tables import format_table
+from repro.core import RBCSaltedProtocol
+from repro.core.complexity import (
+    opponent_search_space,
+    server_search_space,
+    table1_rows,
+    tractable_distance,
+)
+from repro.devices import GPUModel
+
+
+def complexity_story() -> None:
+    rows = [
+        [r.d, f"{r.exhaustive:.3g}", f"{r.average:.3g}"] for r in table1_rows(5)
+    ]
+    print(
+        format_table(
+            ["d", "exhaustive u(d)", "average a(d)"],
+            rows,
+            title="Server search space by Hamming distance (paper Table 1)",
+        )
+    )
+    print(f"\nopponent's space (Eq. 2): 2^256 = {opponent_search_space():.3g}")
+    print(
+        "server advantage at d=5: "
+        f"{opponent_search_space() / server_search_space(5):.3g}x fewer seeds"
+    )
+
+
+def noise_injection_story() -> None:
+    gpu = GPUModel()
+    print("\nNoise injection as a security dial (GPU model, SHA-3, T=20 s):")
+    rows = []
+    for d in range(3, 7):
+        try:
+            seconds = gpu.search_time("sha3-256", d)
+        except Exception:
+            break
+        verdict = "OK" if seconds <= 20 else "exceeds T"
+        rows.append([d, f"{server_search_space(d):.3g}", f"{seconds:.2f}", verdict])
+    print(format_table(["d", "seeds", "search (s)", "within T?"], rows))
+    rate = 8987138113 / gpu.search_time("sha3-256", 5)
+    print(
+        f"\nlargest tractable d at GPU SHA-3 throughput: "
+        f"{tractable_distance(rate, 20.0)} "
+        "-> the client can inject noise up to that distance for free"
+    )
+
+
+def live_hardened_round() -> None:
+    print("\nLive hardened round (real search, d forced to 2):")
+    authority, client, mask = quick_setup(
+        seed=13, max_distance=2, noise_target_distance=2
+    )
+    outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+    print(
+        f"  authenticated={outcome.authenticated} at d={outcome.distance}, "
+        f"{outcome.seeds_hashed:,} seeds hashed in {outcome.search_seconds:.2f} s"
+    )
+
+    print("\nTimeout discipline (search budget set to ~0):")
+    authority2, client2, mask2 = quick_setup(seed=14, noise_target_distance=2)
+    authority2.search_service.time_threshold = 1e-9
+    outcome2 = RBCSaltedProtocol(authority2, max_attempts=2).authenticate(
+        client2, reference_mask=mask2
+    )
+    print(
+        f"  authenticated={outcome2.authenticated} "
+        f"(timed_out={outcome2.timed_out}, attempts={outcome2.attempts}) "
+        "- the CA failed safe and would re-handshake"
+    )
+
+    print("\nOne-time keys under observation:")
+    authority3, client3, mask3 = quick_setup(seed=15, noise_target_distance=1)
+    protocol = RBCSaltedProtocol(authority3)
+    keys = []
+    for _ in range(3):
+        outcome = protocol.authenticate(client3, reference_mask=mask3)
+        assert outcome.authenticated
+        keys.append(outcome.public_key)
+    unique = len({k for k in keys})
+    print(f"  3 sessions -> {unique} distinct public keys "
+          "(stolen keys expire with the session)")
+
+
+def main() -> None:
+    complexity_story()
+    noise_injection_story()
+    live_hardened_round()
+
+
+if __name__ == "__main__":
+    main()

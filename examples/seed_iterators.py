@@ -1,0 +1,119 @@
+"""Seed-iterator playground (the paper's Section 3.2.1 / Table 4 story).
+
+Compares the four combination generators on this host — generation rate,
+minimal-change property, checkpoint parallelization — and runs the same
+reduced-scale RBC search with each to show they find identical seeds at
+different costs.
+
+    python examples/seed_iterators.py
+"""
+
+import time
+
+import numpy as np
+
+from repro._bitutils import flip_bits
+from repro.analysis.tables import format_table
+from repro.combinatorics import (
+    Algorithm154Iterator,
+    Algorithm382Iterator,
+    Algorithm515Iterator,
+    GosperIterator,
+    binomial,
+)
+from repro.combinatorics.ranking import unrank_lexicographic_batch
+from repro.hashes.sha1 import sha1
+from repro.runtime.executor import BatchSearchExecutor
+
+N_BITS = 256
+K = 3
+SAMPLE = 50_000
+
+
+def generation_rates() -> str:
+    """Combinations/second for each sequential generator at 256-bit width."""
+    rows = []
+    for name, cls in [
+        ("Chase 382 (minimal change)", Algorithm382Iterator),
+        ("Gosper's hack (256-bit)", GosperIterator),
+        ("Alg 154 (lex successor)", Algorithm154Iterator),
+        ("Alg 515 (unrank each)", Algorithm515Iterator),
+    ]:
+        iterator = cls(N_BITS, K)
+        start = time.perf_counter()
+        produced = 1
+        iterator.current()  # materialize — Alg 515 does its work here
+        while produced < SAMPLE and iterator.advance():
+            iterator.current()
+            produced += 1
+        elapsed = time.perf_counter() - start
+        rows.append([name, f"{produced / elapsed:12,.0f}"])
+    # The vectorized unranker — the batch analogue of Algorithm 515 with
+    # the GPU lookup table.
+    start = time.perf_counter()
+    unrank_lexicographic_batch(N_BITS, K, np.arange(SAMPLE, dtype=np.uint64))
+    elapsed = time.perf_counter() - start
+    rows.append(["Vectorized unrank (batch 515)", f"{SAMPLE / elapsed:12,.0f}"])
+    return format_table(
+        ["generator", "combinations/s"],
+        rows,
+        title=f"Generation rate, {K}-subsets of {{0..255}}, this host",
+    )
+
+
+def checkpoint_demo() -> None:
+    """The Chase parallelization: split one sequence across 8 workers."""
+    workers = 8
+    total = binomial(N_BITS, 2)
+    iterator = Algorithm382Iterator(N_BITS, 2)
+    start = time.perf_counter()
+    states = iterator.checkpoints(workers, total=total)
+    setup = time.perf_counter() - start
+    print(f"\nChase checkpointing: {workers} states over {total:,} combinations "
+          f"(one-time setup {setup:.2f} s, reusable for all clients)")
+    boundaries = [(i * total) // workers for i in range(workers)] + [total]
+    covered = 0
+    for idx, state in enumerate(states):
+        worker = Algorithm382Iterator(N_BITS, 2)
+        worker.restore(state)
+        chunk = boundaries[idx + 1] - boundaries[idx]
+        covered += len(worker.take(chunk))
+    print(f"workers jointly produced {covered:,}/{total:,} combinations, "
+          "no overlaps (each resumed from its snapshot)")
+
+
+def search_with_each_iterator() -> str:
+    rng = np.random.default_rng(5)
+    base = rng.bytes(32)
+    client_seed = flip_bits(base, [17, 211])
+    digest = sha1(client_seed)
+    rows = []
+    for iterator in ("unrank", "chase", "gosper", "lex", "unrank-scalar"):
+        executor = BatchSearchExecutor("sha1", batch_size=8192, iterator=iterator)
+        result = executor.search(base, digest, 2)
+        assert result.found and result.seed == client_seed
+        rows.append(
+            [iterator, f"{result.elapsed_seconds:.3f}", f"{result.seeds_hashed:,}"]
+        )
+    return format_table(
+        ["iterator", "search (s)", "seeds hashed"],
+        rows,
+        title="Same d=2 search, every iterator (identical result, different cost)",
+    )
+
+
+def main() -> None:
+    print(generation_rates())
+    checkpoint_demo()
+    print()
+    print(search_with_each_iterator())
+    print(
+        "\nPaper's Table 4 (A100, SHA-3, d=5): Chase 4.67 s beats "
+        "Gosper 6.04 s and Alg 515 7.53 s — the work-efficient sequential\n"
+        "method, parallelized by checkpointing, wins over the "
+        "embarrassingly parallel but work-heavy unranking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Bit-level utilities shared across the RBC-SALTED reproduction.
+
+The protocol operates on 256-bit seeds.  Three representations are used
+throughout the code base and this module is the single place that converts
+between them:
+
+``bytes``
+    32-byte big-endian strings — the canonical wire/protocol form.
+``int``
+    Python arbitrary-precision integers — convenient for bit twiddling in
+    scalar reference code (Gosper's hack on "multiword" values, salting).
+``numpy``
+    ``uint64`` arrays of shape ``(..., 4)`` (little-endian word order:
+    word 0 holds bits 0..63) — the batch form consumed by the vectorized
+    hash kernels and seed iterators.
+
+Bit index convention: bit ``i`` of a seed is ``(int_value >> i) & 1``,
+i.e. bit 0 is the least significant bit of the integer form, which lives
+in the *last* byte of the big-endian byte form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SEED_BITS = 256
+SEED_BYTES = SEED_BITS // 8
+SEED_WORDS64 = SEED_BITS // 64
+
+__all__ = [
+    "SEED_BITS",
+    "SEED_BYTES",
+    "SEED_WORDS64",
+    "seed_to_int",
+    "int_to_seed",
+    "seed_to_words",
+    "words_to_seed",
+    "seeds_to_words",
+    "words_to_seeds",
+    "hamming_distance",
+    "hamming_distance_words",
+    "popcount64",
+    "flip_bits",
+    "positions_to_mask_int",
+    "positions_to_mask_words",
+    "random_seed",
+    "rotate_left_int",
+]
+
+_POPCNT16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
+
+
+def seed_to_int(seed: bytes) -> int:
+    """Convert a 32-byte big-endian seed to its integer form."""
+    if len(seed) != SEED_BYTES:
+        raise ValueError(f"seed must be {SEED_BYTES} bytes, got {len(seed)}")
+    return int.from_bytes(seed, "big")
+
+
+def int_to_seed(value: int) -> bytes:
+    """Convert an integer in ``[0, 2**256)`` to the 32-byte seed form."""
+    if not 0 <= value < (1 << SEED_BITS):
+        raise ValueError("seed integer out of range for 256 bits")
+    return value.to_bytes(SEED_BYTES, "big")
+
+
+def seed_to_words(seed: bytes) -> np.ndarray:
+    """Convert one seed to a ``(4,)`` uint64 array (word 0 = bits 0..63)."""
+    value = seed_to_int(seed)
+    mask = (1 << 64) - 1
+    return np.array(
+        [(value >> (64 * w)) & mask for w in range(SEED_WORDS64)], dtype=np.uint64
+    )
+
+
+def words_to_seed(words: np.ndarray) -> bytes:
+    """Inverse of :func:`seed_to_words`."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.shape != (SEED_WORDS64,):
+        raise ValueError(f"expected shape ({SEED_WORDS64},), got {words.shape}")
+    value = 0
+    for w in range(SEED_WORDS64):
+        value |= int(words[w]) << (64 * w)
+    return int_to_seed(value)
+
+
+def seeds_to_words(seeds: list[bytes] | tuple[bytes, ...]) -> np.ndarray:
+    """Convert many seeds to a ``(N, 4)`` uint64 array."""
+    if len(seeds) == 0:
+        return np.empty((0, SEED_WORDS64), dtype=np.uint64)
+    raw = np.frombuffer(b"".join(seeds), dtype=np.uint8).reshape(len(seeds), SEED_BYTES)
+    # Big-endian bytes -> little-endian 64-bit words: reverse bytes, then view.
+    flipped = raw[:, ::-1].copy()
+    return flipped.view("<u8")
+
+
+def words_to_seeds(words: np.ndarray) -> list[bytes]:
+    """Inverse of :func:`seeds_to_words`."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2 or words.shape[1] != SEED_WORDS64:
+        raise ValueError(f"expected shape (N, {SEED_WORDS64}), got {words.shape}")
+    raw = words.view(np.uint8).reshape(words.shape[0], SEED_BYTES)[:, ::-1]
+    flat = np.ascontiguousarray(raw).tobytes()
+    return [flat[i * SEED_BYTES : (i + 1) * SEED_BYTES] for i in range(words.shape[0])]
+
+
+def hamming_distance(a: bytes, b: bytes) -> int:
+    """Hamming distance between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).bit_count()
+
+
+def popcount64(arr: np.ndarray) -> np.ndarray:
+    """Vectorized population count of a uint64 array via a 16-bit table."""
+    arr = np.asarray(arr, dtype=np.uint64)
+    lo = (arr & np.uint64(0xFFFF)).astype(np.intp)
+    m1 = ((arr >> np.uint64(16)) & np.uint64(0xFFFF)).astype(np.intp)
+    m2 = ((arr >> np.uint64(32)) & np.uint64(0xFFFF)).astype(np.intp)
+    hi = (arr >> np.uint64(48)).astype(np.intp)
+    counts = (
+        _POPCNT16[lo].astype(np.uint16)
+        + _POPCNT16[m1]
+        + _POPCNT16[m2]
+        + _POPCNT16[hi]
+    )
+    return counts
+
+
+def hamming_distance_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between ``(N, 4)`` uint64 seed arrays."""
+    xored = np.asarray(a, dtype=np.uint64) ^ np.asarray(b, dtype=np.uint64)
+    return popcount64(xored).sum(axis=-1)
+
+
+def flip_bits(seed: bytes, positions) -> bytes:
+    """Return ``seed`` with the given bit positions flipped."""
+    value = seed_to_int(seed)
+    for pos in positions:
+        if not 0 <= pos < SEED_BITS:
+            raise ValueError(f"bit position {pos} out of range")
+        value ^= 1 << pos
+    return int_to_seed(value)
+
+
+def positions_to_mask_int(positions) -> int:
+    """Build an integer XOR mask with the given bit positions set."""
+    mask = 0
+    for pos in positions:
+        if not 0 <= pos < SEED_BITS:
+            raise ValueError(f"bit position {pos} out of range")
+        bit = 1 << pos
+        if mask & bit:
+            raise ValueError(f"duplicate bit position {pos}")
+        mask |= bit
+    return mask
+
+
+def positions_to_mask_words(positions_batch: np.ndarray) -> np.ndarray:
+    """Vectorized: ``(N, d)`` bit positions -> ``(N, 4)`` uint64 XOR masks."""
+    positions_batch = np.asarray(positions_batch)
+    if positions_batch.ndim == 1:
+        positions_batch = positions_batch[None, :]
+    n, _d = positions_batch.shape
+    masks = np.zeros((n, SEED_WORDS64), dtype=np.uint64)
+    word = positions_batch >> 6
+    bit = np.uint64(1) << (positions_batch & 63).astype(np.uint64)
+    rows = np.repeat(np.arange(n), positions_batch.shape[1])
+    np.bitwise_xor.at(masks, (rows, word.ravel()), bit.ravel())
+    return masks
+
+
+def random_seed(rng: np.random.Generator) -> bytes:
+    """Draw a uniformly random 256-bit seed."""
+    return rng.bytes(SEED_BYTES)
+
+
+def rotate_left_int(value: int, shift: int, width: int = SEED_BITS) -> int:
+    """Rotate ``value`` left by ``shift`` within ``width`` bits."""
+    shift %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << shift) | (value >> (width - shift))) & mask

@@ -1,0 +1,35 @@
+"""Reporting helpers shared by the benchmark harness and examples."""
+
+from repro.analysis.tables import format_table, format_heatmap
+from repro.analysis.metrics import (
+    speedup,
+    parallel_efficiency,
+    PaperComparison,
+    compare_to_paper,
+)
+from repro.analysis.trials import TrialStatistics, run_search_trials, run_device_trials
+from repro.analysis.plots import line_plot, bar_chart
+from repro.analysis.workload import (
+    WorkloadGenerator,
+    ServerCapacityModel,
+    service_time_distribution,
+    simulate_queue,
+)
+
+__all__ = [
+    "format_table",
+    "format_heatmap",
+    "speedup",
+    "parallel_efficiency",
+    "PaperComparison",
+    "compare_to_paper",
+    "TrialStatistics",
+    "run_search_trials",
+    "run_device_trials",
+    "line_plot",
+    "bar_chart",
+    "WorkloadGenerator",
+    "ServerCapacityModel",
+    "service_time_distribution",
+    "simulate_queue",
+]

@@ -1,0 +1,60 @@
+"""Speedup/efficiency metrics and paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["speedup", "parallel_efficiency", "PaperComparison", "compare_to_paper"]
+
+
+def speedup(baseline_seconds: float, parallel_seconds: float) -> float:
+    """Classic speedup S = T_base / T_parallel."""
+    if parallel_seconds <= 0:
+        raise ValueError("parallel time must be positive")
+    return baseline_seconds / parallel_seconds
+
+
+def parallel_efficiency(
+    baseline_seconds: float, parallel_seconds: float, workers: int
+) -> float:
+    """Efficiency E = S / p."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return speedup(baseline_seconds, parallel_seconds) / workers
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-vs-reproduction data point for EXPERIMENTS.md."""
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper value."""
+        return self.measured_value / self.paper_value
+
+    @property
+    def deviation_percent(self) -> float:
+        """Percent deviation from the paper value."""
+        return (self.ratio - 1.0) * 100.0
+
+    def row(self) -> list[str]:
+        """The comparison as a formatted table row."""
+        return [
+            self.experiment,
+            self.quantity,
+            f"{self.paper_value:g}",
+            f"{self.measured_value:g}",
+            f"{self.deviation_percent:+.1f}%",
+        ]
+
+
+def compare_to_paper(
+    experiment: str, quantity: str, paper_value: float, measured_value: float
+) -> PaperComparison:
+    """Record one comparison (convenience constructor)."""
+    return PaperComparison(experiment, quantity, paper_value, measured_value)

@@ -1,0 +1,118 @@
+"""Terminal (ASCII) plots for figure-style benchmark output.
+
+The harness runs in environments without plotting libraries, so the
+figures are rendered as character grids: good enough to see the shape of
+a scaling curve or a parameter bowl next to the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_plot", "bar_chart"]
+
+
+def line_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII grid.
+
+    Each series gets a marker from ``*+o x#@`` in order; points are
+    plotted on a ``width`` x ``height`` grid spanning the joint data
+    range, with simple linear segments drawn between consecutive points.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*+ox#@"
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        """Map a data point to (row, col) on the grid."""
+        col = round((x - x_min) / x_span * (width - 1))
+        row = (height - 1) - round((y - y_min) / y_span * (height - 1))
+        return row, col
+
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        ordered = sorted(points)
+        # Segments first so point markers overwrite them.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]),
+                abs(cell(x1, y1)[0] - cell(x0, y0)[0]),
+                1,
+            )
+            for s in range(steps + 1):
+                t = s / steps
+                row, col = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * label_width + "  " + x_axis)
+    if x_label:
+        lines.append(" " * label_width + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    title: str | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart of labeled values."""
+    if not values:
+        raise ValueError("need at least one value")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("values must include a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{name.ljust(label_width)} | {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

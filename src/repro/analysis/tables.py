@@ -1,0 +1,55 @@
+"""Plain-text table and heatmap rendering for the benchmark harness.
+
+The benches print the same rows/series the paper reports; these helpers
+keep that output aligned and diff-friendly (EXPERIMENTS.md is generated
+from them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_heatmap"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    values: Sequence[Sequence[float]],
+    value_format: str = "{:7.3f}",
+    row_axis: str = "",
+    col_axis: str = "",
+    mark_minimum: bool = True,
+) -> str:
+    """Render a Figure 3-style numeric heatmap, minimum marked with '*'."""
+    flat_min = min(v for row in values for v in row)
+    header = [f"{row_axis}\\{col_axis}"] + [str(c) for c in col_labels]
+    rows = []
+    for label, row in zip(row_labels, values):
+        cells = []
+        for v in row:
+            text = value_format.format(v)
+            if mark_minimum and v == flat_min:
+                text += "*"
+            cells.append(text)
+        rows.append([str(label)] + cells)
+    return format_table(header, rows)

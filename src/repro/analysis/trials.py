@@ -1,0 +1,138 @@
+"""Stochastic trial harness — the paper's 1,200-trial average-case method.
+
+The paper's "average case" rows are means over 1,200 authentications
+with stochastic PUF noise. This harness reproduces the methodology at
+configurable trial counts, against either the real executor (reduced
+Hamming distances) or a device model (paper scale), and compares the
+empirical mean with the analytic Equation 3 expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._bitutils import SEED_BITS, flip_bits
+from repro.combinatorics.binomial import average_seed_count, exhaustive_seed_count
+
+__all__ = ["TrialStatistics", "run_search_trials", "run_device_trials"]
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Summary of a batch of stochastic search trials."""
+
+    trials: int
+    distance: int
+    mean_seeds: float
+    std_seeds: float
+    min_seeds: int
+    max_seeds: int
+    mean_seconds: float
+    analytic_average: int
+    exhaustive: int
+
+    @property
+    def mean_vs_analytic(self) -> float:
+        """Empirical mean / Equation 3 expectation (→ 1.0 as trials grow)."""
+        return self.mean_seeds / self.analytic_average
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.trials} trials at d={self.distance}: "
+            f"mean {self.mean_seeds:,.0f} seeds "
+            f"(analytic a(d) = {self.analytic_average:,}; "
+            f"ratio {self.mean_vs_analytic:.3f}), "
+            f"σ = {self.std_seeds:,.0f}, "
+            f"range [{self.min_seeds:,}, {self.max_seeds:,}], "
+            f"mean time {self.mean_seconds * 1e3:.1f} ms"
+        )
+
+
+def run_search_trials(
+    executor,
+    hash_scalar,
+    distance: int,
+    trials: int,
+    rng: np.random.Generator | None = None,
+) -> TrialStatistics:
+    """Plant a seed uniformly at exactly ``distance`` and search, N times.
+
+    ``executor`` is any engine with ``search(base, digest, d)``;
+    ``hash_scalar`` produces the client digest from the planted seed.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    seeds_hashed = np.empty(trials, dtype=np.int64)
+    seconds = np.empty(trials, dtype=np.float64)
+    for t in range(trials):
+        base = rng.bytes(32)
+        positions = rng.choice(SEED_BITS, size=distance, replace=False)
+        planted = flip_bits(base, positions.tolist())
+        result = executor.search(base, hash_scalar(planted), distance)
+        if not result.found:
+            raise AssertionError("trial search failed to find the planted seed")
+        seeds_hashed[t] = result.seeds_hashed
+        seconds[t] = result.elapsed_seconds
+    return TrialStatistics(
+        trials=trials,
+        distance=distance,
+        mean_seeds=float(seeds_hashed.mean()),
+        std_seeds=float(seeds_hashed.std()),
+        min_seeds=int(seeds_hashed.min()),
+        max_seeds=int(seeds_hashed.max()),
+        mean_seconds=float(seconds.mean()),
+        analytic_average=average_seed_count(distance),
+        exhaustive=exhaustive_seed_count(distance),
+    )
+
+
+def run_device_trials(
+    device_model,
+    hash_name: str,
+    distance: int,
+    trials: int,
+    rng: np.random.Generator | None = None,
+    **search_kwargs,
+) -> TrialStatistics:
+    """Paper-scale stochastic trials against a device model.
+
+    The planted shell position is drawn uniformly; the modeled time is
+    the partial-shell search up to that rank (shells below ``distance``
+    are searched in full). This is the device-model analogue of the
+    paper's 1,200-trial averaging.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    shell = exhaustive_seed_count(distance) - exhaustive_seed_count(distance - 1)
+    base_below = exhaustive_seed_count(distance - 1)
+    exhaustive_time = device_model.search_time(hash_name, distance, **search_kwargs)
+    below_time = (
+        device_model.search_time(hash_name, distance - 1, **search_kwargs)
+        if distance > 1
+        else 0.0
+    )
+    shell_time = exhaustive_time - below_time
+
+    seeds = np.empty(trials, dtype=np.int64)
+    seconds = np.empty(trials, dtype=np.float64)
+    fractions = rng.random(trials)
+    for t, fraction in enumerate(fractions):
+        visited = base_below + int(fraction * shell)
+        seeds[t] = visited
+        seconds[t] = below_time + fraction * shell_time
+    return TrialStatistics(
+        trials=trials,
+        distance=distance,
+        mean_seeds=float(seeds.mean()),
+        std_seeds=float(seeds.std()),
+        min_seeds=int(seeds.min()),
+        max_seeds=int(seeds.max()),
+        mean_seconds=float(seconds.mean()),
+        analytic_average=average_seed_count(distance),
+        exhaustive=exhaustive_seed_count(distance),
+    )

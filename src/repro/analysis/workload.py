@@ -1,0 +1,193 @@
+"""Authentication workload generation and server-capacity analysis.
+
+The paper's title promises *high throughput*; this module quantifies it
+operationally: how many clients per hour can one CA serve, at what
+latency, given a device's search throughput and a realistic mix of
+Hamming distances?
+
+Pieces:
+
+* :class:`WorkloadGenerator` — draws authentication requests with a
+  configurable distance distribution (PUF-quality mix) and a Poisson
+  arrival process;
+* :func:`service_time_distribution` — per-request search times from a
+  device model (average-case per shell position, like the trial harness);
+* :class:`ServerCapacityModel` — M/G/1 queueing estimates (utilization,
+  mean wait) plus a discrete-event simulation cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.combinatorics.binomial import binomial, exhaustive_seed_count
+
+__all__ = [
+    "WorkloadGenerator",
+    "AuthRequest",
+    "service_time_distribution",
+    "ServerCapacityModel",
+    "simulate_queue",
+]
+
+
+@dataclass(frozen=True)
+class AuthRequest:
+    """One authentication arrival."""
+
+    arrival_seconds: float
+    distance: int
+    #: Position of the true seed within its shell, as a fraction [0, 1).
+    shell_fraction: float
+
+
+class WorkloadGenerator:
+    """Poisson arrivals with a distance-mix profile.
+
+    ``distance_weights`` maps Hamming distance -> probability; the default
+    mix models a TAPKI-masked fleet (mostly tiny distances, a tail at 5).
+    """
+
+    DEFAULT_MIX = {0: 0.30, 1: 0.25, 2: 0.18, 3: 0.12, 4: 0.09, 5: 0.06}
+
+    def __init__(
+        self,
+        arrivals_per_second: float,
+        distance_weights: dict[int, float] | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if arrivals_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = arrivals_per_second
+        weights = distance_weights if distance_weights is not None else self.DEFAULT_MIX
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("distance weights must sum to a positive value")
+        self.distances = np.array(sorted(weights), dtype=np.int64)
+        self.probabilities = np.array(
+            [weights[d] / total for d in sorted(weights)], dtype=np.float64
+        )
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def generate(self, count: int) -> list[AuthRequest]:
+        """``count`` requests with exponential inter-arrival gaps."""
+        gaps = self._rng.exponential(1.0 / self.rate, size=count)
+        arrivals = np.cumsum(gaps)
+        distances = self._rng.choice(self.distances, size=count, p=self.probabilities)
+        fractions = self._rng.random(count)
+        return [
+            AuthRequest(float(a), int(d), float(f))
+            for a, d, f in zip(arrivals, distances, fractions)
+        ]
+
+
+def service_time_distribution(
+    device_model,
+    hash_name: str,
+    requests: list[AuthRequest],
+    **search_kwargs,
+) -> np.ndarray:
+    """Search seconds per request, from a device model.
+
+    A request at distance d whose seed sits at shell fraction f costs the
+    full shells below d plus fraction f of shell d (the same accounting
+    as the trial harness); d = 0 costs a single-hash epsilon.
+    """
+    cache: dict[int, float] = {0: 0.0}
+
+    def exhaustive_time(distance: int) -> float:
+        """Cached exhaustive search time up to a distance."""
+        if distance not in cache:
+            cache[distance] = device_model.search_time(
+                hash_name, distance, **search_kwargs
+            )
+        return cache[distance]
+
+    times = np.empty(len(requests), dtype=np.float64)
+    for i, request in enumerate(requests):
+        if request.distance == 0:
+            times[i] = 1e-6
+            continue
+        below = exhaustive_time(request.distance - 1)
+        shell = exhaustive_time(request.distance) - below
+        times[i] = below + request.shell_fraction * shell
+    return times
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """M/G/1 capacity summary for one (device, hash, mix) point."""
+
+    arrivals_per_second: float
+    mean_service_seconds: float
+    service_cv2: float
+    utilization: float
+    mean_wait_seconds: float
+    mean_response_seconds: float
+    stable: bool
+
+    @property
+    def authentications_per_hour(self) -> float:
+        """Sustainable hourly authentication rate."""
+        return self.arrivals_per_second * 3600.0
+
+
+class ServerCapacityModel:
+    """M/G/1 queueing estimates from a measured service distribution."""
+
+    def __init__(self, service_seconds: np.ndarray):
+        service_seconds = np.asarray(service_seconds, dtype=np.float64)
+        if service_seconds.size == 0 or (service_seconds <= 0).any():
+            raise ValueError("service times must be positive and non-empty")
+        self.mean = float(service_seconds.mean())
+        variance = float(service_seconds.var())
+        self.cv2 = variance / self.mean**2 if self.mean > 0 else 0.0
+
+    def estimate(self, arrivals_per_second: float) -> CapacityEstimate:
+        """Pollaczek–Khinchine mean wait for the given arrival rate."""
+        if arrivals_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        rho = arrivals_per_second * self.mean
+        stable = rho < 1.0
+        if stable:
+            wait = rho * self.mean * (1.0 + self.cv2) / (2.0 * (1.0 - rho))
+        else:
+            wait = float("inf")
+        return CapacityEstimate(
+            arrivals_per_second=arrivals_per_second,
+            mean_service_seconds=self.mean,
+            service_cv2=self.cv2,
+            utilization=rho,
+            mean_wait_seconds=wait,
+            mean_response_seconds=wait + self.mean if stable else float("inf"),
+            stable=stable,
+        )
+
+    def max_stable_rate(self, target_utilization: float = 0.8) -> float:
+        """Arrivals/second that keep utilization at the target."""
+        if not 0 < target_utilization < 1:
+            raise ValueError("target utilization must be in (0, 1)")
+        return target_utilization / self.mean
+
+
+def simulate_queue(
+    requests: list[AuthRequest], service_seconds: np.ndarray
+) -> dict[str, float]:
+    """Discrete-event single-server FIFO queue (cross-check for M/G/1)."""
+    if len(requests) != len(service_seconds):
+        raise ValueError("requests and service times must align")
+    clock = 0.0
+    waits = np.empty(len(requests), dtype=np.float64)
+    for i, (request, service) in enumerate(zip(requests, service_seconds)):
+        start = max(clock, request.arrival_seconds)
+        waits[i] = start - request.arrival_seconds
+        clock = start + float(service)
+    span = clock - requests[0].arrival_seconds if requests else 0.0
+    return {
+        "mean_wait_seconds": float(waits.mean()),
+        "p95_wait_seconds": float(np.percentile(waits, 95)),
+        "throughput_per_second": len(requests) / span if span > 0 else 0.0,
+        "busy_fraction": float(np.sum(service_seconds) / span) if span > 0 else 0.0,
+    }

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``       — one full authentication round (quickstart).
+* ``tables``     — regenerate the paper's headline tables from the
+                   device models (Table 5, Table 6, Figure 4 endpoints).
+* ``probe``      — measure this host's real kernel throughputs.
+* ``attack``     — run the opponent simulation against a fresh digest.
+* ``complexity`` — print Table 1 and the tractability planner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import quick_setup
+    from repro.core import RBCSaltedProtocol
+
+    authority, client, mask = quick_setup(
+        seed=args.seed, max_distance=args.distance,
+        noise_target_distance=args.distance,
+    )
+    outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+    print(f"authenticated: {outcome.authenticated}")
+    print(f"distance:      {outcome.distance}")
+    print(f"seeds hashed:  {outcome.seeds_hashed:,}")
+    print(f"search time:   {outcome.search_seconds:.3f} s")
+    if outcome.public_key:
+        print(f"public key:    {outcome.public_key[:16].hex()}…")
+    return 0 if outcome.authenticated else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.devices import APUModel, COMM_TIME_SECONDS, CPUModel, GPUModel, speedup_curve
+
+    models = [("GPU", GPUModel()), ("APU", APUModel()), ("CPU", CPUModel())]
+    rows = []
+    for hash_name in ("sha1", "sha3-256"):
+        for mode in ("exhaustive", "average"):
+            for label, model in models:
+                search = model.search_time(hash_name, 5, mode)
+                rows.append([label, hash_name, mode, f"{search:.2f}",
+                             f"{COMM_TIME_SECONDS + search:.2f}"])
+    print(format_table(
+        ["platform", "hash", "mode", "search (s)", "total (s)"],
+        rows, title="Table 5 (reproduced)"))
+    print()
+    energy_rows = []
+    for label, model in models[:2]:
+        for hash_name in ("sha1", "sha3-256"):
+            timing = model.simulate_search(hash_name, 5)
+            energy_rows.append([label, hash_name, f"{timing.energy_joules:.1f}"])
+    print(format_table(["platform", "hash", "joules"], energy_rows,
+                       title="Table 6 (reproduced)"))
+    print()
+    for h in ("sha1", "sha3-256"):
+        for mode in ("exhaustive", "average"):
+            pts = speedup_curve(h, mode, 3)
+            print(f"Fig 4 {h:9s} {mode:11s}: "
+                  + ", ".join(f"{p.speedup:.2f}x" for p in pts))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.runtime.executor import BatchSearchExecutor
+    from repro.runtime.original_batch import BATCH_KEYGEN_CHOICES, BatchOriginalRBCSearch
+
+    print("hash kernels (seeds/s):")
+    for name in ("sha1", "sha256", "sha3-256"):
+        rate = BatchSearchExecutor(name).throughput_probe(args.samples)
+        print(f"  {name:10s} {rate:14,.0f}")
+    print("key-agile cipher kernels (responses/s):")
+    for name in BATCH_KEYGEN_CHOICES:
+        rate = BatchOriginalRBCSearch(name).throughput_probe(args.samples)
+        print(f"  {name:10s} {rate:14,.0f}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.attack import OpponentSimulator, avalanche_profile
+    from repro.hashes.registry import get_hash
+
+    rng = np.random.default_rng(args.seed)
+    digest = get_hash(args.hash).scalar(rng.bytes(32))
+    simulator = OpponentSimulator(args.hash)
+    estimate = simulator.brute_force(digest, budget_seconds=args.budget, rng=rng)
+    print("opponent brute force:", estimate.summary())
+    mean, std = avalanche_profile(args.hash, samples=100, rng=rng)
+    print(f"avalanche: {mean:.3f} ± {std:.3f} (ideal 0.5)")
+    print(f"server advantage at d=5: {simulator.informed_search_advantage(5):.3g}x")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import render_index
+
+    print(render_index())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Assemble benchmarks/results/*.txt into one markdown report."""
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    sections = sorted(results_dir.glob("*.txt"))
+    if not sections:
+        print("results directory is empty", file=sys.stderr)
+        return 1
+    lines = [
+        "# Reproduction results",
+        "",
+        "Assembled from `benchmarks/results/` — regenerate with "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    for path in sections:
+        lines.append(f"## {path.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    output = pathlib.Path(args.output)
+    output.write_text("\n".join(lines))
+    print(f"wrote {output} ({len(sections)} sections)")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.core.complexity import table1_rows, tractable_distance
+
+    rows = [[r.d, f"{r.exhaustive:,}", f"{r.average:,}"] for r in table1_rows(args.max_d)]
+    print(format_table(["d", "exhaustive", "average"], rows, title="Table 1"))
+    if args.throughput:
+        d = tractable_distance(args.throughput, args.threshold)
+        print(f"\nat {args.throughput:,.0f} hashes/s and T={args.threshold}s: d_max = {d}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RBC-SALTED reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one authentication round")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--distance", type=int, default=2, choices=(1, 2, 3))
+    demo.set_defaults(fn=_cmd_demo)
+
+    tables = sub.add_parser("tables", help="regenerate headline tables")
+    tables.set_defaults(fn=_cmd_tables)
+
+    probe = sub.add_parser("probe", help="measure host kernel throughput")
+    probe.add_argument("--samples", type=int, default=30000)
+    probe.set_defaults(fn=_cmd_probe)
+
+    attack = sub.add_parser("attack", help="opponent simulation")
+    attack.add_argument("--hash", default="sha3-256")
+    attack.add_argument("--budget", type=float, default=1.0)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(fn=_cmd_attack)
+
+    experiments = sub.add_parser("experiments", help="list the experiment index")
+    experiments.set_defaults(fn=_cmd_experiments)
+
+    report = sub.add_parser("report", help="assemble benchmark results")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default="RESULTS.md")
+    report.set_defaults(fn=_cmd_report)
+
+    complexity = sub.add_parser("complexity", help="Table 1 and planning")
+    complexity.add_argument("--max-d", type=int, default=5, dest="max_d")
+    complexity.add_argument("--throughput", type=float, default=None)
+    complexity.add_argument("--threshold", type=float, default=20.0)
+    complexity.set_defaults(fn=_cmd_complexity)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal CLI etiquette.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

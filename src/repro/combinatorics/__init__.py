@@ -1,0 +1,59 @@
+"""Combination generation — the RBC seed-iteration substrate.
+
+The RBC search enumerates, for each Hamming distance ``d``, every way of
+flipping ``d`` of the 256 seed bits: the ``d``-subsets of ``{0, …, 255}``.
+The paper evaluates three generator families (its Section 3.2.1 / Table 4):
+
+* **Gosper's hack** (prior work) — fast on native words, poor on 256-bit
+  multiword values: :mod:`repro.combinatorics.gosper`.
+* **Algorithm 515** (Buckles–Lybanon) — index-based unranking, trivially
+  parallel: :mod:`repro.combinatorics.algorithm515` and the vectorized form
+  in :mod:`repro.combinatorics.ranking`.
+* **Chase's Algorithm 382** — a minimal-change (Gray-code) sequence,
+  sequential but work-minimal, parallelized via checkpointed states:
+  :mod:`repro.combinatorics.algorithm382`.
+
+Algorithm 154 (Mifsud's lexicographic successor) is included as the
+historical baseline the related-work section cites.
+"""
+
+from repro.combinatorics.binomial import (
+    binomial,
+    binomial_table,
+    cumulative_ball_size,
+    exhaustive_seed_count,
+    average_seed_count,
+)
+from repro.combinatorics.iterator_base import CombinationIterator
+from repro.combinatorics.gosper import GosperIterator, gosper_next
+from repro.combinatorics.algorithm154 import Algorithm154Iterator, lexicographic_successor
+from repro.combinatorics.algorithm382 import Algorithm382Iterator, minimal_change_sequence
+from repro.combinatorics.chase382 import Chase382Iterator, chase382_sequence
+from repro.combinatorics.algorithm515 import Algorithm515Iterator, unrank_lexicographic
+from repro.combinatorics.ranking import (
+    rank_lexicographic,
+    unrank_lexicographic_batch,
+    combinations_to_masks,
+)
+
+__all__ = [
+    "binomial",
+    "binomial_table",
+    "cumulative_ball_size",
+    "exhaustive_seed_count",
+    "average_seed_count",
+    "CombinationIterator",
+    "GosperIterator",
+    "gosper_next",
+    "Algorithm154Iterator",
+    "lexicographic_successor",
+    "Algorithm382Iterator",
+    "minimal_change_sequence",
+    "Chase382Iterator",
+    "chase382_sequence",
+    "Algorithm515Iterator",
+    "unrank_lexicographic",
+    "rank_lexicographic",
+    "unrank_lexicographic_batch",
+    "combinations_to_masks",
+]

@@ -1,0 +1,86 @@
+"""Mifsud's Algorithm 154 — lexicographic combination successor.
+
+The earliest of the ordered combination generators the paper's related
+work cites (Mifsud, CACM 1963). Given a combination ``c_0 < … < c_{k-1}``
+it finds the rightmost element that can still be incremented and resets
+the suffix, yielding the next combination in lexicographic order.
+
+Work per step is O(k) in the worst case but O(1) amortized; unlike
+Gosper's hack it operates on index arrays, so seed width is irrelevant.
+It serves as the simple, correct baseline the fancier iterators are
+validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.combinatorics.iterator_base import CombinationIterator
+
+__all__ = ["lexicographic_successor", "Algorithm154Iterator"]
+
+
+def lexicographic_successor(combo: tuple[int, ...], n: int) -> tuple[int, ...] | None:
+    """The lexicographic successor of ``combo`` among k-subsets of {0..n-1}.
+
+    Returns ``None`` when ``combo`` is the last combination.
+    """
+    k = len(combo)
+    c = list(combo)
+    # Rightmost position that can be incremented: c[j] < n - (k - j).
+    j = k - 1
+    while j >= 0 and c[j] == n - k + j:
+        j -= 1
+    if j < 0:
+        return None
+    c[j] += 1
+    for i in range(j + 1, k):
+        c[i] = c[i - 1] + 1
+    return tuple(c)
+
+
+class Algorithm154Iterator(CombinationIterator):
+    """Lexicographic-order combination iterator (Algorithm 154)."""
+
+    def __init__(self, n: int, k: int):
+        super().__init__(n, k)
+        self._combo: tuple[int, ...] = tuple(range(k))
+        self._exhausted = False
+
+    def current(self) -> tuple[int, ...]:
+        """The combination the iterator is positioned on."""
+        return self._combo
+
+    def advance(self) -> bool:
+        """Move to the next combination; False when exhausted."""
+        if self._exhausted:
+            return False
+        nxt = lexicographic_successor(self._combo, self.n)
+        if nxt is None:
+            self._exhausted = True
+            return False
+        self._combo = nxt
+        return True
+
+    def reset(self) -> None:
+        """Return to the first combination of the sequence."""
+        self._combo = tuple(range(self.k))
+        self._exhausted = False
+
+    def state(self) -> tuple:
+        """Opaque, copyable snapshot of the iterator position."""
+        return (self._combo, self._exhausted)
+
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by ``state()``."""
+        combo, exhausted = state
+        if len(combo) != self.k:
+            raise ValueError("state combination has wrong size")
+        self._combo = tuple(combo)
+        self._exhausted = exhausted
+
+    def skip_to(self, rank: int) -> None:
+        # Lexicographic order admits O(k) random access via unranking.
+        """Position on the ``rank``-th combination (random access)."""
+        from repro.combinatorics.ranking import unrank_lexicographic_exact
+
+        self._combo = unrank_lexicographic_exact(self.n, self.k, rank)
+        self._exhausted = False

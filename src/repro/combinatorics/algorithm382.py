@@ -1,0 +1,144 @@
+"""Minimal-change (Gray code) combination sequence — "Algorithm 382".
+
+The paper's best GPU seed iterator is Chase's Algorithm 382: a
+non-recursive minimal-change sequence in which each successive combination
+differs from its predecessor by moving a single element, so the search
+updates its candidate seed with two bit flips instead of rebuilding it.
+Parallelism comes from *checkpointing*: the host enumerates the sequence
+once, snapshots the iterator state at even intervals, and each thread
+resumes from its snapshot (Section 3.2.1).
+
+This module implements the **revolving-door** minimal-change Gray code
+(Knuth TAOCP 7.2.1.3, Algorithm R — the same family as Chase's
+sequence); Chase's Algorithm 382 proper lives in the sibling module
+:mod:`repro.combinatorics.chase382`. The engines default to this order
+because its state is just the combination (O(k) checkpoints vs TWIDDLE's
+O(n) work array). It has the three properties the paper exploits and
+measures:
+
+1. every transition swaps exactly one element (two seed-bit flips);
+2. the successor is computed non-recursively in O(1) amortized time from
+   the combination alone — no auxiliary arrays, so the per-thread "state"
+   is just the current combination (what SALTED-GPU keeps in shared
+   memory, Section 3.2.3);
+3. the full state is checkpointable, enabling the even-workload parallel
+   split.
+
+Chase's specific order additionally bounds each element's move to ≤ 2
+positions; nothing in the RBC search depends on that refinement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.combinatorics.iterator_base import CombinationIterator
+
+__all__ = ["minimal_change_step", "minimal_change_sequence", "Algorithm382Iterator"]
+
+
+def minimal_change_step(c: list[int], n: int) -> bool:
+    """Advance ``c`` (1-indexed semantics stored 0-indexed) in place.
+
+    ``c`` holds a k-combination ``c[0] < c[1] < … < c[k-1]`` of
+    ``{0..n-1}``. Returns ``False`` (leaving ``c`` untouched) when ``c``
+    is the final combination of the revolving-door order.
+    """
+    t = len(c)
+    if t == 0:
+        return False
+    # Knuth 7.2.1.3 Algorithm R, steps R3-R5, with the sentinel
+    # c_{t+1} = n handled inline.  Odd t enters the retry loop at R4,
+    # even t at R5.
+    if t & 1:  # t odd
+        if c[0] + 1 < (c[1] if t > 1 else n):
+            c[0] += 1
+            return True
+        j = 2
+        at_r5 = False
+    else:  # t even
+        if c[0] > 0:
+            c[0] -= 1
+            return True
+        j = 2
+        at_r5 = True
+    while True:
+        if not at_r5:
+            # R4: try to decrease c_j.  (1-indexed c_j is c[j-1].)
+            if j > t:
+                return False
+            if c[j - 1] >= j:
+                c[j - 1] = c[j - 2]
+                c[j - 2] = j - 2
+                return True
+            j += 1
+        at_r5 = False
+        # R5: try to increase c_j.
+        if j > t:
+            return False
+        upper = c[j] if j < t else n
+        if c[j - 1] + 1 < upper:
+            c[j - 2] = c[j - 1]
+            c[j - 1] += 1
+            return True
+        j += 1
+
+
+def minimal_change_sequence(n: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield all k-subsets of {0..n-1} in revolving-door Gray-code order."""
+    if k < 0 or k > n:
+        raise ValueError(f"invalid parameters n={n}, k={k}")
+    if k == 0:
+        yield ()
+        return
+    c = list(range(k))
+    while True:
+        yield tuple(c)
+        if not minimal_change_step(c, n):
+            return
+
+
+class Algorithm382Iterator(CombinationIterator):
+    """Minimal-change combination iterator with checkpointable state.
+
+    The state is the combination itself (plus the exhaustion flag), so
+    :meth:`state`/:meth:`restore` cost O(k) — the property that lets the
+    GPU variant keep per-thread state in shared memory.
+    """
+
+    def __init__(self, n: int, k: int):
+        super().__init__(n, k)
+        self._c = list(range(k))
+        self._exhausted = k == 0
+
+    def current(self) -> tuple[int, ...]:
+        """The combination the iterator is positioned on."""
+        return tuple(self._c)
+
+    def advance(self) -> bool:
+        """Move to the next combination; False when exhausted."""
+        if self._exhausted:
+            return False
+        if not minimal_change_step(self._c, self.n):
+            self._exhausted = True
+            return False
+        return True
+
+    def reset(self) -> None:
+        """Return to the first combination of the sequence."""
+        self._c = list(range(self.k))
+        self._exhausted = self.k == 0
+
+    def state(self) -> tuple:
+        """Opaque, copyable snapshot of the iterator position."""
+        return (tuple(self._c), self._exhausted)
+
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by ``state()``."""
+        combo, exhausted = state
+        if len(combo) != self.k:
+            raise ValueError("state combination has wrong size")
+        if any(combo[i] >= combo[i + 1] for i in range(len(combo) - 1)):
+            raise ValueError("state combination must be strictly increasing")
+        self._c = list(combo)
+        self._exhausted = exhausted

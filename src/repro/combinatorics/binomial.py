@@ -1,0 +1,80 @@
+"""Exact binomial coefficients and RBC search-space sizes.
+
+Implements the complexity math of the paper's Section 2.2:
+
+* Equation 1 — exhaustive upper bound ``u(d) = Σ_{i=0}^{d} C(256, i)``;
+* Equation 3 — average case ``a(d) = Σ_{i=0}^{d-1} C(256, i) + C(256, d)/2``.
+
+All arithmetic is exact Python-integer arithmetic; the values overflow
+64-bit floats' integer range well before ``d`` reaches the seed width.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro._bitutils import SEED_BITS
+
+__all__ = [
+    "binomial",
+    "binomial_table",
+    "cumulative_ball_size",
+    "exhaustive_seed_count",
+    "average_seed_count",
+]
+
+
+@lru_cache(maxsize=None)
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient ``C(n, k)`` (0 when out of range)."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    k = min(k, n - k)
+    result = 1
+    for i in range(1, k + 1):
+        result = result * (n - k + i) // i
+    return result
+
+
+def binomial_table(n_max: int, k_max: int, dtype=object) -> np.ndarray:
+    """Precomputed Pascal table ``T[n, k] = C(n, k)``.
+
+    This is the lookup table the paper's Algorithm-515 GPU variant keeps in
+    device memory to unrank combinations without recomputing binomials.
+    ``dtype=object`` keeps exact integers; pass ``np.uint64`` for the fast
+    table when the values are known to fit (``C(256, 5) < 2**64``).
+    """
+    table = np.zeros((n_max + 1, k_max + 1), dtype=dtype)
+    table[:, 0] = 1
+    for n in range(1, n_max + 1):
+        upper = min(n, k_max)
+        for k in range(1, upper + 1):
+            table[n, k] = table[n - 1, k - 1] + table[n - 1, k]
+    return table
+
+
+def cumulative_ball_size(n: int, d: int) -> int:
+    """Number of points within Hamming distance ``d`` of a fixed ``n``-bit
+    point: ``Σ_{i=0}^{d} C(n, i)``."""
+    if d < 0:
+        raise ValueError("d must be non-negative")
+    return sum(binomial(n, i) for i in range(min(d, n) + 1))
+
+
+def exhaustive_seed_count(d: int, n_bits: int = SEED_BITS) -> int:
+    """Equation 1 — seeds examined by an exhaustive search up to ``d``."""
+    return cumulative_ball_size(n_bits, d)
+
+
+def average_seed_count(d: int, n_bits: int = SEED_BITS) -> int:
+    """Equation 3 — expected seeds examined when the match lies at ``d``.
+
+    The full shells ``0..d-1`` are searched, plus on average half of the
+    ``d`` shell. Matches the paper's Table 1 (integer division mirrors the
+    paper's rounding; for d >= 1 C(256, d) is even whenever d <= 5).
+    """
+    if d < 1:
+        raise ValueError("average case requires d >= 1")
+    return cumulative_ball_size(n_bits, d - 1) + binomial(n_bits, d) // 2

@@ -1,0 +1,187 @@
+"""Chase's Algorithm 382 proper (the TWIDDLE formulation).
+
+Phillip J. Chase, *Algorithm 382: Combinations of M out of N objects*,
+CACM 13(6), 1970. This is the exact algorithm the paper names; the
+widely circulated TWIDDLE formulation (Belmonte) drives it with an
+integer work array ``p`` of ``n + 2`` cells. Each step reports a single
+transposition — "bit ``y`` leaves the combination, bit ``x`` enters" —
+so successive combinations differ by exactly one element: the
+minimal-change property SALTED-GPU exploits to update its candidate
+seed with two XORs.
+
+Relationship to :mod:`repro.combinatorics.algorithm382`: that module
+implements the revolving-door Gray code, a sibling minimal-change order
+with an O(k) state. This one is the historical Algorithm 382 itself,
+with its O(n) work array; both orders are valid seed iterators, and the
+test suite verifies the same contract for each. The iterator here is
+registered as ``"chase-382"`` where generators are selectable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.combinatorics.iterator_base import CombinationIterator
+
+__all__ = ["Twiddle", "chase382_sequence", "Chase382Iterator"]
+
+
+class Twiddle:
+    """The TWIDDLE state machine: one transposition per step."""
+
+    def __init__(self, n: int, k: int):
+        if k < 0 or n < 0 or k > n:
+            raise ValueError(f"invalid combination parameters n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self._p = [0] * (n + 2)
+        self._init_p()
+
+    def _init_p(self) -> None:
+        n, k = self.n, self.k
+        p = self._p
+        p[0] = n + 1
+        for i in range(1, n - k + 1):
+            p[i] = 0
+        for i in range(n - k + 1, n + 1):
+            p[i] = i + k - n
+        p[n + 1] = -2
+        if k == 0:
+            p[1] = 1
+
+    def step(self) -> tuple[int, int] | None:
+        """Advance one combination.
+
+        Returns ``(enter, leave)`` bit indices (0-based), or ``None``
+        when the sequence is exhausted.
+        """
+        p = self._p
+        j = 1
+        while p[j] <= 0:
+            j += 1
+        if p[j - 1] == 0:
+            for i in range(j - 1, 1, -1):
+                p[i] = -1
+            p[j] = 0
+            p[1] = 1
+            return (0, j - 1)
+        if j > 1:
+            p[j - 1] = 0
+        j += 1
+        while p[j] > 0:
+            j += 1
+        k = j - 1
+        i = j
+        while p[i] == 0:
+            p[i] = -1
+            i += 1
+        if p[i] == -1:
+            p[i] = p[k]
+            p[k] = -1
+            return (i - 1, k - 1)
+        if i == p[0]:
+            return None
+        p[j] = p[i]
+        p[i] = 0
+        return (j - 1, i - 1)
+
+    def state(self) -> tuple:
+        """Opaque, copyable snapshot of the iterator position."""
+        return tuple(self._p)
+
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by ``state()``."""
+        if len(state) != self.n + 2:
+            raise ValueError("state has wrong length for this (n, k)")
+        self._p = list(state)
+
+
+def chase382_sequence(n: int, k: int) -> Iterator[tuple[int, ...]]:
+    """All k-subsets of {0..n-1} in Chase's Algorithm-382 order.
+
+    The first combination is the top block ``{n-k, …, n-1}`` (TWIDDLE's
+    convention); every successor differs by one transposition.
+    """
+    if k < 0 or k > n:
+        raise ValueError(f"invalid parameters n={n}, k={k}")
+    if k == 0:
+        yield ()
+        return
+    member = [False] * n
+    for i in range(n - k, n):
+        member[i] = True
+    twiddle = Twiddle(n, k)
+    yield tuple(i for i in range(n) if member[i])
+    while True:
+        move = twiddle.step()
+        if move is None:
+            return
+        enter, leave = move
+        member[enter] = True
+        member[leave] = False
+        yield tuple(i for i in range(n) if member[i])
+
+
+class Chase382Iterator(CombinationIterator):
+    """CombinationIterator over the genuine Chase order.
+
+    State is ``(membership bitmask, p array)`` — O(n), matching the
+    paper's remark that per-thread state for Chase's method is larger
+    than an index (hence the shared-memory optimization of §3.2.3).
+    """
+
+    def __init__(self, n: int, k: int):
+        super().__init__(n, k)
+        self._twiddle = Twiddle(n, k)
+        self._member = [False] * n
+        for i in range(n - k, n):
+            self._member[i] = True
+        self._exhausted = k == 0
+
+    def current(self) -> tuple[int, ...]:
+        """The combination the iterator is positioned on."""
+        return tuple(i for i in range(self.n) if self._member[i])
+
+    def current_mask(self) -> int:
+        """The raw membership bitmask (bit i set = element i chosen)."""
+        mask = 0
+        for i in range(self.n):
+            if self._member[i]:
+                mask |= 1 << i
+        return mask
+
+    def advance(self) -> bool:
+        """Move to the next combination; False when exhausted."""
+        if self._exhausted:
+            return False
+        move = self._twiddle.step()
+        if move is None:
+            self._exhausted = True
+            return False
+        enter, leave = move
+        self._member[enter] = True
+        self._member[leave] = False
+        return True
+
+    def reset(self) -> None:
+        """Return to the first combination of the sequence."""
+        self._twiddle = Twiddle(self.n, self.k)
+        self._member = [False] * self.n
+        for i in range(self.n - self.k, self.n):
+            self._member[i] = True
+        self._exhausted = self.k == 0
+
+    def state(self) -> tuple:
+        """Opaque, copyable snapshot of the iterator position."""
+        return (tuple(self._member), self._twiddle.state(), self._exhausted)
+
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by ``state()``."""
+        member, twiddle_state, exhausted = state
+        if len(member) != self.n:
+            raise ValueError("membership vector has wrong length")
+        if sum(member) != self.k:
+            raise ValueError("membership vector has wrong popcount")
+        self._member = list(member)
+        self._twiddle.restore(twiddle_state)
+        self._exhausted = exhausted

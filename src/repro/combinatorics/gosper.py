@@ -1,0 +1,123 @@
+"""Gosper's hack — the seed iterator used by prior RBC work.
+
+Gosper's hack enumerates all ``k``-bit-set words of width ``n`` in
+increasing numeric order using a handful of word operations::
+
+    u  = v & -v            # lowest set bit
+    w  = v + u             # ripple the lowest run of 1s
+    v' = w | (((v ^ w) >> 2) // u)
+
+On a machine word this is a few instructions. On RBC's 256-bit seeds it
+must run on *multiword* arithmetic (no native 256-bit type exists on
+current GPUs), and the paper's Section 4.5 shows this costs Gosper's hack
+its edge: Chase's minimal-change sequence beats it by 1.29×.
+
+Two variants are provided:
+
+* :class:`GosperIterator` — arbitrary-width version on Python integers
+  (Python's bignums play the role of the multiword emulation).
+* :func:`gosper_next_native` — width-guarded variant that refuses widths
+  above 64 bits, documenting the native-datatype restriction the paper
+  calls out.
+"""
+
+from __future__ import annotations
+
+from repro.combinatorics.iterator_base import CombinationIterator
+
+__all__ = ["gosper_next", "gosper_next_native", "GosperIterator"]
+
+
+def gosper_next(v: int) -> int:
+    """The next integer with the same popcount as ``v`` (Gosper's hack)."""
+    if v <= 0:
+        raise ValueError("Gosper's hack requires a positive value")
+    u = v & -v
+    w = v + u
+    return w | (((v ^ w) >> 2) // u)
+
+
+def gosper_next_native(v: int, width: int = 64) -> int:
+    """Gosper's hack restricted to a native word width.
+
+    Raises ``OverflowError`` if the successor would not fit in ``width``
+    bits — the exact failure mode that forces prior RBC work to emulate
+    256-bit arithmetic with multiple words.
+    """
+    result = gosper_next(v)
+    if result >= (1 << width):
+        raise OverflowError(
+            f"Gosper successor exceeds native {width}-bit width; "
+            "256-bit seeds require multiword emulation"
+        )
+    return result
+
+
+def _mask_to_positions(mask: int, k: int) -> tuple[int, ...]:
+    positions = []
+    bit = 0
+    while mask:
+        if mask & 1:
+            positions.append(bit)
+        mask >>= 1
+        bit += 1
+    if len(positions) != k:
+        raise AssertionError("popcount drifted — Gosper invariant broken")
+    return tuple(positions)
+
+
+class GosperIterator(CombinationIterator):
+    """Enumerate ``k``-subsets of ``{0..n-1}`` via Gosper's hack.
+
+    Combinations appear in *colexicographic* mask order (increasing value
+    of the bit mask), which is also lexicographic order of the reversed
+    position tuples. State is the single integer mask, so checkpointing is
+    trivial — but producing the *rank*-th mask still requires stepping,
+    which is why prior work pre-splits the space by index instead (see the
+    paper's Section 3.2.1).
+    """
+
+    def __init__(self, n: int, k: int):
+        super().__init__(n, k)
+        self._first_mask = (1 << k) - 1
+        self._limit = 1 << n
+        self._mask = self._first_mask
+        self._exhausted = k == 0
+
+    def current(self) -> tuple[int, ...]:
+        """The combination the iterator is positioned on."""
+        if self.k == 0:
+            return ()
+        return _mask_to_positions(self._mask, self.k)
+
+    def current_mask(self) -> int:
+        """The raw bit mask — what the search XORs into the seed."""
+        return self._mask if self.k else 0
+
+    def advance(self) -> bool:
+        """Move to the next combination; False when exhausted."""
+        if self._exhausted or self.k == 0:
+            return False
+        nxt = gosper_next(self._mask)
+        if nxt >= self._limit:
+            self._exhausted = True
+            return False
+        self._mask = nxt
+        return True
+
+    def reset(self) -> None:
+        """Return to the first combination of the sequence."""
+        self._mask = self._first_mask
+        self._exhausted = self.k == 0
+
+    def state(self) -> tuple:
+        """Opaque, copyable snapshot of the iterator position."""
+        return (self._mask, self._exhausted)
+
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by ``state()``."""
+        mask, exhausted = state
+        if self.k and mask.bit_count() != self.k:
+            raise ValueError("state mask has wrong popcount")
+        self._mask = mask
+        self._exhausted = exhausted

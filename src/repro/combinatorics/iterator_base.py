@@ -1,0 +1,124 @@
+"""Common interface for combination iterators.
+
+Every seed-iteration method in the paper is exposed behind one small
+interface so the search engine, the device simulators, and the benchmarks
+can swap generators freely (that swap *is* the paper's Table 4 experiment).
+
+A *combination* is a strictly increasing tuple of ``k`` bit positions drawn
+from ``{0, …, n-1}``. The search flips exactly those bits of the base seed.
+
+Design notes
+------------
+* ``clone()`` + ``state()`` support the paper's Chase-checkpointing scheme:
+  the host enumerates the sequence once, snapshots iterator state at even
+  strides, and hands each "thread" a snapshot to resume from
+  (Section 3.2.1, "Chase's Algorithm 382").
+* ``skip_to(rank)`` is the random-access entry point used by index-based
+  methods (Algorithm 515); sequential methods implement it by stepping,
+  which is exactly the cost asymmetry the paper's Table 4 measures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+__all__ = ["CombinationIterator"]
+
+
+class CombinationIterator(ABC):
+    """Abstract iterator over the ``k``-subsets of ``{0, …, n-1}``."""
+
+    def __init__(self, n: int, k: int):
+        if k < 0 or n < 0 or k > n:
+            raise ValueError(f"invalid combination parameters n={n}, k={k}")
+        self.n = n
+        self.k = k
+
+    @abstractmethod
+    def current(self) -> tuple[int, ...]:
+        """The combination the iterator is positioned on."""
+
+    @abstractmethod
+    def advance(self) -> bool:
+        """Move to the next combination. Returns False when exhausted."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to the first combination of the sequence."""
+
+    @abstractmethod
+    def state(self) -> tuple:
+        """An opaque, copyable snapshot of the iterator position."""
+
+    @abstractmethod
+    def restore(self, state: tuple) -> None:
+        """Resume from a snapshot produced by :meth:`state`."""
+
+    def clone(self) -> "CombinationIterator":
+        """An independent iterator positioned at the same combination."""
+        other = type(self)(self.n, self.k)
+        other.restore(self.state())
+        return other
+
+    def skip_to(self, rank: int) -> None:
+        """Position on the ``rank``-th combination of this sequence.
+
+        Sequential generators step ``rank`` times; random-access generators
+        override this with O(k) work.
+        """
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        self.reset()
+        for _ in range(rank):
+            if not self.advance():
+                raise IndexError(f"rank {rank} beyond end of sequence")
+
+    def checkpoints(self, count: int, total: int | None = None) -> list[tuple]:
+        """Snapshot ``count`` evenly spaced states across the sequence.
+
+        This reproduces the paper's parallelization of Chase's sequence:
+        the returned states partition the sequence into ``count`` roughly
+        equal chunks, each resumable independently. ``total`` defaults to
+        ``C(n, k)``.
+        """
+        from repro.combinatorics.binomial import binomial
+
+        if count < 1:
+            raise ValueError("count must be positive")
+        if total is None:
+            total = binomial(self.n, self.k)
+        if count > total:
+            count = max(total, 1)
+        self.reset()
+        states: list[tuple] = []
+        # Chunk boundaries: state i starts at combination floor(i*total/count).
+        position = 0
+        for i in range(count):
+            boundary = (i * total) // count
+            while position < boundary:
+                if not self.advance():
+                    raise RuntimeError("sequence ended before expected total")
+                position += 1
+            states.append(self.state())
+        self.reset()
+        return states
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        self.reset()
+        if self.k == 0:
+            yield ()
+            return
+        while True:
+            yield self.current()
+            if not self.advance():
+                return
+
+    def take(self, count: int) -> list[tuple[int, ...]]:
+        """The next ``count`` combinations starting from the current one."""
+        out = [self.current()]
+        for _ in range(count - 1):
+            if not self.advance():
+                break
+            out.append(self.current())
+        return out

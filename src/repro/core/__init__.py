@@ -1,0 +1,58 @@
+"""RBC-SALTED core — the paper's primary contribution.
+
+* :mod:`repro.core.complexity` — Equations 1-3 and the tractability
+  argument (server vs opponent search, Table 1);
+* :mod:`repro.core.salting` — the shared salt that decouples the message
+  digest from the final public key (Figure 1 steps 7-8);
+* :mod:`repro.core.search` — Algorithm 1 as a protocol-facing service
+  with the T=20 s authentication threshold;
+* :mod:`repro.core.protocol` — the full RBC-SALTED flow of Figure 1;
+* :mod:`repro.core.original_rbc` — the algorithm-aware baseline (public
+  key generated per candidate) for the Table 7 comparison;
+* :mod:`repro.core.authentication` — the CA/RA bookkeeping around the
+  search (enrollment records, registration updates, retry on timeout).
+"""
+
+from repro.core.complexity import (
+    server_search_space,
+    opponent_search_space,
+    table1_rows,
+    tractable_distance,
+)
+from repro.core.salting import SaltScheme, RotateSalt, XorSalt, HashChainSalt
+from repro.core.search import RBCSearchService, DEFAULT_TIME_THRESHOLD
+from repro.core.protocol import RBCSaltedProtocol, AuthenticationOutcome
+from repro.core.original_rbc import OriginalRBCSearch
+from repro.core.authentication import CertificateAuthority, RegistrationAuthority
+from repro.core.attack import OpponentSimulator, avalanche_profile, digest_key_correlation
+from repro.core.session_keys import (
+    LWESessionKeygen,
+    SessionClient,
+    SessionService,
+    run_session_flow,
+)
+
+__all__ = [
+    "server_search_space",
+    "opponent_search_space",
+    "table1_rows",
+    "tractable_distance",
+    "SaltScheme",
+    "RotateSalt",
+    "XorSalt",
+    "HashChainSalt",
+    "RBCSearchService",
+    "DEFAULT_TIME_THRESHOLD",
+    "RBCSaltedProtocol",
+    "AuthenticationOutcome",
+    "OriginalRBCSearch",
+    "CertificateAuthority",
+    "RegistrationAuthority",
+    "OpponentSimulator",
+    "avalanche_profile",
+    "digest_key_correlation",
+    "LWESessionKeygen",
+    "SessionClient",
+    "SessionService",
+    "run_session_flow",
+]

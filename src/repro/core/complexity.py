@@ -1,0 +1,94 @@
+"""Search-space complexity (paper Section 2.2, Equations 1-3, Table 1).
+
+The asymmetry that makes RBC work: the server knows the enrolled image
+and only explores the Hamming ball of radius ``d`` around it (Equation 1,
+tractable for small ``d``); an opponent without the image faces the full
+``2^256`` space (Equation 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._bitutils import SEED_BITS
+from repro.combinatorics.binomial import (
+    average_seed_count,
+    binomial,
+    exhaustive_seed_count,
+)
+
+__all__ = [
+    "server_search_space",
+    "opponent_search_space",
+    "table1_rows",
+    "Table1Row",
+    "tractable_distance",
+]
+
+
+def server_search_space(d: int, n_bits: int = SEED_BITS, average: bool = False) -> int:
+    """Seeds the server examines searching up to distance ``d``.
+
+    Equation 1 (exhaustive) or Equation 3 (average case).
+    """
+    if average:
+        return average_seed_count(d, n_bits)
+    return exhaustive_seed_count(d, n_bits)
+
+
+def opponent_search_space(n_bits: int = SEED_BITS) -> int:
+    """Equation 2 — the opponent's worst case, ``2^n``."""
+    return 1 << n_bits
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1."""
+
+    d: int
+    exhaustive: int
+    average: int
+
+
+def table1_rows(max_d: int = 5, n_bits: int = SEED_BITS) -> list[Table1Row]:
+    """The rows of Table 1: seeds searched for d = 1..max_d."""
+    return [
+        Table1Row(
+            d=d,
+            exhaustive=exhaustive_seed_count(d, n_bits),
+            average=average_seed_count(d, n_bits),
+        )
+        for d in range(1, max_d + 1)
+    ]
+
+
+def tractable_distance(
+    throughput_hashes_per_second: float,
+    time_threshold: float,
+    n_bits: int = SEED_BITS,
+    average: bool = False,
+) -> int:
+    """Largest ``d`` whose search fits in ``time_threshold`` seconds.
+
+    The paper's planning rule (Section 3.1): "using benchmarks, we
+    compute the largest value of d that yields a latency <= T".
+    """
+    if throughput_hashes_per_second <= 0:
+        raise ValueError("throughput must be positive")
+    budget = throughput_hashes_per_second * time_threshold
+    d = 0
+    while True:
+        next_cost = (
+            average_seed_count(d + 1, n_bits)
+            if average
+            else exhaustive_seed_count(d + 1, n_bits)
+        )
+        if next_cost > budget:
+            return d
+        d += 1
+        if d >= n_bits:
+            return d
+
+
+def shell_size(d: int, n_bits: int = SEED_BITS) -> int:
+    """Number of seeds at exactly distance ``d`` (one search shell)."""
+    return binomial(n_bits, d)

@@ -1,0 +1,120 @@
+"""SALTED-APU device model (GSI Gemini associative processing unit).
+
+The APU's defining constraint is *structural*: processing elements are
+carved out of 16-bit bit-processors (BPs), so the PE count is inversely
+proportional to the algorithm's state footprint — 2 BPs per SHA-1 PE
+gives 65,536 PEs; 5 BPs per SHA-3 PE gives 26,176 (paper Section 3.3).
+That single fact drives the paper's APU results: near-GPU throughput for
+SHA-1, a ~3x deficit for SHA-3.
+
+The model executes that structure: PE allocation from the bank geometry,
+per-PE throughput anchors, batch-of-256 seed permutation between
+associative-memory exit-flag checks, and the energy profile of
+compute-in-memory (low, flat power).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.combinatorics.binomial import (
+    average_seed_count,
+    binomial,
+    exhaustive_seed_count,
+)
+from repro.devices.base import DeviceModel, DeviceSpec, SearchTiming
+from repro.devices.calibration import (
+    APU_ACTIVE_WATTS,
+    APU_BATCH_SEEDS,
+    APU_PE_THROUGHPUT,
+    PLATFORM_B_APU,
+    throughput_for,
+)
+from repro.hashes.registry import get_hash
+
+__all__ = ["APUModel"]
+
+
+class APUModel(DeviceModel):
+    """Analytic Gemini-APU model for the RBC-SALTED search."""
+
+    #: Chip geometry (paper Figure 2): 4 cores x 16 banks x 2048 BPs.
+    CORES = 4
+    BANKS_PER_CORE = 16
+    BPS_PER_BANK = 2048
+
+    def __init__(self, spec: DeviceSpec = PLATFORM_B_APU, seed_bits: int = 256,
+                 num_apus: int = 1):
+        self.spec = spec
+        self.seed_bits = seed_bits
+        if num_apus < 1:
+            raise ValueError("num_apus must be positive")
+        self.num_apus = num_apus
+
+    def pe_count(self, hash_name: str) -> int:
+        """PEs available for ``hash_name`` given its BP footprint."""
+        bps = get_hash(hash_name).apu_bps_per_pe
+        per_bank = self.BPS_PER_BANK // bps
+        return self.CORES * self.BANKS_PER_CORE * per_bank * self.num_apus
+
+    def device_throughput(self, hash_name: str) -> float:
+        """Whole-chip seeds/second for ``hash_name``."""
+        return self.pe_count(hash_name) * throughput_for(
+            APU_PE_THROUGHPUT, hash_name
+        )
+
+    def _seeds(self, distance: int, mode: str) -> int:
+        if mode == "exhaustive":
+            return exhaustive_seed_count(distance, self.seed_bits)
+        return average_seed_count(distance, self.seed_bits)
+
+    def search_time(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+    ) -> float:
+        """Search-only seconds up to ``distance``.
+
+        Work is quantized to startup-combination batches: each PE loads a
+        checkpoint, generates :data:`APU_BATCH_SEEDS` permutations, then
+        consults the exit flag — so per shell, every PE processes a whole
+        number of batches (paper Section 3.3).
+        """
+        self._check_mode(mode)
+        pes = self.pe_count(hash_name)
+        per_pe_rate = throughput_for(APU_PE_THROUGHPUT, hash_name)
+        total = 0.0
+        for shell_distance in range(1, distance + 1):
+            shell = binomial(self.seed_bits, shell_distance)
+            if mode == "average" and shell_distance == distance:
+                shell //= 2
+            per_pe = math.ceil(shell / pes)
+            # Batch quantization: finish the current 256-permutation batch
+            # before the flag check can stop the shell.
+            per_pe_batches = math.ceil(per_pe / APU_BATCH_SEEDS)
+            total += per_pe_batches * APU_BATCH_SEEDS / per_pe_rate
+        return total
+
+    def simulate_search(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+        **kwargs,
+    ) -> SearchTiming:
+        """Full timing record including the compute-in-memory energy."""
+        seconds = self.search_time(hash_name, distance, mode, **kwargs)
+        watts = throughput_for(APU_ACTIVE_WATTS, hash_name) * self.num_apus
+        return SearchTiming(
+            device=self.spec.name if self.num_apus == 1
+            else f"{self.num_apus}x{self.spec.name}",
+            hash_name=hash_name,
+            distance=distance,
+            mode=mode,
+            seeds_searched=self._seeds(distance, mode),
+            search_seconds=seconds,
+            kernels_launched=0,
+            energy_joules=watts * seconds,
+            average_watts=watts,
+        )

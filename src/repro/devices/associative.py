@@ -1,0 +1,223 @@
+"""Functional simulator of an associative (compute-in-memory) processor.
+
+The GSI Gemini APU computes by applying boolean operations *across bit
+columns* of a wide memory: every processing element (PE) owns a slice of
+rows, and one instruction updates one bit column of every PE at once.
+Word-level arithmetic is therefore *bit-serial*: an XOR of two 32-bit
+words costs 32 column operations, and an addition costs a ripple-carry
+loop — while rotations are free (column renaming). This inverts the
+cost model of conventional CPUs and is exactly why hash choice matters
+so much on the APU.
+
+:class:`AssociativeProcessor` models that machine faithfully enough to
+*run real hash functions*: registers are named bit columns (NumPy bool
+arrays of shape ``(num_pes,)``), instructions are column-wise boolean
+ops, and the simulator counts column operations and peak live columns —
+the two quantities that determine APU throughput (ops -> cycles) and PE
+allocation (columns -> bit-processors per PE, the paper's Section 3.3
+resource metric).
+
+The bit-sliced SHA-1 and Keccak implementations built on top
+(:mod:`repro.devices.bitserial`) are validated against ``hashlib``, so
+the op counts are those of genuinely working hardware-level programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AssociativeProcessor", "BitColumnWord"]
+
+
+class BitColumnWord:
+    """A machine word stored as ``width`` named bit columns.
+
+    Column ``i`` holds bit ``i`` (LSB first) of the word in every PE.
+    Rotation returns a *view* with permuted column references — zero
+    machine operations, like re-addressing columns on real hardware.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: list[np.ndarray]):
+        self.columns = columns
+
+    @property
+    def width(self) -> int:
+        """Bit width of this word."""
+        return len(self.columns)
+
+    def rotl(self, shift: int) -> "BitColumnWord":
+        """Rotate left by renaming columns (free on the APU)."""
+        width = self.width
+        shift %= width
+        # Bit i of the result is bit (i - shift) mod width of the input.
+        return BitColumnWord(
+            [self.columns[(i - shift) % width] for i in range(width)]
+        )
+
+    def rotr(self, shift: int) -> "BitColumnWord":
+        """Rotate right by renaming columns (free on the APU)."""
+        return self.rotl(-shift)
+
+    def shr(self, shift: int, zero: np.ndarray) -> "BitColumnWord":
+        """Logical shift right; vacated high columns read the zero column."""
+        width = self.width
+        if shift < 0 or shift > width:
+            raise ValueError("bad shift")
+        return BitColumnWord(
+            [
+                self.columns[i + shift] if i + shift < width else zero
+                for i in range(width)
+            ]
+        )
+
+
+class AssociativeProcessor:
+    """``num_pes`` parallel processing elements over named bit columns."""
+
+    def __init__(self, num_pes: int):
+        if num_pes < 1:
+            raise ValueError("need at least one PE")
+        self.num_pes = num_pes
+        self.op_count = 0
+        self._live_columns = 0
+        self.peak_columns = 0
+        self._zero = np.zeros(num_pes, dtype=bool)
+
+    # -- column allocation -------------------------------------------------
+
+    def _new_column(self, values: np.ndarray | None = None) -> np.ndarray:
+        self._live_columns += 1
+        self.peak_columns = max(self.peak_columns, self._live_columns)
+        if values is None:
+            return np.zeros(self.num_pes, dtype=bool)
+        return values.astype(bool).copy()
+
+    def free_word(self, word: BitColumnWord) -> None:
+        """Release a word's columns (register reuse on real hardware)."""
+        self._live_columns -= word.width
+        word.columns = []
+
+    @property
+    def zero_column(self) -> np.ndarray:
+        """A shared all-zero column (not counted as state)."""
+        return self._zero
+
+    # -- data movement -------------------------------------------------------
+
+    def load_words(self, values: np.ndarray, width: int) -> BitColumnWord:
+        """Load per-PE integers into a new bit-column word."""
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.num_pes,):
+            raise ValueError(f"expected ({self.num_pes},) values")
+        columns = [
+            self._new_column((values >> np.uint64(i)) & np.uint64(1) != 0)
+            for i in range(width)
+        ]
+        # One column write per bit.
+        self.op_count += width
+        return BitColumnWord(columns)
+
+    def read_words(self, word: BitColumnWord) -> np.ndarray:
+        """Read a bit-column word back into per-PE integers."""
+        out = np.zeros(self.num_pes, dtype=np.uint64)
+        for i, column in enumerate(word.columns):
+            out |= column.astype(np.uint64) << np.uint64(i)
+        return out
+
+    def constant(self, value: int, width: int) -> BitColumnWord:
+        """A word holding the same constant in every PE."""
+        columns = []
+        for i in range(width):
+            bit = (value >> i) & 1
+            columns.append(
+                self._new_column(
+                    np.ones(self.num_pes, dtype=bool) if bit else None
+                )
+            )
+        self.op_count += width
+        return BitColumnWord(columns)
+
+    # -- boolean column instructions ------------------------------------------
+
+    def _emit(self, count: int = 1) -> None:
+        self.op_count += count
+
+    def xor(self, a: BitColumnWord, b: BitColumnWord) -> BitColumnWord:
+        """Column-wise XOR (1 op per bit)."""
+        self._check(a, b)
+        self._emit(a.width)
+        return BitColumnWord(
+            [self._new_column(x ^ y) for x, y in zip(a.columns, b.columns)]
+        )
+
+    def and_(self, a: BitColumnWord, b: BitColumnWord) -> BitColumnWord:
+        """Column-wise AND (1 op per bit)."""
+        self._check(a, b)
+        self._emit(a.width)
+        return BitColumnWord(
+            [self._new_column(x & y) for x, y in zip(a.columns, b.columns)]
+        )
+
+    def or_(self, a: BitColumnWord, b: BitColumnWord) -> BitColumnWord:
+        """Column-wise OR (1 op per bit)."""
+        self._check(a, b)
+        self._emit(a.width)
+        return BitColumnWord(
+            [self._new_column(x | y) for x, y in zip(a.columns, b.columns)]
+        )
+
+    def not_(self, a: BitColumnWord) -> BitColumnWord:
+        """Column-wise NOT (1 op per bit)."""
+        self._emit(a.width)
+        return BitColumnWord([self._new_column(~x) for x in a.columns])
+
+    def mux(self, sel: BitColumnWord, a: BitColumnWord, b: BitColumnWord) -> BitColumnWord:
+        """Per-bit select: ``(sel & a) | (~sel & b)`` fused (2 ops/bit)."""
+        self._check(a, b)
+        self._check(a, sel)
+        self._emit(2 * a.width)
+        return BitColumnWord(
+            [
+                self._new_column((s & x) | (~s & y))
+                for s, x, y in zip(sel.columns, a.columns, b.columns)
+            ]
+        )
+
+    def add(self, a: BitColumnWord, b: BitColumnWord) -> BitColumnWord:
+        """Bit-serial ripple-carry addition modulo 2^width.
+
+        Per bit: sum = a ^ b ^ carry; carry' = majority(a, b, carry) —
+        5 column operations per bit, the dominant cost of SHA-1/SHA-2 on
+        associative hardware.
+        """
+        self._check(a, b)
+        width = a.width
+        carry = self._zero
+        out = []
+        for x, y in zip(a.columns, b.columns):
+            partial = x ^ y
+            out.append(self._new_column(partial ^ carry))
+            carry = (x & y) | (partial & carry)
+            self._emit(5)
+        return BitColumnWord(out)
+
+    def _check(self, a: BitColumnWord, b: BitColumnWord) -> None:
+        if a.width != b.width:
+            raise ValueError(f"width mismatch {a.width} != {b.width}")
+
+    # -- accounting ------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the op counter; peak tracks from the current state."""
+        self.op_count = 0
+        self.peak_columns = self._live_columns
+
+    def stats(self) -> dict[str, int]:
+        """Current op and column accounting."""
+        return {
+            "op_count": self.op_count,
+            "live_columns": self._live_columns,
+            "peak_columns": self.peak_columns,
+        }

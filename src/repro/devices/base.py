@@ -1,0 +1,72 @@
+"""Common device-model abstractions."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "SearchTiming", "DeviceModel"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one device (paper Table 3 rows)."""
+
+    name: str
+    model: str
+    cores: int
+    clock_mhz: float
+    memory_gib: float
+    idle_watts: float
+    max_watts: float
+
+
+@dataclass(frozen=True)
+class SearchTiming:
+    """Result of one simulated RBC search."""
+
+    device: str
+    hash_name: str
+    distance: int
+    mode: str  # "exhaustive" or "average"
+    seeds_searched: int
+    search_seconds: float
+    kernels_launched: int
+    energy_joules: float
+    average_watts: float
+
+    @property
+    def throughput(self) -> float:
+        """Seeds per second over the whole search."""
+        return self.seeds_searched / self.search_seconds
+
+
+class DeviceModel(ABC):
+    """A simulated accelerator that can time an RBC search."""
+
+    spec: DeviceSpec
+
+    @abstractmethod
+    def search_time(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+        **kwargs,
+    ) -> float:
+        """Modeled search-only seconds for a full search up to ``distance``."""
+
+    @abstractmethod
+    def simulate_search(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+        **kwargs,
+    ) -> SearchTiming:
+        """Full timing record including seeds, kernels, and energy."""
+
+    @staticmethod
+    def _check_mode(mode: str) -> None:
+        if mode not in ("exhaustive", "average"):
+            raise ValueError(f"mode must be 'exhaustive' or 'average', got {mode!r}")

@@ -1,0 +1,227 @@
+"""Bit-sliced SHA-1 and Keccak on the associative processor.
+
+These are real, working hash implementations written in the associative
+machine's instruction set (column-wise boolean ops + bit-serial adds),
+validated against ``hashlib``. Running them yields the two quantities
+that drive the paper's APU results *from first principles*:
+
+* **column-operation counts** per hash — the cycle-cost model: SHA-1 is
+  adder-dominated (5 ops per bit per addition), Keccak is XOR/AND-only
+  but has 4x the state width;
+* **peak live columns** per PE — the bit-processor footprint that
+  determines how many PEs fit on the chip (Section 3.3's 65k-vs-26k).
+
+The bench ``bench_ext_bitserial`` compares the emergent SHA-1:SHA-3 cost
+ratio with the ratio calibrated from the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._bitutils import SEED_WORDS64
+from repro.devices.associative import AssociativeProcessor, BitColumnWord
+from repro.hashes.sha1 import SHA1
+from repro.hashes.sha3 import ROTATION_OFFSETS, ROUND_CONSTANTS
+
+__all__ = ["sha1_bitserial", "sha3_256_bitserial", "hash_cost_profile"]
+
+_SHA1_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _seed_words_to_msg32(words: np.ndarray) -> list[np.ndarray]:
+    """``(N, 4)`` uint64 seeds -> 8 big-endian uint32 message word arrays."""
+    words = np.asarray(words, dtype=np.uint64)
+    msg = []
+    for i in range(SEED_WORDS64):
+        w = words[:, SEED_WORDS64 - 1 - i]
+        msg.append((w >> np.uint64(32)).astype(np.uint64))
+        msg.append((w & np.uint64(0xFFFFFFFF)).astype(np.uint64))
+    return msg
+
+
+def sha1_bitserial(
+    proc: AssociativeProcessor, seed_words: np.ndarray
+) -> np.ndarray:
+    """SHA-1 of N 256-bit seeds, executed on the associative machine.
+
+    Returns ``(N, 5)`` uint32 digest words (same layout as the batch
+    kernel). One "PE" per row; all rows advance in lockstep, as on the
+    real chip.
+    """
+    msg32 = _seed_words_to_msg32(seed_words)
+    n = proc.num_pes
+    if msg32[0].shape[0] != n:
+        raise ValueError("seed batch size must equal the PE count")
+
+    # Fixed padding for 32-byte messages (Section 3.2.2 applies here too).
+    schedule: list[BitColumnWord] = []
+    for w in msg32:
+        schedule.append(proc.load_words(w, 32))
+    schedule.append(proc.constant(0x80000000, 32))
+    for _ in range(6):
+        schedule.append(proc.constant(0, 32))
+    schedule.append(proc.constant(256, 32))
+
+    h_init = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+    a, b, c, d, e = (proc.constant(v, 32) for v in h_init)
+    k_words = [proc.constant(k, 32) for k in _SHA1_K]
+
+    w_ring = list(schedule)  # 16-deep ring buffer
+    for t in range(80):
+        idx = t & 15
+        if t >= 16:
+            x1 = proc.xor(w_ring[(t - 3) & 15], w_ring[(t - 8) & 15])
+            x2 = proc.xor(w_ring[(t - 14) & 15], w_ring[idx])
+            x3 = proc.xor(x1, x2)
+            wt = x3.rotl(1)
+            proc.free_word(x1)
+            proc.free_word(x2)
+            proc.free_word(w_ring[idx])
+            w_ring[idx] = wt
+        wt = w_ring[idx]
+
+        if t < 20:
+            # Choice: (b & c) | (~b & d) as a fused mux.
+            f = proc.mux(b, c, d)
+        elif t < 40 or t >= 60:
+            f1 = proc.xor(b, c)
+            f = proc.xor(f1, d)
+            proc.free_word(f1)
+        else:
+            # Majority: (b & c) | (b & d) | (c & d).
+            bc = proc.and_(b, c)
+            bd = proc.and_(b, d)
+            cd = proc.and_(c, d)
+            m1 = proc.or_(bc, bd)
+            f = proc.or_(m1, cd)
+            for word in (bc, bd, cd, m1):
+                proc.free_word(word)
+
+        s1 = proc.add(a.rotl(5), f)
+        s2 = proc.add(s1, e)
+        s3 = proc.add(s2, k_words[t // 20])
+        tmp = proc.add(s3, wt)
+        for word in (f, s1, s2, s3):
+            proc.free_word(word)
+        proc.free_word(e)
+        e, d, c, b, a = d, c, b.rotl(30), a, tmp
+
+    out = np.empty((n, 5), dtype=np.uint32)
+    for i, (state, init) in enumerate(zip((a, b, c, d, e), h_init)):
+        init_word = proc.constant(init, 32)
+        final = proc.add(state, init_word)
+        out[:, i] = proc.read_words(final).astype(np.uint32)
+        proc.free_word(init_word)
+        proc.free_word(final)
+        proc.free_word(state)
+    for word in k_words + w_ring:
+        proc.free_word(word)
+    return out
+
+
+def sha3_256_bitserial(
+    proc: AssociativeProcessor, seed_words: np.ndarray
+) -> np.ndarray:
+    """SHA3-256 of N 256-bit seeds on the associative machine.
+
+    Returns ``(N, 4)`` uint64 digest words (batch-kernel layout). Note
+    what the machine makes cheap and dear: every rho/pi rotation is free
+    column renaming, chi is pure boolean, there are *no adders at all* —
+    but the state occupies 1600 live columns against SHA-1's ~700.
+    """
+    words = np.asarray(seed_words, dtype=np.uint64)
+    n = proc.num_pes
+    if words.shape != (n, SEED_WORDS64):
+        raise ValueError("seed batch size must equal the PE count")
+
+    lanes: list[BitColumnWord] = []
+    for j in range(SEED_WORDS64):
+        lanes.append(proc.load_words(words[:, SEED_WORDS64 - 1 - j].byteswap(), 64))
+    lanes.append(proc.constant(0x06, 64))
+    for _ in range(5, 16):
+        lanes.append(proc.constant(0, 64))
+    lanes.append(proc.constant(0x8000000000000000, 64))
+    for _ in range(17, 25):
+        lanes.append(proc.constant(0, 64))
+
+    for rc in ROUND_CONSTANTS:
+        # Theta.
+        c_cols = []
+        for x in range(5):
+            t1 = proc.xor(lanes[x], lanes[x + 5])
+            t2 = proc.xor(t1, lanes[x + 10])
+            t3 = proc.xor(t2, lanes[x + 15])
+            c_x = proc.xor(t3, lanes[x + 20])
+            for word in (t1, t2, t3):
+                proc.free_word(word)
+            c_cols.append(c_x)
+        d_cols = []
+        for x in range(5):
+            d_cols.append(proc.xor(c_cols[(x - 1) % 5], c_cols[(x + 1) % 5].rotl(1)))
+        for word in c_cols:
+            proc.free_word(word)
+        for x in range(5):
+            for y in range(5):
+                new = proc.xor(lanes[x + 5 * y], d_cols[x])
+                proc.free_word(lanes[x + 5 * y])
+                lanes[x + 5 * y] = new
+        for word in d_cols:
+            proc.free_word(word)
+        # Rho + Pi: pure renaming (free).
+        b_lanes: list[BitColumnWord | None] = [None] * 25
+        for x in range(5):
+            for y in range(5):
+                b_lanes[y + 5 * ((2 * x + 3 * y) % 5)] = lanes[x + 5 * y].rotl(
+                    ROTATION_OFFSETS[x][y]
+                )
+        # Chi.
+        new_lanes: list[BitColumnWord] = [None] * 25  # type: ignore[list-item]
+        for y in range(5):
+            row = [b_lanes[x + 5 * y] for x in range(5)]
+            for x in range(5):
+                inverted = proc.not_(row[(x + 1) % 5])
+                masked = proc.and_(inverted, row[(x + 2) % 5])
+                new_lanes[x + 5 * y] = proc.xor(row[x], masked)
+                proc.free_word(inverted)
+                proc.free_word(masked)
+        for lane in lanes:
+            proc.free_word(lane)
+        lanes = new_lanes
+        # Iota: flip the RC's set bit-columns of lane 0 in place.
+        set_bits = [i for i in range(64) if (rc >> i) & 1]
+        for i in set_bits:
+            lanes[0].columns[i] = ~lanes[0].columns[i]
+        proc.op_count += len(set_bits)
+
+    out = np.empty((n, 4), dtype=np.uint64)
+    for j in range(4):
+        out[:, j] = proc.read_words(lanes[j])
+    for lane in lanes:
+        proc.free_word(lane)
+    return out
+
+
+def hash_cost_profile(num_pes: int = 4, rng_seed: int = 0) -> dict[str, dict[str, float]]:
+    """Measured column-op counts and footprints for both hashes.
+
+    Returns per-hash: ``ops_per_hash`` (column operations) and
+    ``peak_columns`` (live bit columns = 16-bit BPs x 16 needed per PE).
+    """
+    rng = np.random.default_rng(rng_seed)
+    seeds = rng.integers(0, 1 << 63, size=(num_pes, 4), dtype=np.int64).astype(np.uint64)
+
+    profile: dict[str, dict[str, float]] = {}
+    proc = AssociativeProcessor(num_pes)
+    sha1_bitserial(proc, seeds)
+    profile["sha1"] = {
+        "ops_per_hash": proc.op_count,
+        "peak_columns": proc.peak_columns,
+    }
+    proc = AssociativeProcessor(num_pes)
+    sha3_256_bitserial(proc, seeds)
+    profile["sha3-256"] = {
+        "ops_per_hash": proc.op_count,
+        "peak_columns": proc.peak_columns,
+    }
+    return profile

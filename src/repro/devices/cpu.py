@@ -1,0 +1,123 @@
+"""SALTED-CPU device model (dual EPYC 7542, OpenMP-style).
+
+The CPU executes Algorithm 1 exactly as written: ``p`` software threads,
+each assigned ``C(256, d)/p`` seeds per shell, a main-memory exit flag.
+The model is a per-core throughput anchor plus an Amdahl serial fraction
+calibrated from the paper's reported 59x / 63x speedups on 64 cores —
+near-perfect scaling, which Section 5 cites as motivation for multi-node
+MPI scaling (implemented here in :meth:`CPUModel.cluster_time` as the
+paper's future-work extension, using the same per-node efficiency)."""
+
+from __future__ import annotations
+
+from repro.combinatorics.binomial import (
+    average_seed_count,
+    binomial,
+    exhaustive_seed_count,
+)
+from repro.devices.base import DeviceModel, DeviceSpec, SearchTiming
+from repro.devices.calibration import (
+    CPU_CORE_THROUGHPUT,
+    CPU_SERIAL_FRACTION,
+    PLATFORM_A_CPU,
+    throughput_for,
+)
+
+__all__ = ["CPUModel"]
+
+
+class CPUModel(DeviceModel):
+    """Analytic multicore-CPU model for the RBC-SALTED search."""
+
+    def __init__(self, spec: DeviceSpec = PLATFORM_A_CPU, seed_bits: int = 256):
+        self.spec = spec
+        self.seed_bits = seed_bits
+
+    def _seeds(self, distance: int, mode: str) -> int:
+        if mode == "exhaustive":
+            return exhaustive_seed_count(distance, self.seed_bits)
+        return average_seed_count(distance, self.seed_bits)
+
+    def single_core_time(self, hash_name: str, distance: int, mode: str = "exhaustive") -> float:
+        """Sequential-baseline seconds (p = 1)."""
+        self._check_mode(mode)
+        rate = throughput_for(CPU_CORE_THROUGHPUT, hash_name)
+        return self._seeds(distance, mode) / rate
+
+    def search_time(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+        threads: int | None = None,
+    ) -> float:
+        """Search-only seconds on ``threads`` cores (Amdahl-scaled)."""
+        self._check_mode(mode)
+        p = threads if threads is not None else self.spec.cores
+        if p < 1:
+            raise ValueError("threads must be positive")
+        serial_fraction = throughput_for(CPU_SERIAL_FRACTION, hash_name)
+        t1 = self.single_core_time(hash_name, distance, mode)
+        return t1 * (serial_fraction + (1.0 - serial_fraction) / p)
+
+    def speedup(self, hash_name: str, threads: int, distance: int = 5) -> float:
+        """Strong-scaling speedup over one core (Section 4.3)."""
+        return self.single_core_time(hash_name, distance) / self.search_time(
+            hash_name, distance, threads=threads
+        )
+
+    def cluster_time(
+        self,
+        hash_name: str,
+        distance: int,
+        nodes: int,
+        mode: str = "exhaustive",
+        threads_per_node: int | None = None,
+        network_overhead_seconds: float = 0.05,
+    ) -> float:
+        """Paper future work: distribute shells across MPI-style nodes.
+
+        Each node takes a ``1/nodes`` rank slice of every shell; the
+        per-node time follows :meth:`search_time`; a per-node network
+        cost covers the scatter of checkpoints and the gather of results
+        (modeled after Philabaum et al.'s distributed-memory engine).
+        """
+        if nodes < 1:
+            raise ValueError("nodes must be positive")
+        p = threads_per_node if threads_per_node is not None else self.spec.cores
+        serial_fraction = throughput_for(CPU_SERIAL_FRACTION, hash_name)
+        t1 = self.single_core_time(hash_name, distance, mode)
+        per_node = (t1 / nodes) * (serial_fraction + (1.0 - serial_fraction) / p)
+        return per_node + network_overhead_seconds * (nodes - 1)
+
+    def simulate_search(
+        self,
+        hash_name: str,
+        distance: int,
+        mode: str = "exhaustive",
+        **kwargs,
+    ) -> SearchTiming:
+        """Full timing record; CPU power uses the spec's active envelope."""
+        seconds = self.search_time(hash_name, distance, mode, **kwargs)
+        threads = kwargs.get("threads") or self.spec.cores
+        # Linear idle->max interpolation by core utilization.
+        watts = self.spec.idle_watts + (
+            self.spec.max_watts - self.spec.idle_watts
+        ) * min(1.0, threads / self.spec.cores)
+        return SearchTiming(
+            device=self.spec.name,
+            hash_name=hash_name,
+            distance=distance,
+            mode=mode,
+            seeds_searched=self._seeds(distance, mode),
+            search_seconds=seconds,
+            kernels_launched=0,
+            energy_joules=watts * seconds,
+            average_watts=watts,
+        )
+
+    def shell_partition(self, distance: int, threads: int) -> list[tuple[int, int]]:
+        """Per-thread rank ranges for one shell (Algorithm 1 line 10)."""
+        from repro.runtime.partition import partition_ranks
+
+        return partition_ranks(binomial(self.seed_bits, distance), threads)

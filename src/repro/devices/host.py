@@ -1,0 +1,133 @@
+"""A device model calibrated to *this host's* measured kernels.
+
+The paper-calibrated models answer "what did the authors' hardware do";
+this one answers "what can the machine you are on do": it probes the
+real vectorized kernels, wraps the measurements in the same
+:class:`~repro.devices.base.DeviceModel` interface, and thereby lets all
+downstream machinery — Table 5-style comparisons, tractable-d planning,
+the capacity model — run against live numbers.
+
+Because the engine really executes, ``search_time`` here is a
+*prediction from measured throughput* and ``verify_prediction`` checks
+it against an actual timed search at reduced scale.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.combinatorics.binomial import average_seed_count, exhaustive_seed_count
+from repro.devices.base import DeviceModel, DeviceSpec, SearchTiming
+from repro.runtime.executor import BatchSearchExecutor
+
+__all__ = ["HostDeviceModel"]
+
+
+class HostDeviceModel(DeviceModel):
+    """This machine, measured: NumPy lanes as the 'accelerator'."""
+
+    def __init__(
+        self,
+        hash_names: tuple[str, ...] = ("sha1", "sha256", "sha3-256", "sha512"),
+        probe_seeds: int = 30000,
+        batch_size: int = 16384,
+        seed_bits: int = 256,
+    ):
+        self.seed_bits = seed_bits
+        self.batch_size = batch_size
+        self.spec = DeviceSpec(
+            name="Host",
+            model="NumPy vector lanes",
+            cores=multiprocessing.cpu_count(),
+            clock_mhz=0.0,
+            memory_gib=0.0,
+            idle_watts=0.0,
+            max_watts=0.0,
+        )
+        self._throughput: dict[str, float] = {}
+        for name in hash_names:
+            executor = BatchSearchExecutor(name, batch_size=batch_size)
+            # Warm-up then probe.
+            executor.throughput_probe(min(2000, probe_seeds))
+            self._throughput[executor.algo.name] = executor.throughput_probe(
+                probe_seeds
+            )
+
+    @property
+    def throughput(self) -> dict[str, float]:
+        """Measured hashes/second per algorithm."""
+        return dict(self._throughput)
+
+    def _rate(self, hash_name: str) -> float:
+        from repro.hashes.registry import get_hash
+
+        canonical = get_hash(hash_name).name
+        if canonical not in self._throughput:
+            raise KeyError(f"hash {hash_name!r} was not probed")
+        return self._throughput[canonical]
+
+    def _seeds(self, distance: int, mode: str) -> int:
+        if mode == "exhaustive":
+            return exhaustive_seed_count(distance, self.seed_bits)
+        return average_seed_count(distance, self.seed_bits)
+
+    def search_time(
+        self, hash_name: str, distance: int, mode: str = "exhaustive"
+    ) -> float:
+        """Predicted search seconds from the measured throughput."""
+        self._check_mode(mode)
+        return self._seeds(distance, mode) / self._rate(hash_name)
+
+    def simulate_search(
+        self, hash_name: str, distance: int, mode: str = "exhaustive", **kwargs
+    ) -> SearchTiming:
+        """Timing record from the measured host throughput."""
+        seconds = self.search_time(hash_name, distance, mode)
+        return SearchTiming(
+            device=self.spec.name,
+            hash_name=hash_name,
+            distance=distance,
+            mode=mode,
+            seeds_searched=self._seeds(distance, mode),
+            search_seconds=seconds,
+            kernels_launched=0,
+            energy_joules=0.0,
+            average_watts=0.0,
+        )
+
+    def tractable_distance(self, hash_name: str, threshold: float = 20.0) -> int:
+        """Largest d this host searches within the protocol threshold."""
+        from repro.core.complexity import tractable_distance
+
+        return tractable_distance(self._rate(hash_name), threshold)
+
+    def verify_prediction(
+        self, hash_name: str, distance: int = 2, tolerance: float = 1.0
+    ) -> tuple[float, float]:
+        """Time a real exhaustive miss and compare with the prediction.
+
+        Returns ``(predicted_seconds, measured_seconds)`` and raises if
+        they disagree by more than ``tolerance`` (fractional error) —
+        the self-consistency check between model and engine.
+        """
+        import numpy as np
+
+        from repro.hashes.registry import get_hash
+
+        rng = np.random.default_rng(0)
+        base = rng.bytes(32)
+        absent = get_hash(hash_name).scalar(rng.bytes(32))
+        executor = BatchSearchExecutor(hash_name, batch_size=self.batch_size)
+        start = time.perf_counter()
+        result = executor.search(base, absent, distance)
+        measured = time.perf_counter() - start
+        if result.found:
+            raise AssertionError("probe digest unexpectedly matched")
+        predicted = self.search_time(hash_name, distance)
+        if abs(measured - predicted) / predicted > tolerance:
+            raise AssertionError(
+                f"prediction {predicted:.3f}s vs measured {measured:.3f}s "
+                f"differ beyond {tolerance:.0%}"
+            )
+        return predicted, measured

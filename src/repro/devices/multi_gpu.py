@@ -1,0 +1,93 @@
+"""Multi-GPU scaling (paper Section 4.8 / Figure 4).
+
+Thin orchestration over :class:`~repro.devices.gpu.GPUModel`: shells are
+split evenly across devices (each GPU takes a contiguous rank slice of
+every Hamming-distance shell, exactly like CPU threads do), the host
+pays a split/reduction cost per extra device, and average-case searches
+pay extra unified-memory flag synchronization — the two calibrated
+overheads that make early-exit scale worse than exhaustive search, and
+SHA-1 scale worse than SHA-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import SearchTiming
+from repro.devices.gpu import GPUModel
+from repro.runtime.partition import partition_ranks
+from repro.combinatorics.binomial import binomial
+
+__all__ = ["MultiGPUModel", "speedup_curve", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a Figure 4 curve."""
+
+    num_gpus: int
+    seconds: float
+    speedup: float
+    efficiency: float
+
+
+class MultiGPUModel:
+    """A node with ``num_gpus`` identical GPUs running one search."""
+
+    def __init__(self, num_gpus: int, gpu: GPUModel | None = None):
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        self.num_gpus = num_gpus
+        self.gpu = gpu if gpu is not None else GPUModel()
+
+    def search_time(self, hash_name: str, distance: int,
+                    mode: str = "exhaustive", **kwargs) -> float:
+        """Search-only seconds with the shell split across all GPUs."""
+        kwargs.pop("num_gpus", None)
+        return self.gpu.search_time(
+            hash_name, distance, mode, num_gpus=self.num_gpus, **kwargs
+        )
+
+    def simulate_search(self, hash_name: str, distance: int,
+                        mode: str = "exhaustive", **kwargs) -> SearchTiming:
+        """Full timing record with the shell split across GPUs."""
+        kwargs.pop("num_gpus", None)
+        return self.gpu.simulate_search(
+            hash_name, distance, mode, num_gpus=self.num_gpus, **kwargs
+        )
+
+    def shell_partition(self, distance: int) -> list[tuple[int, int]]:
+        """Per-GPU rank ranges over one shell."""
+        return partition_ranks(
+            binomial(self.gpu.seed_bits, distance), self.num_gpus
+        )
+
+
+def speedup_curve(
+    hash_name: str,
+    mode: str,
+    max_gpus: int = 3,
+    distance: int = 5,
+    gpu: GPUModel | None = None,
+    **kwargs,
+) -> list[ScalingPoint]:
+    """The Figure 4 series: speedup over 1 GPU for 1..max_gpus devices."""
+    base_gpu = gpu if gpu is not None else GPUModel()
+    baseline = MultiGPUModel(1, base_gpu).search_time(
+        hash_name, distance, mode, **kwargs
+    )
+    points = []
+    for g in range(1, max_gpus + 1):
+        seconds = MultiGPUModel(g, base_gpu).search_time(
+            hash_name, distance, mode, **kwargs
+        )
+        speedup = baseline / seconds
+        points.append(
+            ScalingPoint(
+                num_gpus=g,
+                seconds=seconds,
+                speedup=speedup,
+                efficiency=speedup / g,
+            )
+        )
+    return points

@@ -1,0 +1,201 @@
+"""AES-128 from scratch (FIPS 197).
+
+Used in two places:
+
+* as the symmetric "key generation" primitive of the prior-work AES-based
+  RBC engine (Table 7's AES-128 row): the candidate public response is the
+  AES encryption of a fixed plaintext under the seed-derived key;
+* as the cipher behind the CA's encrypted PUF-image database (CTR mode).
+
+The S-box is derived programmatically from the GF(2^8) inverse plus the
+affine map rather than pasted as constants, and validated against the
+FIPS 197 appendix vectors in the tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES128", "aes128_encrypt_block", "aes128_decrypt_block", "aes128_ctr_keystream"]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    # GF(2^8) inverse via exponentiation tables over generator 3.
+    exp = [0] * 255
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    sbox = [0] * 256
+    for x in range(256):
+        inv = 0 if x == 0 else exp[(255 - log[x]) % 255]
+        # Affine transformation.
+        y = inv
+        result = 0x63
+        for shift in (0, 1, 2, 3, 4):
+            result ^= ((y << shift) | (y >> (8 - shift))) & 0xFF
+        sbox[x] = result
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _expand_key(key: bytes) -> list[list[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+
+def _sub_bytes(state: list[int]) -> list[int]:
+    return [_SBOX[b] for b in state]
+
+
+def _inv_sub_bytes(state: list[int]) -> list[int]:
+    return [_INV_SBOX[b] for b in state]
+
+
+# State layout: state[r + 4*c] = byte at row r, column c (column-major,
+# matching FIPS 197 where input byte i lands at row i%4, column i//4).
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for r in range(4):
+        for c in range(4):
+            out[r + 4 * c] = state[r + 4 * ((c + r) % 4)]
+    return out
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for r in range(4):
+        for c in range(4):
+            out[r + 4 * ((c + r) % 4)] = state[r + 4 * c]
+    return out
+
+
+def _mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        out[4 * c + 0] = _gf_mul(col[0], 2) ^ _gf_mul(col[1], 3) ^ col[2] ^ col[3]
+        out[4 * c + 1] = col[0] ^ _gf_mul(col[1], 2) ^ _gf_mul(col[2], 3) ^ col[3]
+        out[4 * c + 2] = col[0] ^ col[1] ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3)
+        out[4 * c + 3] = _gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ _gf_mul(col[3], 2)
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        out[4 * c + 0] = (_gf_mul(col[0], 14) ^ _gf_mul(col[1], 11)
+                          ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9))
+        out[4 * c + 1] = (_gf_mul(col[0], 9) ^ _gf_mul(col[1], 14)
+                          ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13))
+        out[4 * c + 2] = (_gf_mul(col[0], 13) ^ _gf_mul(col[1], 9)
+                          ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11))
+        out[4 * c + 3] = (_gf_mul(col[0], 11) ^ _gf_mul(col[1], 13)
+                          ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14))
+    return out
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+    return [b ^ k for b, k in zip(state, round_key)]
+
+
+class AES128:
+    """AES-128 with a precomputed key schedule for repeated block ops."""
+
+    block_size = 16
+    key_size = 16
+
+    def __init__(self, key: bytes):
+        self._round_keys = _expand_key(key)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = _add_round_key(list(plaintext), self._round_keys[0])
+        for round_index in range(1, 10):
+            state = _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = _add_round_key(state, self._round_keys[round_index])
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = _add_round_key(list(ciphertext), self._round_keys[10])
+        state = _inv_shift_rows(state)
+        state = _inv_sub_bytes(state)
+        for round_index in range(9, 0, -1):
+            state = _add_round_key(state, self._round_keys[round_index])
+            state = _inv_mix_columns(state)
+            state = _inv_shift_rows(state)
+            state = _inv_sub_bytes(state)
+        state = _add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    def ctr_transform(self, data: bytes, nonce: bytes) -> bytes:
+        """CTR-mode encryption/decryption (its own inverse)."""
+        if len(nonce) != 8:
+            raise ValueError("CTR nonce must be 8 bytes")
+        out = bytearray()
+        counter = 0
+        for offset in range(0, len(data), 16):
+            block = nonce + counter.to_bytes(8, "big")
+            keystream = self.encrypt_block(block)
+            chunk = data[offset : offset + 16]
+            out.extend(b ^ k for b, k in zip(chunk, keystream))
+            counter += 1
+        return bytes(out)
+
+
+def aes128_encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """One-shot AES-128 block encryption."""
+    return AES128(key).encrypt_block(plaintext)
+
+
+def aes128_decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """One-shot AES-128 block decryption."""
+    return AES128(key).decrypt_block(ciphertext)
+
+
+def aes128_ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """CTR keystream bytes for the encrypted PUF-image database."""
+    return AES128(key).ctr_transform(b"\x00" * length, nonce)

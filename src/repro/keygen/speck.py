@@ -1,0 +1,85 @@
+"""SPECK-128/128 block cipher, from scratch.
+
+The lightweight NSA cipher evaluated by the prior-work symmetric RBC
+engine (Wright et al. 2021). SPECK's tiny ARX round function made it the
+cheapest keygen of that study; it anchors the inexpensive end of the
+prior-work comparison here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Speck128", "speck128_encrypt_block", "speck128_decrypt_block"]
+
+_MASK64 = (1 << 64) - 1
+_ROUNDS = 32
+
+
+def _ror64(x: int, s: int) -> int:
+    return ((x >> s) | (x << (64 - s))) & _MASK64
+
+
+def _rol64(x: int, s: int) -> int:
+    return ((x << s) | (x >> (64 - s))) & _MASK64
+
+
+def _round(x: int, y: int, k: int) -> tuple[int, int]:
+    x = (_ror64(x, 8) + y) & _MASK64
+    x ^= k
+    y = _rol64(y, 3) ^ x
+    return x, y
+
+
+def _unround(x: int, y: int, k: int) -> tuple[int, int]:
+    y = _ror64(y ^ x, 3)
+    x = _rol64(((x ^ k) - y) & _MASK64, 8)
+    return x, y
+
+
+class Speck128:
+    """SPECK-128/128 with a precomputed round-key schedule."""
+
+    block_size = 16
+    key_size = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("SPECK-128/128 key must be 16 bytes")
+        # Key words: k[0] is the low word per the SPECK paper's convention
+        # (key bytes written big-endian are (k1, k0)).
+        k1 = int.from_bytes(key[0:8], "big")
+        k0 = int.from_bytes(key[8:16], "big")
+        self._round_keys = [0] * _ROUNDS
+        a, b = k0, k1
+        for i in range(_ROUNDS):
+            self._round_keys[i] = a
+            b, a = _round(b, a, i)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != 16:
+            raise ValueError("SPECK block must be 16 bytes")
+        x = int.from_bytes(plaintext[0:8], "big")
+        y = int.from_bytes(plaintext[8:16], "big")
+        for k in self._round_keys:
+            x, y = _round(x, y, k)
+        return x.to_bytes(8, "big") + y.to_bytes(8, "big")
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ValueError("SPECK block must be 16 bytes")
+        x = int.from_bytes(ciphertext[0:8], "big")
+        y = int.from_bytes(ciphertext[8:16], "big")
+        for k in reversed(self._round_keys):
+            x, y = _unround(x, y, k)
+        return x.to_bytes(8, "big") + y.to_bytes(8, "big")
+
+
+def speck128_encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """One-shot SPECK-128/128 block encryption."""
+    return Speck128(key).encrypt_block(plaintext)
+
+
+def speck128_decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """One-shot SPECK-128/128 block decryption."""
+    return Speck128(key).decrypt_block(ciphertext)

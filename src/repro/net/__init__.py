@@ -1,0 +1,35 @@
+"""Client <-> CA networking for the end-to-end protocol.
+
+The paper's end-to-end measurements fold the client's USB PUF read and
+the WAN round trips into a single 0.90 s communication cost (Table 5).
+This package provides the message types of Figure 1, an in-process
+transport with that latency model (plus a lossless-but-slow long-haul
+profile for the US<->Israel APU setup the paper explicitly excludes from
+fair comparison), and client/server endpoints that speak the protocol.
+"""
+
+from repro.net.messages import (
+    HandshakeRequest,
+    HandshakeResponse,
+    DigestSubmission,
+    AuthenticationResult,
+)
+from repro.net.transport import LatencyModel, InProcessTransport, US_LINK, US_ISRAEL_LINK
+from repro.net.client import NetworkClient
+from repro.net.server import CAServer
+from repro.net.concurrent import ConcurrentCAServer, ServerMetrics
+
+__all__ = [
+    "HandshakeRequest",
+    "HandshakeResponse",
+    "DigestSubmission",
+    "AuthenticationResult",
+    "LatencyModel",
+    "InProcessTransport",
+    "US_LINK",
+    "US_ISRAEL_LINK",
+    "NetworkClient",
+    "CAServer",
+    "ConcurrentCAServer",
+    "ServerMetrics",
+]

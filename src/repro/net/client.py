@@ -1,0 +1,80 @@
+"""Network-facing client endpoint.
+
+Wraps a :class:`~repro.core.protocol.ClientDevice` with the Figure 1
+message flow: handshake request, PUF read, digest submission, result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.authentication import Challenge
+from repro.core.protocol import ClientDevice
+from repro.net.messages import (
+    AuthenticationResult,
+    DigestSubmission,
+    HandshakeRequest,
+    HandshakeResponse,
+)
+from repro.net.transport import InProcessTransport
+from repro.puf.ternary import TernaryMask
+
+__all__ = ["NetworkClient"]
+
+
+class NetworkClient:
+    """Drives one authentication round over a transport."""
+
+    def __init__(
+        self,
+        device: ClientDevice,
+        transport: InProcessTransport,
+        reference_mask: TernaryMask | None = None,
+        max_attempts: int = 3,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        self.device = device
+        self.transport = transport
+        self.reference_mask = reference_mask
+        self.max_attempts = max_attempts
+
+    def authenticate(self, server) -> AuthenticationResult:
+        """Authenticate, restarting the handshake on failure/timeout.
+
+        The paper's behaviour: "if a timeout occurs, the CA simply sends
+        the client a new PUF address and the process is restarted" — a
+        fresh read usually lands at a smaller Hamming distance.
+        """
+        result = self._one_round(server)
+        attempts = 1
+        while not result.authenticated and attempts < self.max_attempts:
+            result = self._one_round(server)
+            attempts += 1
+        return result
+
+    def _one_round(self, server) -> AuthenticationResult:
+        """Run handshake -> read -> digest -> result against ``server``."""
+        request = HandshakeRequest(client_id=self.device.client_id)
+        self.transport.deliver("handshake-request", request.to_bytes())
+        response: HandshakeResponse = server.handle_handshake(request)
+        self.transport.deliver("handshake-response", response.to_bytes())
+
+        challenge = Challenge(
+            client_id=response.client_id,
+            address=response.address,
+            window=response.window,
+            usable=response.unpack_usable(),
+            bit_count=response.bit_count,
+            hash_name=response.hash_name,
+        )
+        self.transport.charge_puf_read()
+        digest = self.device.respond(challenge, reference_mask=self.reference_mask)
+
+        submission = DigestSubmission(
+            client_id=self.device.client_id, digest=digest
+        )
+        self.transport.deliver("digest-submission", submission.to_bytes())
+        result: AuthenticationResult = server.handle_digest(submission)
+        self.transport.deliver("authentication-result", result.to_bytes())
+        return result

@@ -1,0 +1,141 @@
+"""Concurrent CA front end: many clients, one search backend.
+
+The capacity model (:mod:`repro.analysis.workload`) predicts what a CA
+can sustain; this module is the serving layer that actually does it:
+a bounded worker pool over the authority's search service, per-client
+serialization (two in-flight searches for the same identity make no
+sense — the second would race the RA update), admission control, and
+service metrics the operator can read off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.authentication import CertificateAuthority
+from repro.net.messages import AuthenticationResult
+
+__all__ = ["ServerMetrics", "ConcurrentCAServer"]
+
+
+@dataclass
+class ServerMetrics:
+    """Operational counters (thread-safe snapshots via the server)."""
+
+    submitted: int = 0
+    completed: int = 0
+    authenticated: int = 0
+    rejected_busy: int = 0
+    rejected_duplicate: int = 0
+    total_search_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent copy of the counters."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "authenticated": self.authenticated,
+                "rejected_busy": self.rejected_busy,
+                "rejected_duplicate": self.rejected_duplicate,
+                "total_search_seconds": self.total_search_seconds,
+            }
+
+
+class ConcurrentCAServer:
+    """Bounded-concurrency authentication service over one authority."""
+
+    def __init__(
+        self,
+        authority: CertificateAuthority,
+        workers: int = 4,
+        max_queue: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self.authority = authority
+        self.max_queue = max_queue
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="rbc-search"
+        )
+        self._lock = threading.Lock()
+        self._in_flight_clients: set[str] = set()
+        self._pending = 0
+        self.metrics = ServerMetrics()
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, client_id: str, digest: bytes) -> Future:
+        """Queue one authentication; returns a Future[AuthenticationResult].
+
+        Raises ``RuntimeError`` on admission-control rejection: server
+        saturated, duplicate in-flight client, or server closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._pending >= self.max_queue:
+                with self.metrics._lock:
+                    self.metrics.rejected_busy += 1
+                raise RuntimeError("server saturated; retry later")
+            if client_id in self._in_flight_clients:
+                with self.metrics._lock:
+                    self.metrics.rejected_duplicate += 1
+                raise RuntimeError(
+                    f"client {client_id!r} already has a search in flight"
+                )
+            self._in_flight_clients.add(client_id)
+            self._pending += 1
+        with self.metrics._lock:
+            self.metrics.submitted += 1
+        future = self._pool.submit(self._run, client_id, digest)
+        future.add_done_callback(lambda _f: self._release(client_id))
+        return future
+
+    def _release(self, client_id: str) -> None:
+        with self._lock:
+            self._in_flight_clients.discard(client_id)
+            self._pending -= 1
+
+    def _run(self, client_id: str, digest: bytes) -> AuthenticationResult:
+        start = time.perf_counter()
+        result = self.authority.run_search(client_id, digest)
+        public_key = None
+        if result.found:
+            assert result.seed is not None
+            public_key = self.authority.issue_public_key(client_id, result.seed)
+        elapsed = time.perf_counter() - start
+        with self.metrics._lock:
+            self.metrics.completed += 1
+            if result.found:
+                self.metrics.authenticated += 1
+            self.metrics.total_search_seconds += elapsed
+        return AuthenticationResult(
+            client_id=client_id,
+            authenticated=result.found,
+            distance=result.distance,
+            public_key=public_key,
+            search_seconds=result.elapsed_seconds,
+            timed_out=result.timed_out,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight searches."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ConcurrentCAServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,105 @@
+"""Protocol messages (Figure 1 wire format).
+
+Values are plain dataclasses with byte-level serialization so the
+transport can charge for realistic payload sizes. Nothing secret crosses
+the wire: the handshake carries cell addresses and the public ternary
+mask, the submission carries the digest ``M₁`` (useless without the PUF
+image), and the result carries the public key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+
+import numpy as np
+
+__all__ = [
+    "HandshakeRequest",
+    "HandshakeResponse",
+    "DigestSubmission",
+    "AuthenticationResult",
+]
+
+
+@dataclass(frozen=True)
+class HandshakeRequest:
+    """Client -> CA: 'I want to authenticate'."""
+
+    client_id: str
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        return json.dumps({"type": "handshake_request", **asdict(self)}).encode()
+
+
+@dataclass(frozen=True)
+class HandshakeResponse:
+    """CA -> client: PUF address information (Figure 1 handshake)."""
+
+    client_id: str
+    address: int
+    window: int
+    usable_mask: bytes  # packed boolean mask over the window
+    bit_count: int
+    hash_name: str
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        payload = asdict(self)
+        payload["usable_mask"] = self.usable_mask.hex()
+        return json.dumps({"type": "handshake_response", **payload}).encode()
+
+    def unpack_usable(self) -> np.ndarray:
+        """The boolean cell mask for the challenge window."""
+        bits = np.unpackbits(np.frombuffer(self.usable_mask, dtype=np.uint8))
+        return bits[: self.window].astype(bool)
+
+    @staticmethod
+    def pack_usable(usable: np.ndarray) -> bytes:
+        """Pack a boolean cell mask into bytes for the wire."""
+        return np.packbits(usable.astype(np.uint8)).tobytes()
+
+
+@dataclass(frozen=True)
+class DigestSubmission:
+    """Client -> CA: the message digest M1 of the PUF-derived seed."""
+
+    client_id: str
+    digest: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        return json.dumps(
+            {
+                "type": "digest_submission",
+                "client_id": self.client_id,
+                "digest": self.digest.hex(),
+            }
+        ).encode()
+
+
+@dataclass(frozen=True)
+class AuthenticationResult:
+    """CA -> client: outcome plus the registered public key."""
+
+    client_id: str
+    authenticated: bool
+    distance: int | None
+    public_key: bytes | None
+    search_seconds: float
+    timed_out: bool
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        return json.dumps(
+            {
+                "type": "authentication_result",
+                "client_id": self.client_id,
+                "authenticated": self.authenticated,
+                "distance": self.distance,
+                "public_key": self.public_key.hex() if self.public_key else None,
+                "search_seconds": self.search_seconds,
+                "timed_out": self.timed_out,
+            }
+        ).encode()

@@ -1,0 +1,88 @@
+"""Latency-modeled in-process transport.
+
+The transport *accounts* for time rather than sleeping: each message
+charges its latency to a virtual clock that the end-to-end report reads.
+This reproduces the paper's methodology — it reports the measured 0.90 s
+communication cost as a separate column rather than interleaving it with
+the search — while keeping the test suite fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyModel", "InProcessTransport", "US_LINK", "US_ISRAEL_LINK"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-message-cost model of one client<->server link."""
+
+    name: str
+    round_trip_seconds: float
+    bytes_per_second: float
+    #: Client-side constant per authentication (USB PUF read, Table 5's
+    #: methodology folds it into communication).
+    puf_read_seconds: float = 0.0
+
+    def message_cost(self, payload_bytes: int) -> float:
+        """Seconds to deliver one message of the given size."""
+        return self.round_trip_seconds / 2 + payload_bytes / self.bytes_per_second
+
+
+#: The paper's U.S. client<->server link: handshake (1 RTT), digest
+#: submission (half RTT), result (half RTT) plus the USB PUF read come to
+#: the reported 0.90 s per authentication.
+US_LINK = LatencyModel(
+    name="us-us",
+    round_trip_seconds=0.28,
+    bytes_per_second=1e6,
+    puf_read_seconds=0.33,
+)
+
+#: The APU server sits in Israel; the paper measured this link but
+#: excluded it from the comparison for fairness. Reproduced for
+#: completeness (examples can show the difference).
+US_ISRAEL_LINK = LatencyModel(
+    name="us-israel",
+    round_trip_seconds=0.60,
+    bytes_per_second=5e5,
+    puf_read_seconds=0.33,
+)
+
+
+@dataclass
+class InProcessTransport:
+    """Connects a client and a server object through a virtual clock."""
+
+    latency: LatencyModel = US_LINK
+    elapsed_seconds: float = 0.0
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    _log: list[tuple[str, int, float]] = field(default_factory=list)
+
+    def deliver(self, label: str, payload: bytes) -> bytes:
+        """Charge one message to the virtual clock and pass it through."""
+        cost = self.latency.message_cost(len(payload))
+        self.elapsed_seconds += cost
+        self.messages_delivered += 1
+        self.bytes_delivered += len(payload)
+        self._log.append((label, len(payload), cost))
+        return payload
+
+    def charge_puf_read(self) -> None:
+        """Account for the client's USB PUF read."""
+        self.elapsed_seconds += self.latency.puf_read_seconds
+        self._log.append(("puf-read", 0, self.latency.puf_read_seconds))
+
+    @property
+    def log(self) -> list[tuple[str, int, float]]:
+        """(label, bytes, seconds) per delivered message."""
+        return list(self._log)
+
+    def reset(self) -> None:
+        """Zero the virtual clock and message log."""
+        self.elapsed_seconds = 0.0
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        self._log.clear()

@@ -1,0 +1,106 @@
+"""Arbiter PUF model (delay-based, challenge-response).
+
+The paper notes "the algorithm is agnostic to the underlying PUF
+hardware" — RBC consumes a bit stream, however produced. This model
+supplies a classic *delay* PUF: a challenge routes a signal through a
+chain of crossbar stages; manufacturing variation gives each stage a
+delay difference, and an arbiter at the end outputs which path won.
+
+Standard linear additive model: for stage weights ``w`` (drawn per
+device) and a challenge ``c ∈ {0,1}^s``, the delay difference is
+``Δ = w · φ(c)`` with the parity feature map
+``φ_i(c) = Π_{j≥i} (1-2c_j)``; the response bit is ``sign(Δ)``, and
+measurement noise flips bits whose |Δ| is small — reproducing the
+instability structure (cells near the metastable point are erratic)
+that TAPKI masking exists to handle.
+
+Addressing: the RBC challenge names an (address, length) window; cell
+``address + i`` corresponds to a deterministic per-device challenge
+vector derived by counter-mode expansion, so reads are repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.puf.model import PUFReadout
+
+__all__ = ["ArbiterPuf"]
+
+
+class ArbiterPuf:
+    """A simulated arbiter PUF with a linear delay model."""
+
+    def __init__(
+        self,
+        num_cells: int = 16384,
+        stages: int = 64,
+        noise_sigma: float = 0.04,
+        seed: int | None = None,
+    ):
+        if num_cells % 8:
+            raise ValueError("num_cells must be a multiple of 8")
+        if stages < 8:
+            raise ValueError("need at least 8 delay stages")
+        self.num_cells = num_cells
+        self.stages = stages
+        self.noise_sigma = noise_sigma
+        rng = np.random.default_rng(seed)
+        # Per-stage delay-difference weights: the device fingerprint.
+        self._weights = rng.normal(0.0, 1.0, size=stages + 1)
+        # Fixed per-device challenge per cell (counter-mode expansion).
+        challenge_rng = np.random.default_rng(
+            seed + 7919 if seed is not None else None
+        )
+        challenges = challenge_rng.integers(
+            0, 2, size=(num_cells, stages), dtype=np.int8
+        )
+        self._features = self._feature_map(challenges)
+        self._delays = self._features @ self._weights
+        self._read_rng = np.random.default_rng(
+            None if seed is None else seed + 104729
+        )
+
+    @staticmethod
+    def _feature_map(challenges: np.ndarray) -> np.ndarray:
+        """φ(c): suffix-parity features plus the constant term."""
+        signs = 1 - 2 * challenges.astype(np.float64)  # {0,1} -> {+1,-1}
+        # φ_i = product of signs from stage i to the end; φ_s = 1.
+        suffix = np.cumprod(signs[:, ::-1], axis=1)[:, ::-1]
+        n = challenges.shape[0]
+        return np.concatenate([suffix, np.ones((n, 1))], axis=1)
+
+    @property
+    def delay_margins(self) -> np.ndarray:
+        """|Δ| per cell — small margins mark the erratic cells."""
+        view = np.abs(self._delays).view()
+        view.flags.writeable = False
+        return view
+
+    def reference_bits(self, address: int, length: int) -> np.ndarray:
+        """Noise-free responses (the enrollment-time truth)."""
+        self._check_window(address, length)
+        window = self._delays[address : address + length]
+        return (window > 0).astype(np.uint8)
+
+    def read(self, address: int, length: int) -> PUFReadout:
+        """One noisy evaluation of the arbiter chain per cell."""
+        self._check_window(address, length)
+        window = self._delays[address : address + length]
+        noisy = window + self._read_rng.normal(0.0, self.noise_sigma, size=length)
+        return PUFReadout(address=address, bits=(noisy > 0).astype(np.uint8))
+
+    def read_repeated(self, address: int, length: int, times: int) -> np.ndarray:
+        """``(times, length)`` repeated evaluations (for enrollment)."""
+        return np.stack(
+            [self.read(address, length).bits for _ in range(times)], axis=0
+        )
+
+    def _check_window(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if not (0 <= address and address + length <= self.num_cells):
+            raise ValueError(
+                f"window [{address}, {address + length}) outside device "
+                f"of {self.num_cells} cells"
+            )

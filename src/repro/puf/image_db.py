@@ -1,0 +1,114 @@
+"""The CA's encrypted PUF-image database.
+
+The threat model stores every client's enrollment image (reference bits,
+ternary mask, instability estimates) in an encrypted database inside the
+secure CA. Records are serialized and encrypted with the from-scratch
+AES-128 in CTR mode under a database master key; each record uses a
+per-record nonce derived from the client identifier.
+
+This is a reproduction-grade container — it demonstrates the protocol's
+data flow (enrollment writes, validation reads, nothing is ever decrypted
+outside the CA), not hardened storage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.hashes.sha3 import sha3_256
+from repro.keygen.aes import AES128
+from repro.puf.ternary import TernaryMask
+
+__all__ = ["EncryptedImageDatabase"]
+
+
+class EncryptedImageDatabase:
+    """In-memory encrypted store of client PUF enrollment images."""
+
+    def __init__(self, master_key: bytes):
+        if len(master_key) != 16:
+            raise ValueError("master key must be 16 bytes (AES-128)")
+        self._cipher = AES128(master_key)
+        self._records: dict[str, bytes] = {}
+
+    def _nonce(self, client_id: str) -> bytes:
+        return sha3_256(client_id.encode())[:8]
+
+    @staticmethod
+    def _serialize(mask: TernaryMask) -> bytes:
+        payload = {
+            "address": mask.address,
+            "usable": mask.usable.astype(np.uint8).tolist(),
+            "reference": mask.reference.astype(np.uint8).tolist(),
+            "instability": mask.instability.tolist(),
+        }
+        return json.dumps(payload).encode()
+
+    @staticmethod
+    def _deserialize(raw: bytes) -> TernaryMask:
+        payload = json.loads(raw.decode())
+        return TernaryMask(
+            address=payload["address"],
+            usable=np.array(payload["usable"], dtype=bool),
+            reference=np.array(payload["reference"], dtype=np.uint8),
+            instability=np.array(payload["instability"], dtype=float),
+        )
+
+    def enroll(self, client_id: str, mask: TernaryMask) -> None:
+        """Store (encrypted) the enrollment image for ``client_id``."""
+        plaintext = self._serialize(mask)
+        self._records[client_id] = self._cipher.ctr_transform(
+            plaintext, self._nonce(client_id)
+        )
+
+    def lookup(self, client_id: str) -> TernaryMask:
+        """Decrypt and return the enrollment image for ``client_id``."""
+        if client_id not in self._records:
+            raise KeyError(f"client {client_id!r} not enrolled")
+        plaintext = self._cipher.ctr_transform(
+            self._records[client_id], self._nonce(client_id)
+        )
+        return self._deserialize(plaintext)
+
+    def __contains__(self, client_id: str) -> bool:
+        return client_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def encrypted_record(self, client_id: str) -> bytes:
+        """The raw ciphertext (what an attacker stealing the DB sees)."""
+        return self._records[client_id]
+
+    # -- persistence (records stay encrypted at rest) --------------------
+
+    def save(self, path) -> None:
+        """Write the database to disk; records remain ciphertext."""
+        import json as _json
+        import pathlib
+
+        payload = {
+            "format": "repro-image-db/1",
+            "records": {
+                client_id: blob.hex() for client_id, blob in self._records.items()
+            },
+        }
+        pathlib.Path(path).write_text(_json.dumps(payload))
+
+    @classmethod
+    def load(cls, path, master_key: bytes) -> "EncryptedImageDatabase":
+        """Load a saved database; the master key is needed to *use* it."""
+        import json as _json
+        import pathlib
+
+        payload = _json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != "repro-image-db/1":
+            raise ValueError("unrecognized image-db file format")
+        db = cls(master_key)
+        db._records = {
+            client_id: bytes.fromhex(blob)
+            for client_id, blob in payload["records"].items()
+        }
+        return db

@@ -1,0 +1,115 @@
+"""SRAM-style PUF statistical model.
+
+A physical SRAM PUF powers up each cell into a preferred state set by
+manufacturing variation; most cells are strongly biased (stable) while a
+minority sit near the metastable point and flip between reads. We model a
+device as an array of cells, each with
+
+* a reference value (the bit captured at enrollment), and
+* a per-cell flip probability drawn from a mixture: most cells nearly
+  deterministic, a heavy tail of erratic cells.
+
+Challenges are *addresses*: the CA names a window of cells, the device
+returns their current power-up values. The enrollment image, per-cell
+instability estimates, and masked readout reproduce the measurable
+behaviour the RBC protocol depends on — nothing else about the physics
+matters to the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SRAMPuf", "PUFReadout"]
+
+
+@dataclass(frozen=True)
+class PUFReadout:
+    """One challenge-response: the raw bits a device returned."""
+
+    address: int
+    bits: np.ndarray  # uint8 array of 0/1 cell values
+
+    def to_bytes(self) -> bytes:
+        """Pack the (multiple-of-8) bit vector into big-endian bytes."""
+        if self.bits.shape[0] % 8:
+            raise ValueError("bit vector length must be a multiple of 8")
+        return np.packbits(self.bits).tobytes()
+
+
+class SRAMPuf:
+    """A simulated SRAM PUF device with heterogeneous cell stability.
+
+    Parameters
+    ----------
+    num_cells:
+        Total cells on the device (the addressable space).
+    stable_fraction:
+        Fraction of cells in the "strongly biased" population.
+    stable_error, erratic_error:
+        Mean flip probabilities of the two populations.
+    seed:
+        RNG seed; two devices built with different seeds are distinct
+        "chips" (unclonability is modeled as independent randomness).
+    """
+
+    def __init__(
+        self,
+        num_cells: int = 16384,
+        stable_fraction: float = 0.90,
+        stable_error: float = 0.002,
+        erratic_error: float = 0.15,
+        seed: int | None = None,
+    ):
+        if num_cells % 8:
+            raise ValueError("num_cells must be a multiple of 8")
+        if not 0 <= stable_fraction <= 1:
+            raise ValueError("stable_fraction must be in [0, 1]")
+        self.num_cells = num_cells
+        rng = np.random.default_rng(seed)
+        self._reference = rng.integers(0, 2, size=num_cells, dtype=np.uint8)
+        erratic = rng.random(num_cells) >= stable_fraction
+        flip_p = np.full(num_cells, stable_error)
+        # Erratic cells get beta-distributed error rates around the mean.
+        if erratic.any():
+            flip_p[erratic] = rng.beta(2.0, 2.0 / erratic_error - 2.0, size=int(erratic.sum()))
+        self._flip_probability = np.clip(flip_p, 0.0, 0.49)
+        self._read_rng = np.random.default_rng(None if seed is None else seed + 1)
+
+    @property
+    def flip_probability(self) -> np.ndarray:
+        """Per-cell flip probabilities (read-only view)."""
+        view = self._flip_probability.view()
+        view.flags.writeable = False
+        return view
+
+    def reference_bits(self, address: int, length: int) -> np.ndarray:
+        """The enrollment-time (noise-free) bits of a cell window."""
+        self._check_window(address, length)
+        return self._reference[address : address + length].copy()
+
+    def read(self, address: int, length: int) -> PUFReadout:
+        """A noisy challenge-response read of ``length`` cells."""
+        self._check_window(address, length)
+        window = slice(address, address + length)
+        flips = (
+            self._read_rng.random(length) < self._flip_probability[window]
+        ).astype(np.uint8)
+        return PUFReadout(address=address, bits=self._reference[window] ^ flips)
+
+    def read_repeated(self, address: int, length: int, times: int) -> np.ndarray:
+        """``(times, length)`` matrix of repeated reads (for enrollment)."""
+        return np.stack(
+            [self.read(address, length).bits for _ in range(times)], axis=0
+        )
+
+    def _check_window(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if not (0 <= address and address + length <= self.num_cells):
+            raise ValueError(
+                f"window [{address}, {address + length}) outside device "
+                f"of {self.num_cells} cells"
+            )

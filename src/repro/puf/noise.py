@@ -1,0 +1,60 @@
+"""Deliberate noise injection on the client's seed bits.
+
+Two uses in the paper:
+
+* Evaluation methodology (Section 4.1): "a typical bit error rate from
+  the PUF is 5 bits, and if it is lower, we perform noise injection on
+  the client to ensure that we have flipped 5 bits" — making every trial
+  exercise the full d=5 search.
+* Future work (Section 5): since the GPU authenticates well under the
+  T=20 s threshold, the client can *purposefully* inject extra noise,
+  raising the Hamming distance an opponent must search and thereby the
+  security level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["inject_noise_to_distance", "flip_random_bits"]
+
+
+def flip_random_bits(
+    bits: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Flip ``count`` distinct randomly chosen positions of a bit vector."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count > bits.shape[0]:
+        raise ValueError("cannot flip more bits than the vector holds")
+    out = bits.copy()
+    positions = rng.choice(bits.shape[0], size=count, replace=False)
+    out[positions] ^= 1
+    return out
+
+
+def inject_noise_to_distance(
+    client_bits: np.ndarray,
+    reference_bits: np.ndarray,
+    target_distance: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Raise the client/reference Hamming distance to ``target_distance``.
+
+    Only bits currently *agreeing* with the reference are flipped, so the
+    result has exactly ``target_distance`` mismatches. If the natural
+    read already differs in >= ``target_distance`` positions it is
+    returned unchanged (the search must then cope with the larger d, as
+    in the real protocol).
+    """
+    if client_bits.shape != reference_bits.shape:
+        raise ValueError("bit vector shapes differ")
+    mismatched = client_bits != reference_bits
+    current = int(mismatched.sum())
+    if current >= target_distance:
+        return client_bits.copy()
+    agreeing = np.flatnonzero(~mismatched)
+    extra = rng.choice(agreeing, size=target_distance - current, replace=False)
+    out = client_bits.copy()
+    out[extra] ^= 1
+    return out

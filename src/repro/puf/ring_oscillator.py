@@ -1,0 +1,89 @@
+"""Ring-oscillator (RO) PUF model (frequency-comparison).
+
+The third PUF architecture in the agnosticism demonstration: each cell
+compares the frequencies of a pair of nominally identical ring
+oscillators; process variation fixes which one is faster, and counter
+quantization noise makes close pairs erratic.
+
+Model: oscillator frequencies ``f = f₀(1 + σ_process·g)`` per device;
+cell i pairs oscillators ``2i`` and ``2i+1``; a read counts cycles over
+a fixed window with Poisson-ish jitter, and the bit is
+``count_a > count_b``. As with the arbiter model, instability is
+concentrated where the frequency margin is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.puf.model import PUFReadout
+
+__all__ = ["RingOscillatorPuf"]
+
+
+class RingOscillatorPuf:
+    """A simulated RO-pair PUF."""
+
+    def __init__(
+        self,
+        num_cells: int = 16384,
+        nominal_frequency_hz: float = 200e6,
+        process_sigma: float = 0.01,
+        count_window_seconds: float = 1e-4,
+        jitter_cycles: float = 18.0,
+        seed: int | None = None,
+    ):
+        if num_cells % 8:
+            raise ValueError("num_cells must be a multiple of 8")
+        self.num_cells = num_cells
+        self.count_window = count_window_seconds
+        self.jitter_cycles = jitter_cycles
+        rng = np.random.default_rng(seed)
+        frequencies = nominal_frequency_hz * (
+            1.0 + process_sigma * rng.normal(size=2 * num_cells)
+        )
+        self._freq_a = frequencies[0::2]
+        self._freq_b = frequencies[1::2]
+        self._read_rng = np.random.default_rng(
+            None if seed is None else seed + 65537
+        )
+
+    @property
+    def frequency_margins(self) -> np.ndarray:
+        """|f_a - f_b| per cell in Hz (read-only)."""
+        view = np.abs(self._freq_a - self._freq_b).view()
+        view.flags.writeable = False
+        return view
+
+    def reference_bits(self, address: int, length: int) -> np.ndarray:
+        """Noise-free comparison (infinite counting window)."""
+        self._check_window(address, length)
+        sl = slice(address, address + length)
+        return (self._freq_a[sl] > self._freq_b[sl]).astype(np.uint8)
+
+    def read(self, address: int, length: int) -> PUFReadout:
+        """One counting-window comparison per cell."""
+        self._check_window(address, length)
+        sl = slice(address, address + length)
+        count_a = self._freq_a[sl] * self.count_window + self._read_rng.normal(
+            0.0, self.jitter_cycles, size=length
+        )
+        count_b = self._freq_b[sl] * self.count_window + self._read_rng.normal(
+            0.0, self.jitter_cycles, size=length
+        )
+        return PUFReadout(address=address, bits=(count_a > count_b).astype(np.uint8))
+
+    def read_repeated(self, address: int, length: int, times: int) -> np.ndarray:
+        """``(times, length)`` repeated comparisons (for enrollment)."""
+        return np.stack(
+            [self.read(address, length).bits for _ in range(times)], axis=0
+        )
+
+    def _check_window(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if not (0 <= address and address + length <= self.num_cells):
+            raise ValueError(
+                f"window [{address}, {address + length}) outside device "
+                f"of {self.num_cells} cells"
+            )

@@ -1,0 +1,86 @@
+"""TAPKI-style ternary masking of unstable PUF cells.
+
+Ternary Addressable PKI (Cambou & Telesca 2018) keeps the RBC search
+tractable: during enrollment the CA reads each cell many times and marks
+cells whose observed instability exceeds a threshold as *ternary* ('-'),
+excluding them from key material. The remaining cells carry the 0/1
+values of the enrollment image. At validation time, both sides skip the
+masked cells, so the effective bit error rate of the 256-bit seed stream
+is that of the stable population only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.puf.model import SRAMPuf
+
+__all__ = ["TernaryMask", "enroll_with_masking"]
+
+
+@dataclass(frozen=True)
+class TernaryMask:
+    """Enrollment product for one cell window of one device."""
+
+    address: int
+    #: Boolean per cell: True = usable (binary), False = masked (ternary).
+    usable: np.ndarray
+    #: Enrollment-time reference bits over the whole window.
+    reference: np.ndarray
+    #: Measured per-cell instability (fraction of reads disagreeing).
+    instability: np.ndarray
+
+    @property
+    def usable_count(self) -> int:
+        """Number of cells kept after masking."""
+        return int(self.usable.sum())
+
+    def select_bits(self, window_bits: np.ndarray, count: int) -> np.ndarray:
+        """The first ``count`` usable bits of a raw window read.
+
+        Both client and server apply this identical selection, so they
+        agree on which physical cells compose the 256-bit seed.
+        """
+        if window_bits.shape != self.usable.shape:
+            raise ValueError("window size mismatch with mask")
+        usable_bits = window_bits[self.usable]
+        if usable_bits.shape[0] < count:
+            raise ValueError(
+                f"only {usable_bits.shape[0]} usable cells, need {count}"
+            )
+        return usable_bits[:count]
+
+    def reference_seed_bits(self, count: int) -> np.ndarray:
+        """The masked enrollment bits — the server's PUF image seed."""
+        return self.select_bits(self.reference, count)
+
+
+def enroll_with_masking(
+    puf: SRAMPuf,
+    address: int,
+    window: int,
+    reads: int = 32,
+    instability_threshold: float = 0.05,
+) -> TernaryMask:
+    """Enroll a cell window: estimate instability, mask erratic cells.
+
+    Reads the window ``reads`` times, estimates each cell's disagreement
+    rate against the majority value, and masks cells above
+    ``instability_threshold``. Run inside the secure enrollment facility
+    of the threat model — the only phase with access to repeated reads.
+    """
+    if reads < 2:
+        raise ValueError("enrollment needs at least 2 reads")
+    samples = puf.read_repeated(address, window, reads)
+    ones = samples.sum(axis=0)
+    majority = (ones * 2 >= reads).astype(np.uint8)
+    disagreement = np.minimum(ones, reads - ones) / reads
+    usable = disagreement <= instability_threshold
+    return TernaryMask(
+        address=address,
+        usable=usable,
+        reference=majority,
+        instability=disagreement,
+    )

@@ -1,0 +1,33 @@
+"""Execution runtime — the reproduction's real parallel search engines.
+
+Where :mod:`repro.devices` *models* the paper's accelerators, this package
+*executes* the RBC search on the host machine:
+
+* :mod:`repro.runtime.executor` — single-process, NumPy-vectorized batch
+  search (the lane-parallel analogue of one GPU);
+* :mod:`repro.runtime.parallel` — ``multiprocessing`` search with a shared
+  early-exit flag (the analogue of the paper's OpenMP SALTED-CPU,
+  including its termination protocol);
+* :mod:`repro.runtime.partition` — seed-space partitioning shared by both.
+
+Reduced-scale runs of these engines validate the device models' control
+flow in the test suite.
+"""
+
+from repro.runtime.executor import BatchSearchExecutor, SearchResult, ShellStats
+from repro.runtime.parallel import ParallelSearchExecutor
+from repro.runtime.partition import partition_ranks, thread_rank_ranges
+from repro.runtime.original_batch import BatchOriginalRBCSearch
+from repro.runtime.cluster import ClusterSearchExecutor, Interconnect
+
+__all__ = [
+    "BatchSearchExecutor",
+    "SearchResult",
+    "ShellStats",
+    "ParallelSearchExecutor",
+    "partition_ranks",
+    "thread_rank_ranges",
+    "BatchOriginalRBCSearch",
+    "ClusterSearchExecutor",
+    "Interconnect",
+]

@@ -1,0 +1,179 @@
+"""Distributed-memory RBC search — the paper's Section 5 future work.
+
+Philabaum et al. scaled the original RBC across 512 CPU cores with MPI;
+the paper proposes doing the same for SALTED-CPU since it measured
+near-perfect single-node efficiency. This module implements that design
+with an mpi4py-shaped decomposition, executed in-process:
+
+* the root *broadcasts* the search task (base seed, digest, d);
+* every rank owns a contiguous rank-slice of each Hamming shell
+  (the same partitioning the threads use, one level up);
+* ranks search their slices with the real vectorized executor;
+* a found seed is *allreduced* (the distributed early-exit flag);
+* the root *gathers* per-rank statistics.
+
+Each rank's slice really executes (vectorized NumPy); the cluster wall
+clock is modeled as the slowest concurrent rank plus interconnect costs,
+which is exactly how a synchronous MPI search behaves. The interconnect
+cost model is explicit and auditable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro._bitutils import SEED_BITS
+from repro.combinatorics.binomial import binomial
+from repro.runtime.executor import BatchSearchExecutor, SearchResult
+from repro.runtime.partition import partition_ranks
+
+__all__ = ["Interconnect", "ClusterSearchResult", "ClusterSearchExecutor"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Per-operation costs of the cluster fabric (seconds)."""
+
+    name: str = "10GbE"
+    broadcast_seconds: float = 2e-3
+    allreduce_seconds: float = 5e-3
+    gather_seconds: float = 3e-3
+    #: Early-exit propagation: how stale a remote rank's view of the
+    #: found-flag may be (it finishes its current batch + this delay).
+    exit_propagation_seconds: float = 5e-3
+
+    def round_cost(self, ranks: int) -> float:
+        """Fixed fabric cost of one search round with ``ranks`` nodes."""
+        if ranks <= 1:
+            return 0.0
+        return self.broadcast_seconds + self.allreduce_seconds + self.gather_seconds
+
+
+@dataclass(frozen=True)
+class ClusterSearchResult:
+    """Outcome of one distributed search."""
+
+    found: bool
+    seed: bytes | None
+    distance: int | None
+    finder_rank: int | None
+    seeds_hashed_total: int
+    #: Modeled concurrent wall time: slowest relevant rank + fabric costs.
+    wall_seconds: float
+    #: Actual serial execution time of the simulation (for reference).
+    simulation_seconds: float
+    per_rank_seconds: tuple[float, ...] = field(default=())
+    per_rank_hashed: tuple[int, ...] = field(default=())
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+class ClusterSearchExecutor:
+    """SALTED search distributed over ``ranks`` single-node engines."""
+
+    def __init__(
+        self,
+        ranks: int,
+        hash_name: str = "sha3-256",
+        batch_size: int = 16384,
+        interconnect: Interconnect | None = None,
+    ):
+        if ranks < 1:
+            raise ValueError("ranks must be positive")
+        self.ranks = ranks
+        self.hash_name = hash_name
+        self.batch_size = batch_size
+        self.interconnect = interconnect if interconnect is not None else Interconnect()
+
+    def _rank_slices(self, max_distance: int, rank: int) -> dict[int, tuple[int, int]]:
+        slices = {}
+        for distance in range(1, max_distance + 1):
+            ranges = partition_ranks(binomial(SEED_BITS, distance), self.ranks)
+            slices[distance] = ranges[rank]
+        return slices
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> ClusterSearchResult:
+        """Run the distributed search (each rank's slice really executes)."""
+        simulation_start = time.perf_counter()
+        per_rank_results: list[SearchResult] = []
+        for rank in range(self.ranks):
+            executor = BatchSearchExecutor(
+                self.hash_name, batch_size=self.batch_size
+            )
+            slices = self._rank_slices(max_distance, rank)
+            # Rank 0 performs the d=0 check (Algorithm 1 lines 4-8); the
+            # other ranks skip it, mirroring the thread-level protocol.
+            if rank == 0:
+                result = executor.search(
+                    base_seed,
+                    target_digest,
+                    max_distance,
+                    time_budget=time_budget,
+                    rank_range_by_distance=slices,
+                )
+            else:
+                result = executor.search(
+                    base_seed,
+                    target_digest,
+                    max_distance,
+                    time_budget=time_budget,
+                    rank_range_by_distance=slices,
+                )
+                if result.distance == 0:
+                    # Only rank 0 owns the d=0 candidate; discount others.
+                    result = SearchResult(
+                        False, None, None, result.seeds_hashed,
+                        result.elapsed_seconds,
+                    )
+            per_rank_results.append(result)
+
+        simulation_seconds = time.perf_counter() - simulation_start
+        finders = [
+            (rank, res) for rank, res in enumerate(per_rank_results) if res.found
+        ]
+        per_rank_seconds = tuple(r.elapsed_seconds for r in per_rank_results)
+        per_rank_hashed = tuple(r.seeds_hashed for r in per_rank_results)
+        fabric = self.interconnect.round_cost(self.ranks)
+
+        if finders:
+            finder_rank, res = finders[0]
+            # Concurrent wall time: the finder's time, plus every other
+            # rank draining its in-flight batch after flag propagation —
+            # bounded by finder time + propagation (they poll per batch).
+            wall = (
+                res.elapsed_seconds
+                + (self.interconnect.exit_propagation_seconds if self.ranks > 1 else 0.0)
+                + fabric
+            )
+            return ClusterSearchResult(
+                found=True,
+                seed=res.seed,
+                distance=res.distance,
+                finder_rank=finder_rank,
+                seeds_hashed_total=sum(per_rank_hashed),
+                wall_seconds=wall,
+                simulation_seconds=simulation_seconds,
+                per_rank_seconds=per_rank_seconds,
+                per_rank_hashed=per_rank_hashed,
+            )
+        # Exhausted (or timed out): everyone ran to completion.
+        wall = max(per_rank_seconds) + fabric
+        return ClusterSearchResult(
+            found=False,
+            seed=None,
+            distance=None,
+            finder_rank=None,
+            seeds_hashed_total=sum(per_rank_hashed),
+            wall_seconds=wall,
+            simulation_seconds=simulation_seconds,
+            per_rank_seconds=per_rank_seconds,
+            per_rank_hashed=per_rank_hashed,
+        )

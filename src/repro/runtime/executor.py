@@ -1,0 +1,243 @@
+"""Single-process vectorized RBC search executor.
+
+This is Algorithm 1 with NumPy lanes standing in for GPU threads: at each
+Hamming distance the executor pulls a batch of combinations, XORs the
+resulting masks into the base seed, hashes the whole batch with one kernel
+call, and compares all digests against the client's digest at once.
+
+Two combination sources are supported, mirroring the paper's Table 4:
+
+* ``"unrank"`` (default) — vectorized Algorithm-515-style unranking;
+  batch generation is itself vectorized, so this is the fast path.
+* any :class:`~repro.combinatorics.iterator_base.CombinationIterator`
+  name (``"chase"``, ``"gosper"``, ``"lex"``, ``"unrank-scalar"``) —
+  combinations are produced by stepping the scalar iterator; used to
+  compare iterator costs on real hardware at reduced scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._bitutils import (
+    SEED_BITS,
+    positions_to_mask_words,
+    seed_to_words,
+    words_to_seed,
+)
+from repro.combinatorics.algorithm154 import Algorithm154Iterator
+from repro.combinatorics.algorithm382 import Algorithm382Iterator
+from repro.combinatorics.algorithm515 import Algorithm515Iterator
+from repro.combinatorics.binomial import binomial
+from repro.combinatorics.chase382 import Chase382Iterator
+from repro.combinatorics.gosper import GosperIterator
+from repro.combinatorics.ranking import unrank_lexicographic_batch
+from repro.hashes.registry import HashAlgorithm, get_hash
+
+__all__ = ["SearchResult", "ShellStats", "BatchSearchExecutor", "ITERATOR_CHOICES"]
+
+ITERATOR_CHOICES = (
+    "unrank", "chase", "chase-382", "gosper", "lex", "unrank-scalar",
+)
+
+_SCALAR_ITERATORS = {
+    "chase": Algorithm382Iterator,      # revolving-door minimal change
+    "chase-382": Chase382Iterator,      # Chase's Algorithm 382 proper
+    "gosper": GosperIterator,
+    "lex": Algorithm154Iterator,
+    "unrank-scalar": Algorithm515Iterator,
+}
+
+
+@dataclass(frozen=True)
+class ShellStats:
+    """Per-Hamming-distance breakdown of one search."""
+
+    distance: int
+    seeds_hashed: int
+    seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Seeds hashed per second within this shell."""
+        return self.seeds_hashed / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one RBC search."""
+
+    found: bool
+    seed: bytes | None
+    distance: int | None
+    seeds_hashed: int
+    elapsed_seconds: float
+    timed_out: bool = False
+    #: Optional per-shell breakdown (engines that track it populate this).
+    shells: tuple[ShellStats, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+class BatchSearchExecutor:
+    """Vectorized single-process search engine.
+
+    Parameters
+    ----------
+    hash_name:
+        Registered hash algorithm ("sha1", "sha256", "sha3-256").
+    batch_size:
+        Seeds hashed per kernel call — the lane width. This plays the
+        role of the GPU's total thread count times seeds-per-check.
+    iterator:
+        Combination source; see module docstring.
+    fixed_padding:
+        Use the fixed-pad fast path (paper Section 3.2.2).
+    """
+
+    def __init__(
+        self,
+        hash_name: str = "sha3-256",
+        batch_size: int = 16384,
+        iterator: str = "unrank",
+        fixed_padding: bool = True,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if iterator not in ITERATOR_CHOICES:
+            raise ValueError(
+                f"unknown iterator {iterator!r}; choices: {ITERATOR_CHOICES}"
+            )
+        self.algo: HashAlgorithm = get_hash(hash_name)
+        self.batch_size = batch_size
+        self.iterator = iterator
+        self.fixed_padding = fixed_padding
+
+    # -- combination batches -------------------------------------------
+
+    def _combination_batches(self, distance: int, start: int, stop: int):
+        """Yield ``(N, distance)`` position arrays covering ranks [start, stop)."""
+        if self.iterator == "unrank":
+            for lo in range(start, stop, self.batch_size):
+                hi = min(lo + self.batch_size, stop)
+                ranks = np.arange(lo, hi, dtype=np.uint64)
+                yield unrank_lexicographic_batch(SEED_BITS, distance, ranks)
+            return
+        iterator = _SCALAR_ITERATORS[self.iterator](SEED_BITS, distance)
+        iterator.skip_to(start)
+        remaining = stop - start
+        while remaining > 0:
+            count = min(self.batch_size, remaining)
+            combos = iterator.take(count)
+            yield np.array(combos, dtype=np.int64)
+            remaining -= len(combos)
+            if len(combos) < count:
+                return  # sequence exhausted early (shouldn't happen)
+            if remaining > 0 and not iterator.advance():
+                return
+
+    # -- search ---------------------------------------------------------
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+        rank_range_by_distance: dict[int, tuple[int, int]] | None = None,
+    ) -> SearchResult:
+        """Run Algorithm 1: search Hamming distances 0..max_distance.
+
+        ``rank_range_by_distance`` restricts each shell to a rank
+        sub-range — how a multi-worker harness splits the space.
+        ``time_budget`` enforces the protocol's T threshold; on expiry the
+        result has ``timed_out=True``.
+        """
+        start_time = time.perf_counter()
+        target_words = self.algo.digest_to_words(target_digest)
+        base_words = seed_to_words(base_seed)
+        seeds_hashed = 0
+        shells: list[ShellStats] = []
+
+        # Distance 0: thread r=0 checks S_init itself (Algorithm 1 l.4-8).
+        digest0 = self.algo.hash_seed(base_seed)
+        seeds_hashed += 1
+        shells.append(ShellStats(0, 1, time.perf_counter() - start_time))
+        if digest0 == target_digest:
+            return SearchResult(
+                True, base_seed, 0, seeds_hashed,
+                time.perf_counter() - start_time, shells=tuple(shells),
+            )
+
+        for distance in range(1, max_distance + 1):
+            total = binomial(SEED_BITS, distance)
+            lo, hi = (0, total)
+            if rank_range_by_distance and distance in rank_range_by_distance:
+                lo, hi = rank_range_by_distance[distance]
+            if lo >= hi:
+                continue
+            shell_start = time.perf_counter()
+            shell_hashed = 0
+            for positions in self._combination_batches(distance, lo, hi):
+                masks = positions_to_mask_words(positions)
+                candidate_words = base_words[None, :] ^ masks
+                digests = self.algo.hash_seeds_batch(
+                    candidate_words, fixed_padding=self.fixed_padding
+                )
+                seeds_hashed += candidate_words.shape[0]
+                shell_hashed += candidate_words.shape[0]
+                matches = np.flatnonzero((digests == target_words).all(axis=1))
+                if matches.size:
+                    index = int(matches[0])
+                    found = words_to_seed(candidate_words[index])
+                    shells.append(
+                        ShellStats(
+                            distance, shell_hashed,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
+                    return SearchResult(
+                        True, found, distance, seeds_hashed,
+                        time.perf_counter() - start_time, shells=tuple(shells),
+                    )
+                if (
+                    time_budget is not None
+                    and time.perf_counter() - start_time > time_budget
+                ):
+                    shells.append(
+                        ShellStats(
+                            distance, shell_hashed,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
+                    return SearchResult(
+                        False, None, None, seeds_hashed,
+                        time.perf_counter() - start_time, timed_out=True,
+                        shells=tuple(shells),
+                    )
+            shells.append(
+                ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
+            )
+        return SearchResult(
+            False, None, None, seeds_hashed, time.perf_counter() - start_time,
+            shells=tuple(shells),
+        )
+
+    def throughput_probe(self, num_seeds: int = 50000, rng_seed: int = 0) -> float:
+        """Measured hashes/second of this executor's kernel on this host.
+
+        Feeds the device-model calibration cross-checks: the paper's
+        throughput constants are scaled, but the *relative* costs between
+        hash algorithms come out of probes like this one.
+        """
+        rng = np.random.default_rng(rng_seed)
+        words = rng.integers(0, 1 << 63, size=(num_seeds, 4), dtype=np.int64)
+        words = words.astype(np.uint64)
+        start = time.perf_counter()
+        self.algo.hash_seeds_batch(words, fixed_padding=self.fixed_padding)
+        elapsed = time.perf_counter() - start
+        return num_seeds / elapsed

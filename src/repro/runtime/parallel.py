@@ -1,0 +1,183 @@
+"""Multiprocessing RBC search with a shared early-exit flag.
+
+The Python analogue of SALTED-CPU: ``p`` worker processes each own a
+contiguous rank range of every Hamming-distance shell and run the
+vectorized batch search over it; a shared flag (the OpenMP variant keeps
+it in main memory, Algorithm 1 lines 7/15) tells everyone to stop as soon
+as any worker finds the seed.
+
+Workers check the flag between kernel batches — the same granularity knob
+the paper studies in Section 4.4 (it found checking every iteration free
+on the GPU; between-batch checking is the vectorized equivalent).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+
+from repro._bitutils import SEED_BITS
+from repro.combinatorics.binomial import binomial
+from repro.runtime.executor import BatchSearchExecutor, SearchResult
+from repro.runtime.partition import partition_ranks
+
+__all__ = ["ParallelSearchExecutor"]
+
+
+@dataclass
+class _WorkerTask:
+    worker_index: int
+    hash_name: str
+    batch_size: int
+    iterator: str
+    fixed_padding: bool
+    base_seed: bytes
+    target_digest: bytes
+    max_distance: int
+    rank_ranges: dict[int, tuple[int, int]]
+    time_budget: float | None
+
+
+def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
+    """Worker body: batch-search this worker's subspace, honor the flag."""
+    executor = BatchSearchExecutor(
+        hash_name=task.hash_name,
+        batch_size=task.batch_size,
+        iterator=task.iterator,
+        fixed_padding=task.fixed_padding,
+    )
+    import numpy as np
+
+    from repro._bitutils import positions_to_mask_words, seed_to_words, words_to_seed
+
+    start_time = time.perf_counter()
+    algo = executor.algo
+    target_words = algo.digest_to_words(task.target_digest)
+    base_words = seed_to_words(task.base_seed)
+    seeds_hashed = 0
+
+    if task.worker_index == 0:
+        # Thread r=0 checks distance 0 (Algorithm 1 lines 4-8).
+        seeds_hashed += 1
+        if algo.hash_seed(task.base_seed) == task.target_digest:
+            flag.value = 1
+            result_queue.put(
+                (task.worker_index, True, task.base_seed, 0, seeds_hashed)
+            )
+            return
+
+    for distance in range(1, task.max_distance + 1):
+        lo, hi = task.rank_ranges.get(distance, (0, 0))
+        if lo >= hi:
+            continue
+        for positions in executor._combination_batches(distance, lo, hi):
+            if flag.value:
+                result_queue.put(
+                    (task.worker_index, False, None, None, seeds_hashed)
+                )
+                return
+            masks = positions_to_mask_words(positions)
+            candidate_words = base_words[None, :] ^ masks
+            digests = algo.hash_seeds_batch(
+                candidate_words, fixed_padding=task.fixed_padding
+            )
+            seeds_hashed += candidate_words.shape[0]
+            matches = np.flatnonzero((digests == target_words).all(axis=1))
+            if matches.size:
+                flag.value = 1
+                found = words_to_seed(candidate_words[int(matches[0])])
+                result_queue.put(
+                    (task.worker_index, True, found, distance, seeds_hashed)
+                )
+                return
+            if (
+                task.time_budget is not None
+                and time.perf_counter() - start_time > task.time_budget
+            ):
+                result_queue.put(
+                    (task.worker_index, False, None, None, seeds_hashed)
+                )
+                return
+    result_queue.put((task.worker_index, False, None, None, seeds_hashed))
+
+
+class ParallelSearchExecutor:
+    """Data-parallel search over ``workers`` processes (SALTED-CPU analogue)."""
+
+    def __init__(
+        self,
+        hash_name: str = "sha3-256",
+        workers: int | None = None,
+        batch_size: int = 8192,
+        iterator: str = "unrank",
+        fixed_padding: bool = True,
+    ):
+        self.hash_name = hash_name
+        self.workers = workers if workers is not None else mp.cpu_count()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        self.batch_size = batch_size
+        self.iterator = iterator
+        self.fixed_padding = fixed_padding
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Run the parallel search; merges worker outcomes."""
+        start_time = time.perf_counter()
+        ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+        flag = ctx.Value("i", 0)
+        result_queue = ctx.Queue()
+
+        processes = []
+        for w in range(self.workers):
+            rank_ranges = {}
+            for distance in range(1, max_distance + 1):
+                ranges = partition_ranks(binomial(SEED_BITS, distance), self.workers)
+                rank_ranges[distance] = ranges[w]
+            task = _WorkerTask(
+                worker_index=w,
+                hash_name=self.hash_name,
+                batch_size=self.batch_size,
+                iterator=self.iterator,
+                fixed_padding=self.fixed_padding,
+                base_seed=base_seed,
+                target_digest=target_digest,
+                max_distance=max_distance,
+                rank_ranges=rank_ranges,
+                time_budget=time_budget,
+            )
+            proc = ctx.Process(
+                target=_search_worker, args=(task, flag, result_queue), daemon=True
+            )
+            proc.start()
+            processes.append(proc)
+
+        found_seed = None
+        found_distance = None
+        total_hashed = 0
+        timed_out = False
+        for _ in range(self.workers):
+            worker_index, found, seed, distance, hashed = result_queue.get()
+            total_hashed += hashed
+            if found:
+                found_seed = seed
+                found_distance = distance
+        for proc in processes:
+            proc.join()
+        elapsed = time.perf_counter() - start_time
+        if found_seed is None and time_budget is not None and elapsed > time_budget:
+            timed_out = True
+        return SearchResult(
+            found=found_seed is not None,
+            seed=found_seed,
+            distance=found_distance,
+            seeds_hashed=total_hashed,
+            elapsed_seconds=elapsed,
+            timed_out=timed_out,
+        )

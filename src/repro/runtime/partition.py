@@ -1,0 +1,41 @@
+"""Seed-space partitioning.
+
+Algorithm 1 assigns each processing element ``n = C(256, d) / p`` seeds at
+every Hamming distance. These helpers compute the actual integer ranges:
+contiguous blocks (what SALTED-GPU with Algorithm 515 uses — each thread
+unranks its own block) and the checkpoint boundaries for Chase-style
+sequential iterators.
+"""
+
+from __future__ import annotations
+
+from repro.combinatorics.binomial import binomial
+
+__all__ = ["partition_ranks", "thread_rank_ranges"]
+
+
+def partition_ranks(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into ``parts`` near-equal half-open ranges.
+
+    The first ``total % parts`` ranges get one extra element, so range
+    sizes differ by at most 1 (the even workload the paper's checkpoint
+    spacing targets). Empty ranges are returned when parts > total.
+    """
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    base = total // parts
+    remainder = total % parts
+    ranges = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def thread_rank_ranges(n_bits: int, distance: int, threads: int) -> list[tuple[int, int]]:
+    """Per-thread rank ranges over the ``C(n_bits, distance)`` shell."""
+    return partition_ranks(binomial(n_bits, distance), threads)

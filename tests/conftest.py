@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def base_seed(rng) -> bytes:
+    return rng.bytes(32)
+
+
+@pytest.fixture
+def planted_pair(base_seed, rng):
+    """(base_seed, client_seed, distance) with the client seed planted at
+    a known Hamming distance 2."""
+    positions = sorted(rng.choice(256, size=2, replace=False).tolist())
+    return base_seed, flip_bits(base_seed, positions), 2
+
+
+@pytest.fixture
+def small_authority():
+    """A fully enrolled CA + client at interactive scale (d <= 2)."""
+    from repro import quick_setup
+
+    authority, client, mask = quick_setup(seed=11)
+    return authority, client, mask

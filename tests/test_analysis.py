@@ -1,0 +1,56 @@
+"""Reporting helpers: tables, heatmaps, metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    PaperComparison,
+    compare_to_paper,
+    parallel_efficiency,
+    speedup,
+)
+from repro.analysis.tables import format_heatmap, format_table
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_heatmap_marks_minimum(self):
+        out = format_heatmap([1, 2], ["a", "b"], [[2.0, 1.0], [3.0, 4.0]])
+        assert out.count("*") == 1
+        assert "1.000*" in out
+
+    def test_heatmap_axis_labels(self):
+        out = format_heatmap([1], ["a"], [[1.0]], row_axis="n", col_axis="b")
+        assert "n\\b" in out
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_efficiency(self):
+        assert parallel_efficiency(10.0, 2.0, 5) == 1.0
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(10.0, 2.0, 0)
+
+    def test_comparison_deviation(self):
+        comp = compare_to_paper("T5", "gpu-sha3", 4.67, 4.70)
+        assert comp.deviation_percent == pytest.approx(0.64, abs=0.05)
+        assert comp.ratio == pytest.approx(4.70 / 4.67)
+
+    def test_comparison_row_format(self):
+        row = PaperComparison("T5", "x", 1.0, 1.1).row()
+        assert row[0] == "T5" and row[-1] == "+10.0%"

@@ -1,0 +1,154 @@
+"""Associative-match search and the fuzzy-extractor ECC contrast."""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+from repro.devices.associative import AssociativeProcessor
+from repro.devices.bitserial_search import AssociativeSearchEngine, associative_match
+from repro.puf.fuzzy_extractor import RepetitionFuzzyExtractor
+
+
+class TestAssociativeMatch:
+    def test_match_vector(self):
+        proc = AssociativeProcessor(4)
+        field = np.array([[1, 2], [3, 4], [1, 2], [5, 6]], dtype=np.uint32)
+        matches = associative_match(proc, field, np.array([1, 2], dtype=np.uint32))
+        assert matches.tolist() == [True, False, True, False]
+
+    def test_match_costs_ops(self):
+        proc = AssociativeProcessor(2)
+        before = proc.op_count
+        associative_match(
+            proc, np.zeros((2, 5), dtype=np.uint32), np.zeros(5, dtype=np.uint32)
+        )
+        assert proc.op_count - before == 5 * 32  # one sweep per key bit
+
+    def test_shape_validation(self):
+        proc = AssociativeProcessor(2)
+        with pytest.raises(ValueError):
+            associative_match(
+                proc, np.zeros((3, 5), dtype=np.uint32), np.zeros(5, np.uint32)
+            )
+        with pytest.raises(ValueError):
+            associative_match(
+                proc, np.zeros((2, 5), dtype=np.uint32), np.zeros(4, np.uint32)
+            )
+
+
+class TestAssociativeSearchEngine:
+    @pytest.mark.parametrize("hash_name", ["sha1", "sha3-256"])
+    def test_finds_planted_candidate(self, hash_name, rng):
+        from repro.hashes.registry import get_hash
+
+        engine = AssociativeSearchEngine(hash_name)
+        base = rng.bytes(32)
+        candidates = [flip_bits(base, [i]) for i in range(6)]
+        target = get_hash(hash_name).scalar(candidates[4])
+        index, proc = engine.search_batch(candidates, target)
+        assert index == 4
+        assert proc.op_count > 0
+
+    def test_no_match_returns_none(self, rng):
+        engine = AssociativeSearchEngine("sha1")
+        candidates = [rng.bytes(32) for _ in range(4)]
+        index, _proc = engine.search_batch(candidates, b"\x00" * 20)
+        assert index is None
+
+    def test_ops_per_candidate_scale(self):
+        sha1_ops = AssociativeSearchEngine("sha1").ops_per_candidate(2)
+        sha3_ops = AssociativeSearchEngine("sha3-256").ops_per_candidate(2)
+        assert sha3_ops > 2 * sha1_ops  # the APU's SHA-3 penalty, again
+
+    def test_unsupported_hash(self):
+        with pytest.raises(ValueError):
+            AssociativeSearchEngine("sha256")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            AssociativeSearchEngine("sha1").search_batch([], b"\x00" * 20)
+
+
+class TestFuzzyExtractor:
+    @pytest.fixture
+    def extractor(self):
+        return RepetitionFuzzyExtractor(secret_bits=64, repetition=5)
+
+    def test_clean_roundtrip(self, extractor, rng):
+        reading = rng.integers(0, 2, extractor.reading_bits, dtype=np.uint8)
+        secret, helper = extractor.enroll(reading, rng)
+        assert (extractor.reproduce(reading, helper) == secret).all()
+
+    def test_corrects_scattered_errors(self, extractor, rng):
+        reading = rng.integers(0, 2, extractor.reading_bits, dtype=np.uint8)
+        secret, helper = extractor.enroll(reading, rng)
+        noisy = reading.copy()
+        # Two errors per group are correctable with r=5 (majority of 5).
+        noisy[0] ^= 1
+        noisy[1] ^= 1
+        noisy[5 * 10] ^= 1
+        assert (extractor.reproduce(noisy, helper) == secret).all()
+
+    def test_fails_beyond_correction_radius(self, extractor, rng):
+        reading = rng.integers(0, 2, extractor.reading_bits, dtype=np.uint8)
+        secret, helper = extractor.enroll(reading, rng)
+        noisy = reading.copy()
+        noisy[0:3] ^= 1  # three errors in one 5-bit group flip that bit
+        recovered = extractor.reproduce(noisy, helper)
+        assert recovered[0] != secret[0]
+        assert (recovered[1:] == secret[1:]).all()
+
+    def test_failure_probability_model(self, extractor):
+        assert extractor.failure_probability(0.0) == 0.0
+        low = extractor.failure_probability(0.01)
+        high = extractor.failure_probability(0.1)
+        assert 0.0 < low < high < 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RepetitionFuzzyExtractor(repetition=4)  # even
+        with pytest.raises(ValueError):
+            RepetitionFuzzyExtractor(secret_bits=0)
+        extractor = RepetitionFuzzyExtractor(secret_bits=8, repetition=3)
+        with pytest.raises(ValueError):
+            extractor.reproduce(np.zeros(10, np.uint8), None)
+
+    def test_helper_mismatch_rejected(self, extractor, rng):
+        reading = rng.integers(0, 2, extractor.reading_bits, dtype=np.uint8)
+        _secret, helper = extractor.enroll(reading, rng)
+        other = RepetitionFuzzyExtractor(secret_bits=64, repetition=7)
+        reading7 = rng.integers(0, 2, other.reading_bits, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            other.reproduce(reading7, helper)
+
+
+class TestRBCVsECCTradeoff:
+    """The paper's motivating comparison, quantified."""
+
+    def test_client_cost_asymmetry(self):
+        """ECC reproduction costs thousands of client bit-ops; RBC's
+        client does one hash and no correction at all."""
+        extractor = RepetitionFuzzyExtractor(secret_bits=256, repetition=5)
+        assert extractor.client_bit_operations() > 2500
+
+    def test_reliability_needs_more_repetition_than_iot_can_store(self):
+        """At a 5-bit-in-256 error rate (~2%), r=3 fails often while
+        r=7 is reliable — helper storage and leakage triple."""
+        error_rate = 5 / 256
+        weak = RepetitionFuzzyExtractor(256, 3)
+        strong = RepetitionFuzzyExtractor(256, 7)
+        assert weak.failure_probability(error_rate) > 0.05
+        assert strong.failure_probability(error_rate) < 0.01
+        assert strong.helper_leakage_bits() == 3 * weak.helper_leakage_bits()
+
+    def test_rbc_has_no_helper_leakage_channel(self, rng):
+        """RBC publishes only a one-way digest; the ECC path publishes
+        helper data whose bits are linear in the reading."""
+        extractor = RepetitionFuzzyExtractor(secret_bits=32, repetition=3)
+        reading = rng.integers(0, 2, extractor.reading_bits, dtype=np.uint8)
+        secret, helper = extractor.enroll(reading, rng)
+        # Given the helper and the reading, the secret is fully determined
+        # (linear relation) — the leakage RBC's threat model forbids.
+        recovered = extractor.reproduce(reading, helper)
+        assert (recovered == secret).all()
+        assert extractor.helper_leakage_bits() > 0

@@ -1,0 +1,148 @@
+"""Unit tests for repro._bitutils — representation conversions."""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import (
+    SEED_BITS,
+    SEED_BYTES,
+    flip_bits,
+    hamming_distance,
+    hamming_distance_words,
+    int_to_seed,
+    popcount64,
+    positions_to_mask_int,
+    positions_to_mask_words,
+    random_seed,
+    rotate_left_int,
+    seed_to_int,
+    seed_to_words,
+    seeds_to_words,
+    words_to_seed,
+    words_to_seeds,
+)
+
+
+class TestIntConversion:
+    def test_roundtrip_zero(self):
+        assert seed_to_int(int_to_seed(0)) == 0
+
+    def test_roundtrip_max(self):
+        value = (1 << SEED_BITS) - 1
+        assert seed_to_int(int_to_seed(value)) == value
+
+    def test_big_endian_convention(self):
+        # Bit 0 is the LSB of the integer => last byte of the seed.
+        seed = int_to_seed(1)
+        assert seed[-1] == 1 and seed[:-1] == bytes(SEED_BYTES - 1)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            seed_to_int(b"\x00" * 31)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_seed(1 << SEED_BITS)
+        with pytest.raises(ValueError):
+            int_to_seed(-1)
+
+
+class TestWordConversion:
+    def test_word_zero_holds_low_bits(self):
+        words = seed_to_words(int_to_seed(0xDEADBEEF))
+        assert words[0] == 0xDEADBEEF and words[1:].sum() == 0
+
+    def test_roundtrip_single(self, rng):
+        seed = rng.bytes(32)
+        assert words_to_seed(seed_to_words(seed)) == seed
+
+    def test_batch_matches_scalar(self, rng):
+        seeds = [rng.bytes(32) for _ in range(17)]
+        batch = seeds_to_words(seeds)
+        for i, seed in enumerate(seeds):
+            assert (batch[i] == seed_to_words(seed)).all()
+
+    def test_batch_roundtrip(self, rng):
+        seeds = [rng.bytes(32) for _ in range(9)]
+        assert words_to_seeds(seeds_to_words(seeds)) == seeds
+
+    def test_empty_batch(self):
+        assert seeds_to_words([]).shape == (0, 4)
+
+    def test_words_shape_validation(self):
+        with pytest.raises(ValueError):
+            words_to_seed(np.zeros(3, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            words_to_seeds(np.zeros((2, 3), dtype=np.uint64))
+
+
+class TestHamming:
+    def test_identical_is_zero(self, base_seed):
+        assert hamming_distance(base_seed, base_seed) == 0
+
+    def test_single_flip(self, base_seed):
+        assert hamming_distance(base_seed, flip_bits(base_seed, [100])) == 1
+
+    def test_all_bits(self):
+        a = bytes(32)
+        b = b"\xff" * 32
+        assert hamming_distance(a, b) == 256
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance(b"\x00", b"\x00\x00")
+
+    def test_words_matches_bytes(self, rng):
+        seeds_a = [rng.bytes(32) for _ in range(20)]
+        seeds_b = [rng.bytes(32) for _ in range(20)]
+        batch = hamming_distance_words(seeds_to_words(seeds_a), seeds_to_words(seeds_b))
+        for i in range(20):
+            assert batch[i] == hamming_distance(seeds_a[i], seeds_b[i])
+
+    def test_popcount64_extremes(self):
+        arr = np.array([0, 1, (1 << 64) - 1, 1 << 63], dtype=np.uint64)
+        assert popcount64(arr).tolist() == [0, 1, 64, 1]
+
+
+class TestFlipAndMasks:
+    def test_flip_is_involution(self, base_seed):
+        assert flip_bits(flip_bits(base_seed, [3, 77]), [3, 77]) == base_seed
+
+    def test_flip_rejects_out_of_range(self, base_seed):
+        with pytest.raises(ValueError):
+            flip_bits(base_seed, [256])
+
+    def test_mask_int_matches_flip(self, base_seed):
+        positions = [0, 63, 64, 255]
+        mask = positions_to_mask_int(positions)
+        flipped = int_to_seed(seed_to_int(base_seed) ^ mask)
+        assert flipped == flip_bits(base_seed, positions)
+
+    def test_mask_int_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            positions_to_mask_int([5, 5])
+
+    def test_mask_words_matches_mask_int(self):
+        positions = np.array([[0, 63, 64, 255], [1, 2, 3, 4]])
+        masks = positions_to_mask_words(positions)
+        for row, pos in zip(masks, positions):
+            expected = positions_to_mask_int(pos.tolist())
+            got = sum(int(row[w]) << (64 * w) for w in range(4))
+            assert got == expected
+
+    def test_mask_words_single_row(self):
+        masks = positions_to_mask_words(np.array([7, 8]))
+        assert masks.shape == (1, 4)
+        assert int(masks[0, 0]) == (1 << 7) | (1 << 8)
+
+
+class TestMisc:
+    def test_random_seed_length(self, rng):
+        assert len(random_seed(rng)) == 32
+
+    def test_rotate_roundtrip(self):
+        value = 0x123456789ABCDEF
+        assert rotate_left_int(rotate_left_int(value, 100), 156) == value
+
+    def test_rotate_by_width_is_identity(self):
+        assert rotate_left_int(42, 256) == 42

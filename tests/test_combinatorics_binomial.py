@@ -1,0 +1,90 @@
+"""Tests for binomial math and the paper's Equations 1-3 / Table 1."""
+
+import math
+
+import pytest
+
+from repro.combinatorics.binomial import (
+    average_seed_count,
+    binomial,
+    binomial_table,
+    cumulative_ball_size,
+    exhaustive_seed_count,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(0, 30):
+            for k in range(0, n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_large_exact(self):
+        assert binomial(256, 5) == math.comb(256, 5)
+        assert binomial(256, 128) == math.comb(256, 128)
+
+    def test_table_matches_function(self):
+        table = binomial_table(20, 6)
+        for n in range(21):
+            for k in range(7):
+                assert table[n, k] == binomial(n, k)
+
+    def test_table_uint64_dtype(self):
+        import numpy as np
+
+        table = binomial_table(256, 5, dtype=np.uint64)
+        assert int(table[256, 5]) == math.comb(256, 5)
+
+
+class TestSearchSpaces:
+    """The exact values of the paper's Table 1."""
+
+    def test_exhaustive_d1(self):
+        # Table 1 lists 256 for d=1 (the paper counts the d=1 shell).
+        assert exhaustive_seed_count(1) == 1 + 256
+
+    @pytest.mark.parametrize(
+        "d,paper_magnitude",
+        [(2, 3.3e4), (3, 2.8e6), (4, 1.8e8), (5, 9.0e9)],
+    )
+    def test_exhaustive_matches_table1(self, d, paper_magnitude):
+        assert exhaustive_seed_count(d) == pytest.approx(paper_magnitude, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "d,paper_magnitude",
+        [(2, 1.7e4), (3, 1.4e6), (4, 9.0e7), (5, 4.6e9)],
+    )
+    def test_average_matches_table1(self, d, paper_magnitude):
+        assert average_seed_count(d) == pytest.approx(paper_magnitude, rel=0.05)
+
+    def test_average_d1(self):
+        # a(1) = C(256,0) + C(256,1)/2 = 1 + 128 = 129 (Table 1: 129).
+        assert average_seed_count(1) == 129
+
+    def test_average_below_exhaustive(self):
+        for d in range(1, 8):
+            assert average_seed_count(d) < exhaustive_seed_count(d)
+
+    def test_average_above_previous_exhaustive(self):
+        for d in range(2, 8):
+            assert average_seed_count(d) > exhaustive_seed_count(d - 1)
+
+    def test_exact_d5_value(self):
+        expected = sum(math.comb(256, i) for i in range(6))
+        assert exhaustive_seed_count(5) == expected == 8987138113
+
+    def test_ball_size_full_space(self):
+        assert cumulative_ball_size(10, 10) == 1024
+
+    def test_ball_size_validation(self):
+        with pytest.raises(ValueError):
+            cumulative_ball_size(10, -1)
+
+    def test_average_requires_positive_d(self):
+        with pytest.raises(ValueError):
+            average_seed_count(0)

@@ -1,0 +1,177 @@
+"""Cross-cutting tests of the four combination iterators.
+
+Each iterator implements the shared CombinationIterator interface; these
+tests check the contract uniformly: full coverage without repetition,
+deterministic reset, state snapshot/restore, cloning, and random access.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.combinatorics import (
+    Algorithm154Iterator,
+    Algorithm382Iterator,
+    Algorithm515Iterator,
+    Chase382Iterator,
+    GosperIterator,
+    binomial,
+)
+
+ITERATORS = [
+    Algorithm154Iterator,
+    Algorithm382Iterator,
+    Algorithm515Iterator,
+    Chase382Iterator,
+    GosperIterator,
+]
+
+
+@pytest.fixture(params=ITERATORS, ids=lambda c: c.__name__)
+def iterator_class(request):
+    return request.param
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("n,k", [(6, 3), (8, 2), (9, 4), (5, 5), (7, 1)])
+    def test_visits_every_combination_once(self, iterator_class, n, k):
+        seen = list(iterator_class(n, k))
+        assert len(seen) == binomial(n, k)
+        assert set(seen) == set(combinations(range(n), k))
+
+    def test_k_zero_yields_empty_tuple(self, iterator_class):
+        assert list(iterator_class(5, 0)) == [()]
+
+    def test_k_equals_n(self, iterator_class):
+        assert list(iterator_class(4, 4)) == [tuple(range(4))]
+
+    def test_combinations_strictly_increasing(self, iterator_class):
+        for combo in iterator_class(10, 4):
+            assert all(combo[i] < combo[i + 1] for i in range(3))
+
+    def test_invalid_parameters_rejected(self, iterator_class):
+        with pytest.raises(ValueError):
+            iterator_class(3, 4)
+        with pytest.raises(ValueError):
+            iterator_class(-1, 0)
+
+
+class TestProtocol:
+    def test_advance_returns_false_at_end(self, iterator_class):
+        it = iterator_class(4, 2)
+        count = 1
+        while it.advance():
+            count += 1
+        assert count == 6
+        assert it.advance() is False  # stays exhausted
+
+    def test_reset_restarts_sequence(self, iterator_class):
+        it = iterator_class(7, 3)
+        first_pass = list(it)
+        second_pass = list(it)
+        assert first_pass == second_pass
+
+    def test_state_restore_resumes_exactly(self, iterator_class):
+        it = iterator_class(9, 3)
+        for _ in range(10):
+            it.advance()
+        snapshot = it.state()
+        tail_a = it.take(12)
+        fresh = iterator_class(9, 3)
+        fresh.restore(snapshot)
+        tail_b = fresh.take(12)
+        assert tail_a == tail_b
+
+    def test_clone_is_independent(self, iterator_class):
+        it = iterator_class(8, 3)
+        it.advance()
+        twin = it.clone()
+        assert twin.current() == it.current()
+        it.advance()
+        assert twin.current() != it.current()
+
+    def test_skip_to_matches_stepping(self, iterator_class):
+        reference = list(iterator_class(8, 3))
+        for rank in (0, 1, 7, 25, len(reference) - 1):
+            it = iterator_class(8, 3)
+            it.skip_to(rank)
+            assert it.current() == reference[rank]
+
+    def test_skip_to_negative_rejected(self, iterator_class):
+        with pytest.raises((ValueError, IndexError)):
+            iterator_class(8, 3).skip_to(-1)
+
+    def test_take_stops_at_end(self, iterator_class):
+        it = iterator_class(5, 2)
+        assert len(it.take(100)) == 10
+
+
+class TestCheckpoints:
+    """The Chase-checkpoint parallelization scheme (paper Section 3.2.1)."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 7])
+    def test_checkpoints_partition_sequence(self, iterator_class, threads):
+        n, k = 9, 3
+        total = binomial(n, k)
+        it = iterator_class(n, k)
+        states = it.checkpoints(threads)
+        assert len(states) == threads
+        # Replaying each chunk end-to-end covers the sequence exactly.
+        replayed = []
+        boundaries = [(i * total) // threads for i in range(threads)] + [total]
+        for idx, state in enumerate(states):
+            worker = iterator_class(n, k)
+            worker.restore(state)
+            chunk = boundaries[idx + 1] - boundaries[idx]
+            replayed.extend(worker.take(chunk))
+        assert replayed == list(iterator_class(n, k))
+
+    def test_checkpoints_even_workloads(self, iterator_class):
+        total = binomial(9, 3)  # 84
+        states = iterator_class(9, 3).checkpoints(7)
+        sizes = []
+        boundaries = [(i * total) // 7 for i in range(7)] + [total]
+        for a, b in zip(boundaries, boundaries[1:]):
+            sizes.append(b - a)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_checkpoint_count_validation(self, iterator_class):
+        with pytest.raises(ValueError):
+            iterator_class(5, 2).checkpoints(0)
+
+
+class TestOrderings:
+    def test_algorithm154_is_lexicographic(self):
+        assert list(Algorithm154Iterator(6, 3)) == list(combinations(range(6), 3))
+
+    def test_algorithm515_is_lexicographic(self):
+        assert list(Algorithm515Iterator(6, 3)) == list(combinations(range(6), 3))
+
+    def test_gosper_is_colex_mask_order(self):
+        masks = []
+        it = GosperIterator(6, 3)
+        masks.append(it.current_mask())
+        while it.advance():
+            masks.append(it.current_mask())
+        assert masks == sorted(masks)
+
+    def test_algorithm382_is_minimal_change(self):
+        seq = list(Algorithm382Iterator(9, 4))
+        for a, b in zip(seq, seq[1:]):
+            # Exactly one element swapped per transition (2 bits flip).
+            assert len(set(a) ^ set(b)) == 2
+
+    def test_chase382_is_minimal_change(self):
+        seq = list(Chase382Iterator(9, 4))
+        for a, b in zip(seq, seq[1:]):
+            assert len(set(a) ^ set(b)) == 2
+
+    def test_chase382_starts_at_top_block(self):
+        # TWIDDLE's convention: the first combination is {n-k..n-1}.
+        assert Chase382Iterator(9, 4).current() == (5, 6, 7, 8)
+
+    def test_chase382_and_revolving_door_are_different_orders(self):
+        a = list(Chase382Iterator(7, 3))
+        b = list(Algorithm382Iterator(7, 3))
+        assert set(a) == set(b)
+        assert a != b  # same family, distinct Gray codes

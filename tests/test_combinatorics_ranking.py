@@ -1,0 +1,79 @@
+"""Tests for rank/unrank utilities including the vectorized batch path."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.combinatorics.binomial import binomial
+from repro.combinatorics.ranking import (
+    combinations_to_masks,
+    rank_lexicographic,
+    unrank_lexicographic_batch,
+    unrank_lexicographic_exact,
+)
+
+
+class TestRank:
+    def test_rank_inverts_unrank(self):
+        for rank in range(binomial(9, 4)):
+            combo = unrank_lexicographic_exact(9, 4, rank)
+            assert rank_lexicographic(9, combo) == rank
+
+    def test_rank_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            rank_lexicographic(9, (3, 1))
+
+    def test_rank_rejects_out_of_range_elements(self):
+        with pytest.raises(ValueError):
+            rank_lexicographic(9, (0, 9))
+
+    def test_rank_empty_combination(self):
+        assert rank_lexicographic(9, ()) == 0
+
+
+class TestBatchUnrank:
+    @pytest.mark.parametrize("n,k", [(8, 3), (10, 5), (12, 1)])
+    def test_matches_itertools(self, n, k):
+        expected = list(combinations(range(n), k))
+        got = unrank_lexicographic_batch(n, k, np.arange(len(expected)))
+        assert [tuple(row) for row in got] == expected
+
+    def test_large_space_spot_checks(self):
+        ranks = np.array([0, 1, 255, 10**6, binomial(256, 5) - 1], dtype=np.uint64)
+        got = unrank_lexicographic_batch(256, 5, ranks)
+        for row, rank in zip(got, ranks):
+            assert tuple(row) == unrank_lexicographic_exact(256, 5, int(rank))
+
+    def test_rows_strictly_increasing(self):
+        got = unrank_lexicographic_batch(256, 5, np.arange(1000, 2000))
+        assert (np.diff(got, axis=1) > 0).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            unrank_lexicographic_batch(8, 3, np.array([binomial(8, 3)]))
+
+    def test_k_zero(self):
+        got = unrank_lexicographic_batch(8, 0, np.array([0, 0]))
+        assert got.shape == (2, 0)
+
+    def test_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            unrank_lexicographic_batch(256, 100, np.array([0]))
+
+    def test_empty_ranks(self):
+        got = unrank_lexicographic_batch(8, 3, np.array([], dtype=np.uint64))
+        assert got.shape == (0, 3)
+
+
+class TestMasks:
+    def test_masks_have_correct_popcount(self):
+        positions = unrank_lexicographic_batch(256, 5, np.arange(100))
+        masks = combinations_to_masks(positions)
+        from repro._bitutils import popcount64
+
+        assert (popcount64(masks).sum(axis=1) == 5).all()
+
+    def test_mask_bit_placement(self):
+        masks = combinations_to_masks(np.array([[0, 64, 128, 192]]))
+        assert (masks[0] == np.ones(4, dtype=np.uint64)).all()

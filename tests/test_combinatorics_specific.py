@@ -1,0 +1,121 @@
+"""Algorithm-specific behaviours of the individual generators."""
+
+import pytest
+
+from repro.combinatorics.algorithm154 import lexicographic_successor
+from repro.combinatorics.algorithm382 import minimal_change_sequence, minimal_change_step
+from repro.combinatorics.algorithm515 import Algorithm515Iterator, unrank_lexicographic
+from repro.combinatorics.binomial import binomial
+from repro.combinatorics.gosper import GosperIterator, gosper_next, gosper_next_native
+
+
+class TestGosper:
+    def test_next_preserves_popcount(self):
+        value = 0b10110
+        for _ in range(50):
+            nxt = gosper_next(value)
+            assert bin(nxt).count("1") == 3
+            assert nxt > value
+            value = nxt
+
+    def test_first_step(self):
+        assert gosper_next(0b0111) == 0b1011
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gosper_next(0)
+
+    def test_native_width_guard(self):
+        # Highest 3-subset mask of 64 bits has no 64-bit successor.
+        top = 0b111 << 61
+        with pytest.raises(OverflowError):
+            gosper_next_native(top, width=64)
+
+    def test_native_passes_in_range(self):
+        assert gosper_next_native(0b0111, width=64) == 0b1011
+
+    def test_multiword_256_bit_operation(self):
+        # Python bignums emulate the multiword path: cross the 64-bit line.
+        mask = (1 << 63) | (1 << 62)
+        nxt = gosper_next(mask)
+        assert nxt == (1 << 64) | 1  # run of 2 at top ripples over the word edge
+        assert nxt.bit_count() == 2
+
+    def test_state_restore_validates_popcount(self):
+        it = GosperIterator(8, 3)
+        with pytest.raises(ValueError):
+            it.restore((0b11, False))
+
+
+class TestAlgorithm154:
+    def test_successor_simple(self):
+        assert lexicographic_successor((0, 1, 2), 5) == (0, 1, 3)
+
+    def test_successor_carries(self):
+        assert lexicographic_successor((0, 3, 4), 5) == (1, 2, 3)
+
+    def test_successor_none_at_end(self):
+        assert lexicographic_successor((2, 3, 4), 5) is None
+
+
+class TestAlgorithm382:
+    def test_step_mutates_in_place(self):
+        c = [0, 1]
+        assert minimal_change_step(c, 4) is True
+        assert c != [0, 1]
+
+    def test_step_false_leaves_untouched(self):
+        # Find the last combination, then check it isn't modified.
+        seq = list(minimal_change_sequence(5, 2))
+        last = list(seq[-1])
+        copy = list(last)
+        assert minimal_change_step(last, 5) is False
+        assert last == copy
+
+    def test_sequence_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            list(minimal_change_sequence(3, 5))
+
+    def test_large_k_parity_coverage(self):
+        # Odd and even k exercise the two R3 branches.
+        for k in (3, 4):
+            seq = list(minimal_change_sequence(10, k))
+            assert len(seq) == binomial(10, k)
+            assert len(set(seq)) == len(seq)
+
+    def test_element_moves_are_bounded_swaps(self):
+        seq = list(minimal_change_sequence(8, 3))
+        for a, b in zip(seq, seq[1:]):
+            removed = set(a) - set(b)
+            added = set(b) - set(a)
+            assert len(removed) == 1 and len(added) == 1
+
+
+class TestAlgorithm515:
+    def test_unrank_first_and_last(self):
+        assert unrank_lexicographic(6, 3, 0) == (0, 1, 2)
+        assert unrank_lexicographic(6, 3, binomial(6, 3) - 1) == (3, 4, 5)
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(IndexError):
+            unrank_lexicographic(6, 3, binomial(6, 3))
+        with pytest.raises(IndexError):
+            unrank_lexicographic(6, 3, -1)
+
+    def test_unrank_256_bit_scale(self):
+        # d=5 scale: exact unranking deep into the space.
+        combo = unrank_lexicographic(256, 5, binomial(256, 5) - 1)
+        assert combo == (251, 252, 253, 254, 255)
+
+    def test_lookup_table_variant_matches(self):
+        plain = Algorithm515Iterator(10, 4)
+        table = Algorithm515Iterator(10, 4, use_lookup_table=True)
+        assert list(plain) == list(table)
+
+    def test_total_property(self):
+        assert Algorithm515Iterator(10, 4).total == binomial(10, 4)
+
+    def test_skip_to_is_constant_position(self):
+        it = Algorithm515Iterator(256, 5)
+        it.skip_to(123456789)
+        assert it.current() == unrank_lexicographic(256, 5, 123456789)

@@ -1,0 +1,149 @@
+"""Concurrent CA server: pooling, admission control, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CertificateAuthority,
+    RBCSearchService,
+    RegistrationAuthority,
+)
+from repro.core.protocol import ClientDevice
+from repro.core.salting import HashChainSalt
+from repro.keygen.interface import get_keygen
+from repro.net.concurrent import ConcurrentCAServer
+from repro.puf.image_db import EncryptedImageDatabase
+from repro.puf.model import SRAMPuf
+from repro.puf.ternary import enroll_with_masking
+from repro.runtime.executor import BatchSearchExecutor
+
+
+@pytest.fixture
+def fleet_authority():
+    authority = CertificateAuthority(
+        search_service=RBCSearchService(
+            BatchSearchExecutor("sha1", batch_size=8192), max_distance=1
+        ),
+        salt=HashChainSalt(),
+        keygen=get_keygen("aes-128"),
+        registration_authority=RegistrationAuthority(),
+        image_db=EncryptedImageDatabase(b"concurrent-mastr"),
+        hash_name="sha1",
+    )
+    clients = []
+    for i in range(6):
+        puf = SRAMPuf(num_cells=2048, stable_error=0.001, seed=9000 + i)
+        mask = enroll_with_masking(puf, 0, 2048, reads=48,
+                                   instability_threshold=0.02)
+        client_id = f"c{i}"
+        authority.enroll(client_id, mask)
+        device = ClientDevice(client_id, puf, noise_target_distance=1,
+                              rng=np.random.default_rng(i))
+        clients.append((client_id, device, mask))
+    return authority, clients
+
+
+def _digest_for(authority, client_id, device, mask):
+    challenge = authority.issue_challenge(client_id)
+    return device.respond(challenge, reference_mask=mask)
+
+
+class TestConcurrentServer:
+    def test_parallel_fleet_authenticates(self, fleet_authority):
+        authority, clients = fleet_authority
+        with ConcurrentCAServer(authority, workers=3) as server:
+            futures = []
+            for client_id, device, mask in clients:
+                digest = _digest_for(authority, client_id, device, mask)
+                futures.append(server.submit(client_id, digest))
+            results = [f.result(timeout=60) for f in futures]
+        assert all(r.authenticated for r in results)
+        snapshot = server.metrics.snapshot()
+        assert snapshot["completed"] == 6
+        assert snapshot["authenticated"] == 6
+
+    def test_duplicate_in_flight_rejected(self, fleet_authority):
+        import threading
+
+        authority, clients = fleet_authority
+        client_id, device, mask = clients[0]
+        digest = _digest_for(authority, client_id, device, mask)
+        other_digest = _digest_for(
+            authority, clients[1][0], clients[1][1], clients[1][2]
+        )
+        gate = threading.Event()
+        original = authority.run_search
+
+        def gated(cid, d):
+            gate.wait(timeout=30)
+            return original(cid, d)
+
+        authority.run_search = gated
+        try:
+            with ConcurrentCAServer(authority, workers=1) as server:
+                first = server.submit(clients[1][0], other_digest)
+                second = server.submit(client_id, digest)  # queued behind
+                with pytest.raises(RuntimeError, match="in flight"):
+                    server.submit(client_id, digest)
+                gate.set()
+                assert first.result(timeout=60) is not None
+                assert second.result(timeout=60).authenticated
+        finally:
+            authority.run_search = original
+        assert server.metrics.snapshot()["rejected_duplicate"] == 1
+
+    def test_saturation_rejects(self, fleet_authority):
+        import threading
+
+        authority, clients = fleet_authority
+        gate = threading.Event()
+        original = authority.run_search
+
+        def gated(client_id, digest):
+            gate.wait(timeout=30)
+            return original(client_id, digest)
+
+        authority.run_search = gated
+        try:
+            with ConcurrentCAServer(authority, workers=1, max_queue=2) as server:
+                submitted = []
+                rejected = 0
+                for client_id, device, mask in clients[:4]:
+                    digest = _digest_for(authority, client_id, device, mask)
+                    try:
+                        submitted.append(server.submit(client_id, digest))
+                    except RuntimeError:
+                        rejected += 1
+                gate.set()  # unblock the worker
+                for future in submitted:
+                    future.result(timeout=60)
+        finally:
+            authority.run_search = original
+        assert rejected >= 1
+        assert server.metrics.snapshot()["rejected_busy"] >= 1
+
+    def test_closed_server_rejects(self, fleet_authority):
+        authority, clients = fleet_authority
+        server = ConcurrentCAServer(authority, workers=1)
+        server.close()
+        client_id, device, mask = clients[0]
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(client_id, b"\x00" * 20)
+
+    def test_failed_auth_counted_but_not_authenticated(self, fleet_authority):
+        authority, clients = fleet_authority
+        from repro.hashes.sha1 import sha1
+
+        with ConcurrentCAServer(authority, workers=2) as server:
+            future = server.submit("c0", sha1(b"not the right seed" + b"\x00" * 14))
+            result = future.result(timeout=60)
+        assert not result.authenticated
+        snapshot = server.metrics.snapshot()
+        assert snapshot["completed"] == 1 and snapshot["authenticated"] == 0
+
+    def test_validation(self, fleet_authority):
+        authority, _clients = fleet_authority
+        with pytest.raises(ValueError):
+            ConcurrentCAServer(authority, workers=0)
+        with pytest.raises(ValueError):
+            ConcurrentCAServer(authority, max_queue=0)

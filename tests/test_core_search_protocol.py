@@ -1,0 +1,193 @@
+"""Core search service, protocol orchestration, CA/RA bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+from repro.core.authentication import CertificateAuthority, RegistrationAuthority
+from repro.core.original_rbc import OriginalRBCSearch
+from repro.core.protocol import ClientDevice, RBCSaltedProtocol
+from repro.core.search import DEFAULT_TIME_THRESHOLD, RBCSearchService
+from repro.hashes.sha3 import sha3_256
+from repro.keygen.interface import get_keygen
+from repro.runtime.executor import BatchSearchExecutor
+
+
+class TestSearchService:
+    def test_finds_planted_seed(self, planted_pair):
+        base, client_seed, distance = planted_pair
+        service = RBCSearchService(BatchSearchExecutor("sha3-256"), max_distance=2)
+        result = service.find_seed(base, sha3_256(client_seed))
+        assert result.found and result.seed == client_seed
+
+    def test_respects_time_threshold(self, planted_pair):
+        base, client_seed, _ = planted_pair
+        # A zero budget must time out immediately (d=2 space is nonempty).
+        service = RBCSearchService(
+            BatchSearchExecutor("sha3-256", batch_size=256),
+            max_distance=2,
+            time_threshold=0.0,
+        )
+        result = service.find_seed(base, sha3_256(flip_bits(base, [1, 2])))
+        assert result.timed_out and not result.found
+
+    def test_default_threshold_is_papers_T(self):
+        assert DEFAULT_TIME_THRESHOLD == 20.0
+
+    def test_plan_max_distance(self):
+        service = RBCSearchService(BatchSearchExecutor("sha1"))
+        assert service.plan_max_distance(8987138113 / 4.67) == 5
+
+
+class TestRegistrationAuthority:
+    def test_update_and_lookup(self):
+        ra = RegistrationAuthority()
+        ra.update("alice", b"key-1")
+        assert ra.lookup("alice") == b"key-1"
+        assert "alice" in ra and "bob" not in ra
+
+    def test_one_time_key_rotation_counted(self):
+        ra = RegistrationAuthority()
+        ra.update("alice", b"key-1")
+        ra.update("alice", b"key-2")
+        assert ra.lookup("alice") == b"key-2"
+        assert ra.update_count("alice") == 2
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RegistrationAuthority().update("alice", b"")
+
+
+class TestCertificateAuthority:
+    def test_enrolled_seed_matches_mask(self, small_authority):
+        authority, _client, mask = small_authority
+        seed = authority.enrolled_seed("client-0")
+        expected = np.packbits(mask.reference_seed_bits(256)).tobytes()
+        assert seed == expected
+
+    def test_challenge_carries_public_mask(self, small_authority):
+        authority, _client, mask = small_authority
+        challenge = authority.issue_challenge("client-0")
+        assert (challenge.usable == mask.usable).all()
+        assert challenge.bit_count == 256
+
+    def test_unenrolled_client_rejected(self, small_authority):
+        authority, _, _ = small_authority
+        with pytest.raises(KeyError):
+            authority.issue_challenge("nobody")
+
+    def test_enrollment_requires_enough_cells(self, small_authority):
+        authority, _, mask = small_authority
+        import dataclasses
+
+        starved = dataclasses.replace(mask, usable=mask.usable & False)
+        with pytest.raises(ValueError):
+            authority.enroll("tiny", starved)
+
+    def test_issue_public_key_updates_ra(self, small_authority, rng):
+        authority, _, _ = small_authority
+        seed = rng.bytes(32)
+        key = authority.issue_public_key("client-0", seed)
+        assert authority.registration_authority.lookup("client-0") == key
+
+    def test_public_key_is_salted(self, small_authority, rng):
+        authority, _, _ = small_authority
+        seed = rng.bytes(32)
+        key = authority.issue_public_key("client-0", seed)
+        raw_key = authority.keygen.public_key(seed)
+        assert key != raw_key  # salt decouples key from searched seed
+
+
+class TestProtocolRound:
+    def test_successful_authentication(self, small_authority):
+        authority, client, mask = small_authority
+        outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+        assert outcome.authenticated
+        assert outcome.distance is not None and outcome.distance <= 2
+        assert outcome.public_key is not None
+
+    def test_outcome_truthiness(self, small_authority):
+        authority, client, mask = small_authority
+        outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+        assert bool(outcome) is outcome.authenticated
+
+    def test_failed_authentication_with_wrong_device(self, small_authority):
+        from repro.puf.model import SRAMPuf
+
+        authority, _, mask = small_authority
+        imposter = ClientDevice(
+            "client-0",  # claims the same identity...
+            SRAMPuf(num_cells=2048, seed=999),  # ...with a different chip
+            rng=np.random.default_rng(0),
+        )
+        outcome = RBCSaltedProtocol(authority, max_attempts=1).authenticate(imposter)
+        assert not outcome.authenticated
+        assert outcome.public_key is None
+
+    def test_retry_counts_attempts(self, small_authority):
+        from repro.puf.model import SRAMPuf
+
+        authority, _, _ = small_authority
+        imposter = ClientDevice(
+            "client-0", SRAMPuf(num_cells=2048, seed=998),
+            rng=np.random.default_rng(0),
+        )
+        outcome = RBCSaltedProtocol(authority, max_attempts=2).authenticate(imposter)
+        assert outcome.attempts == 2
+
+    def test_max_attempts_validation(self, small_authority):
+        authority, _, _ = small_authority
+        with pytest.raises(ValueError):
+            RBCSaltedProtocol(authority, max_attempts=0)
+
+    def test_noise_injection_sets_distance(self, small_authority):
+        authority, client, mask = small_authority
+        client.noise_target_distance = 2
+        outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+        assert outcome.authenticated and outcome.distance == 2
+
+
+class TestOriginalRBC:
+    def test_finds_seed_by_key_comparison(self, base_seed):
+        keygen = get_keygen("speck-128")
+        engine = OriginalRBCSearch(keygen)
+        client_seed = flip_bits(base_seed, [40])
+        result = engine.search(base_seed, keygen.public_key(client_seed), max_distance=1)
+        assert result.found and result.seed == client_seed and result.distance == 1
+
+    def test_distance_zero(self, base_seed):
+        keygen = get_keygen("aes-128")
+        engine = OriginalRBCSearch(keygen)
+        result = engine.search(base_seed, keygen.public_key(base_seed), max_distance=1)
+        assert result.found and result.distance == 0 and result.seeds_hashed == 1
+
+    def test_not_found(self, base_seed, rng):
+        keygen = get_keygen("speck-128")
+        engine = OriginalRBCSearch(keygen)
+        result = engine.search(base_seed, keygen.public_key(rng.bytes(32)), max_distance=1)
+        assert not result.found
+
+    def test_timeout(self, base_seed, rng):
+        keygen = get_keygen("lightsaber")  # expensive on purpose
+        engine = OriginalRBCSearch(keygen)
+        result = engine.search(
+            base_seed, keygen.public_key(rng.bytes(32)), max_distance=2,
+            time_budget=0.3,
+        )
+        assert result.timed_out and not result.found
+
+    def test_keygen_cost_asymmetry_vs_salted(self, base_seed):
+        """RBC-SALTED's core claim: per-candidate hash << per-candidate keygen."""
+        import time
+
+        keygen = get_keygen("lightsaber")
+        start = time.perf_counter()
+        for _ in range(3):
+            keygen.public_key(base_seed)
+        keygen_seconds = (time.perf_counter() - start) / 3
+
+        start = time.perf_counter()
+        for _ in range(20):
+            sha3_256(base_seed)
+        hash_seconds = (time.perf_counter() - start) / 20
+        assert keygen_seconds > 10 * hash_seconds

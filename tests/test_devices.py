@@ -1,0 +1,301 @@
+"""Device models: paper anchors, structural behaviours, shape properties.
+
+The absolute anchors are matched by construction (calibration); the tests
+here assert the *reproduced findings* — orderings, crossovers, parameter
+sensitivity — plus tolerances on the anchors themselves.
+"""
+
+import pytest
+
+from repro.devices import (
+    APUModel,
+    CPUModel,
+    GPUModel,
+    MultiGPUModel,
+    speedup_curve,
+)
+from repro.devices.calibration import (
+    A5,
+    U5,
+    PRIOR_WORK_KEYGEN_RATE,
+)
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUModel()
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CPUModel()
+
+
+@pytest.fixture(scope="module")
+def apu():
+    return APUModel()
+
+
+class TestTable5Anchors:
+    """Modeled times must land within 5% of every Table 5 search time."""
+
+    @pytest.mark.parametrize(
+        "hash_name,mode,paper",
+        [
+            ("sha1", "exhaustive", 1.56),
+            ("sha3-256", "exhaustive", 4.67),
+            ("sha1", "average", 0.85),
+            ("sha3-256", "average", 2.42),
+        ],
+    )
+    def test_gpu(self, gpu, hash_name, mode, paper):
+        assert gpu.search_time(hash_name, 5, mode) == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "hash_name,mode,paper",
+        [
+            ("sha1", "exhaustive", 1.62),
+            ("sha3-256", "exhaustive", 13.95),
+            ("sha1", "average", 0.83),
+            ("sha3-256", "average", 7.05),
+        ],
+    )
+    def test_apu(self, apu, hash_name, mode, paper):
+        assert apu.search_time(hash_name, 5, mode) == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "hash_name,mode,paper",
+        [
+            ("sha1", "exhaustive", 12.09),
+            ("sha3-256", "exhaustive", 60.68),
+            ("sha1", "average", 6.04),
+            ("sha3-256", "average", 30.52),
+        ],
+    )
+    def test_cpu(self, cpu, hash_name, mode, paper):
+        assert cpu.search_time(hash_name, 5, mode) == pytest.approx(paper, rel=0.05)
+
+
+class TestCrossPlatformFindings:
+    """Section 4.6's qualitative conclusions."""
+
+    def test_gpu_apu_parity_on_sha1(self, gpu, apu):
+        ratio = apu.search_time("sha1", 5) / gpu.search_time("sha1", 5)
+        assert 0.9 < ratio < 1.1  # "roughly equivalent"
+
+    def test_gpu_beats_apu_on_sha3_by_3x(self, gpu, apu):
+        ratio = apu.search_time("sha3-256", 5) / gpu.search_time("sha3-256", 5)
+        assert 2.5 < ratio < 3.5  # paper: 2.99x
+
+    def test_both_accelerators_beat_cpu(self, gpu, cpu, apu):
+        for h in ("sha1", "sha3-256"):
+            assert gpu.search_time(h, 5) < cpu.search_time(h, 5)
+            assert apu.search_time(h, 5) < cpu.search_time(h, 5)
+
+    def test_T_threshold_verdicts(self, gpu, cpu, apu):
+        # Everyone meets T=20 on SHA-1; only the CPU misses it on SHA-3.
+        for model in (gpu, cpu, apu):
+            assert model.search_time("sha1", 5) < 20.0
+        assert gpu.search_time("sha3-256", 5) < 20.0
+        assert apu.search_time("sha3-256", 5) < 20.0
+        assert cpu.search_time("sha3-256", 5) > 20.0
+
+    def test_average_faster_than_exhaustive(self, gpu, cpu, apu):
+        for model in (gpu, cpu, apu):
+            for h in ("sha1", "sha3-256"):
+                assert model.search_time(h, 5, "average") < model.search_time(h, 5)
+
+
+class TestGPUStructure:
+    def test_iterator_ordering_matches_table4(self, gpu):
+        chase = gpu.search_time("sha3-256", 5, iterator="chase")
+        gosper = gpu.search_time("sha3-256", 5, iterator="gosper")
+        alg515 = gpu.search_time("sha3-256", 5, iterator="alg515")
+        assert chase < gosper < alg515
+        assert gosper / chase == pytest.approx(6.04 / 4.67, rel=0.03)
+        assert alg515 / chase == pytest.approx(7.53 / 4.67, rel=0.03)
+
+    def test_unknown_iterator_rejected(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.search_time("sha3-256", 5, iterator="hilbert")
+
+    def test_fixed_padding_saves_about_3_percent(self, gpu):
+        fast = gpu.search_time("sha3-256", 5, fixed_padding=True)
+        slow = gpu.search_time("sha3-256", 5, fixed_padding=False)
+        assert slow / fast == pytest.approx(1.03, abs=0.01)
+
+    def test_shared_memory_state_speedups(self, gpu):
+        # Section 3.2.3: 1.20x for SHA-1, 1.01x for SHA-3.
+        for h, factor in (("sha1", 1.20), ("sha3-256", 1.01)):
+            fast = gpu.search_time(h, 5, shared_memory_state=True)
+            slow = gpu.search_time(h, 5, shared_memory_state=False)
+            assert slow / fast == pytest.approx(factor, abs=0.02)
+
+    def test_grid_search_optimum_at_paper_parameters(self, gpu):
+        times = {
+            (n, b): gpu.search_time("sha3-256", 5, seeds_per_thread=n, threads_per_block=b)
+            for n in (10, 25, 50, 100, 200, 400, 800)
+            for b in (32, 64, 128, 256, 512, 1024)
+        }
+        assert min(times, key=times.get) == (100, 128)
+
+    def test_plateau_is_wide(self, gpu):
+        # "several sets of parameters achieve similarly good performance"
+        best = gpu.search_time("sha3-256", 5, seeds_per_thread=100, threads_per_block=128)
+        near = gpu.search_time("sha3-256", 5, seeds_per_thread=200, threads_per_block=256)
+        assert near / best < 1.02
+
+    def test_single_seed_per_thread_hurts(self, gpu):
+        best = gpu.search_time("sha3-256", 5, seeds_per_thread=100)
+        worst = gpu.search_time("sha3-256", 5, seeds_per_thread=1)
+        assert worst > best * 1.01
+
+    def test_undersubscription_hurts_badly(self, gpu):
+        best = gpu.search_time("sha3-256", 5, seeds_per_thread=100)
+        starved = gpu.search_time("sha3-256", 5, seeds_per_thread=500_000)
+        assert starved > 5 * best
+
+    def test_parameter_validation(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.search_time("sha1", 5, seeds_per_thread=0)
+        with pytest.raises(ValueError):
+            gpu.search_time("sha1", 5, mode="middling")
+        with pytest.raises(ValueError):
+            gpu.occupancy(2000)
+
+    def test_simulate_search_record(self, gpu):
+        timing = gpu.simulate_search("sha3-256", 5)
+        assert timing.seeds_searched == U5
+        assert timing.energy_joules == pytest.approx(946.55, rel=0.05)
+        assert timing.kernels_launched == 5
+
+
+class TestCPUStructure:
+    def test_strong_scaling_anchors(self, cpu):
+        assert cpu.speedup("sha1", 64) == pytest.approx(59, rel=0.01)
+        assert cpu.speedup("sha3-256", 64) == pytest.approx(63, rel=0.01)
+
+    def test_scaling_monotonic(self, cpu):
+        speeds = [cpu.speedup("sha3-256", p) for p in (1, 2, 4, 8, 16, 32, 64)]
+        assert speeds == sorted(speeds)
+        assert speeds[0] == pytest.approx(1.0)
+
+    def test_cluster_scaling_future_work(self, cpu):
+        # Section 5: multi-node CPU scaling should bring SHA-3 under T=20.
+        single = cpu.cluster_time("sha3-256", 5, nodes=1)
+        quad = cpu.cluster_time("sha3-256", 5, nodes=4)
+        assert single > 20.0 > quad
+        assert quad > single / 4  # network overhead costs something
+
+    def test_cluster_validation(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.cluster_time("sha1", 5, nodes=0)
+
+    def test_threads_validation(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.search_time("sha1", 5, threads=0)
+
+    def test_shell_partition_consistency(self, cpu):
+        ranges = cpu.shell_partition(2, 64)
+        assert len(ranges) == 64 and ranges[-1][1] == 32640
+
+
+class TestAPUStructure:
+    def test_pe_counts_match_paper(self, apu):
+        assert apu.pe_count("sha1") == 65536      # "65k PEs for SHA-1"
+        assert apu.pe_count("sha3-256") == 26176  # "26k PEs for SHA-3"
+
+    def test_pe_ratio_is_2_5x(self, apu):
+        assert apu.pe_count("sha1") / apu.pe_count("sha3-256") == pytest.approx(2.5, rel=0.01)
+
+    def test_footprint_drives_the_sha3_deficit(self, apu, gpu):
+        """The paper's architectural explanation: SHA-3 loses on the APU
+        because of PE starvation, not per-PE slowness alone."""
+        sha1_ratio = apu.search_time("sha1", 5) / gpu.search_time("sha1", 5)
+        sha3_ratio = apu.search_time("sha3-256", 5) / gpu.search_time("sha3-256", 5)
+        assert sha3_ratio > 2 * sha1_ratio
+
+    def test_multi_apu_form_factor_scaling(self):
+        # Section 5 future work: 8 APUs in a 2U chassis.
+        one = APUModel(num_apus=1).search_time("sha3-256", 5)
+        eight = APUModel(num_apus=8).search_time("sha3-256", 5)
+        assert one / eight == pytest.approx(8, rel=0.05)
+        # 8 APUs bring SHA-3 under the single-GPU time.
+        assert eight < GPUModel().search_time("sha3-256", 5)
+
+    def test_num_apus_validation(self):
+        with pytest.raises(ValueError):
+            APUModel(num_apus=0)
+
+    def test_simulate_search_energy(self, apu):
+        timing = apu.simulate_search("sha3-256", 5)
+        assert timing.energy_joules == pytest.approx(974.06, rel=0.05)
+
+
+class TestEnergyFindings:
+    def test_apu_wins_sha1_energy_by_60_percent(self, gpu, apu):
+        gpu_j = gpu.simulate_search("sha1", 5).energy_joules
+        apu_j = apu.simulate_search("sha1", 5).energy_joules
+        assert apu_j / gpu_j == pytest.approx(0.392, rel=0.1)  # paper: 39.2%
+
+    def test_sha3_energy_roughly_equal(self, gpu, apu):
+        gpu_j = gpu.simulate_search("sha3-256", 5).energy_joules
+        apu_j = apu.simulate_search("sha3-256", 5).energy_joules
+        assert apu_j / gpu_j == pytest.approx(1.0, abs=0.15)
+
+    def test_apu_power_is_much_lower(self, gpu, apu):
+        assert apu.spec.max_watts < gpu.spec.max_watts / 2
+        assert apu.spec.idle_watts < gpu.spec.idle_watts
+
+
+class TestMultiGPU:
+    def test_figure4_sha3_exhaustive_speedup(self):
+        points = speedup_curve("sha3-256", "exhaustive", 3)
+        assert points[2].speedup == pytest.approx(2.87, rel=0.02)
+
+    def test_figure4_sha3_early_exit_speedup(self):
+        points = speedup_curve("sha3-256", "average", 3)
+        assert points[2].speedup == pytest.approx(2.66, rel=0.02)
+
+    def test_exhaustive_scales_better_than_early_exit(self):
+        for h in ("sha1", "sha3-256"):
+            exh = speedup_curve(h, "exhaustive", 3)[2].speedup
+            avg = speedup_curve(h, "average", 3)[2].speedup
+            assert exh > avg
+
+    def test_sha3_scales_better_than_sha1(self):
+        for mode in ("exhaustive", "average"):
+            sha3 = speedup_curve("sha3-256", mode, 3)[2].speedup
+            sha1 = speedup_curve("sha1", mode, 3)[2].speedup
+            assert sha3 > sha1
+
+    def test_speedup_monotonic_in_gpus(self):
+        points = speedup_curve("sha3-256", "exhaustive", 3)
+        assert points[0].speedup < points[1].speedup < points[2].speedup
+
+    def test_efficiency_degrades(self):
+        points = speedup_curve("sha3-256", "exhaustive", 3)
+        assert points[0].efficiency > points[2].efficiency
+
+    def test_shell_partition(self):
+        from repro.combinatorics.binomial import binomial
+
+        model = MultiGPUModel(3)
+        parts = model.shell_partition(5)
+        assert len(parts) == 3
+        assert parts[0][0] == 0
+        assert parts[-1][1] == binomial(256, 5)  # full shell covered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGPUModel(0)
+
+
+class TestPriorWorkCalibration:
+    def test_keygen_rates_ordered_by_cost(self):
+        # AES >> SABER > Dilithium in candidates/second on both platforms.
+        for platform in ("gpu", "cpu"):
+            aes = PRIOR_WORK_KEYGEN_RATE[("aes-128", platform)]
+            saber = PRIOR_WORK_KEYGEN_RATE[("lightsaber", platform)]
+            dil = PRIOR_WORK_KEYGEN_RATE[("dilithium3", platform)]
+            assert aes > saber > dil

@@ -1,0 +1,81 @@
+"""Documentation consistency checks — docs cannot rot silently.
+
+DESIGN.md's per-experiment index, the README's bench table, and the
+benchmarks directory must agree; every example the README lists must
+exist; EXPERIMENTS.md must mention every bench's experiment.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_text():
+    return (REPO / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme_text():
+    return (REPO / "README.md").read_text()
+
+
+class TestDesignIndex:
+    def test_every_indexed_bench_exists(self, design_text):
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design_text):
+            assert (REPO / "benchmarks" / match.group(1)).is_file(), match.group(0)
+
+    def test_every_bench_file_is_indexed(self, design_text):
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.name in design_text, f"{path.name} missing from DESIGN.md"
+
+    def test_inventory_mentions_every_subpackage(self, design_text):
+        src = REPO / "src" / "repro"
+        for package_dir in src.iterdir():
+            if package_dir.is_dir() and (package_dir / "__init__.py").exists():
+                assert f"repro.{package_dir.name}" in design_text, package_dir.name
+
+
+class TestReadme:
+    def test_listed_examples_exist(self, readme_text):
+        for match in re.finditer(r"`(\w+\.py)`", readme_text):
+            name = match.group(1)
+            if (REPO / "examples" / name).exists():
+                continue
+            # Only example scripts are referenced with bare .py names.
+            assert not name.startswith(("quickstart", "iot", "accel", "seed",
+                                        "security", "distributed", "secure",
+                                        "capacity", "session")), name
+
+    def test_all_examples_are_listed(self, readme_text):
+        for path in (REPO / "examples").glob("*.py"):
+            assert path.name in readme_text, f"{path.name} missing from README"
+
+    def test_bench_table_complete(self, readme_text):
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.stem in readme_text, f"{path.stem} missing from README"
+
+    def test_license_file_exists(self, readme_text):
+        assert "MIT" in readme_text
+        assert (REPO / "LICENSE").is_file()
+
+
+class TestExperimentsDoc:
+    def test_mentions_every_bench(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for path in (REPO / "benchmarks").glob("bench_*.py"):
+            assert path.name in text, f"{path.name} missing from EXPERIMENTS.md"
+
+    def test_exact_seed_counts_are_correct(self):
+        """The numbers quoted in EXPERIMENTS.md must match the code."""
+        from repro.combinatorics.binomial import (
+            average_seed_count,
+            exhaustive_seed_count,
+        )
+
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        assert f"{exhaustive_seed_count(5):,}" in text
+        assert f"{average_seed_count(5):,}" in text

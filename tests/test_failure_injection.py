@@ -1,0 +1,136 @@
+"""Failure-injection tests: the system must fail loudly and safely.
+
+Corrupted storage, mismatched configurations, malformed wire data,
+exhausted search budgets — each should produce a clean rejection or a
+specific exception, never a silent mis-authentication.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import quick_setup
+from repro.core import RBCSaltedProtocol
+from repro.core.protocol import ClientDevice
+from repro.net import CAServer, InProcessTransport, NetworkClient
+from repro.net.messages import DigestSubmission
+from repro.puf.model import SRAMPuf
+
+
+class TestCorruptedStorage:
+    def test_corrupted_image_db_record_fails_loudly(self, small_authority):
+        authority, _client, _mask = small_authority
+        record = authority.image_db._records["client-0"]
+        corrupted = bytes([record[0] ^ 0xFF]) + record[1:]
+        authority.image_db._records["client-0"] = corrupted
+        with pytest.raises(Exception):
+            authority.image_db.lookup("client-0")
+
+    def test_truncated_record_fails(self, small_authority):
+        authority, _client, _mask = small_authority
+        authority.image_db._records["client-0"] = authority.image_db._records[
+            "client-0"
+        ][:10]
+        with pytest.raises(Exception):
+            authority.issue_challenge("client-0")
+
+
+class TestWireCorruption:
+    def test_corrupted_digest_never_authenticates(self, small_authority):
+        authority, client, mask = small_authority
+        challenge = authority.issue_challenge("client-0")
+        digest = client.respond(challenge, reference_mask=mask)
+        corrupted = bytes([digest[0] ^ 0x01]) + digest[1:]
+        result = authority.run_search("client-0", corrupted)
+        assert not result.found
+
+    def test_wrong_length_digest_rejected(self, small_authority):
+        authority, _client, _mask = small_authority
+        with pytest.raises(ValueError):
+            authority.run_search("client-0", b"\x00" * 7)
+
+    def test_digest_submission_with_empty_digest(self, small_authority):
+        authority, _client, _mask = small_authority
+        server = CAServer(authority)
+        with pytest.raises(ValueError):
+            server.handle_digest(DigestSubmission("client-0", b""))
+
+
+class TestConfigurationMismatch:
+    def test_client_hashing_with_wrong_algorithm_fails_auth(self, small_authority):
+        """A client that hashes with SHA-1 while the CA searches SHA-3
+        digests must simply fail (and the length check catches it)."""
+        authority, client, mask = small_authority
+        challenge = authority.issue_challenge("client-0")
+        wrong = dataclasses.replace(challenge, hash_name="sha1")
+        digest = client.respond(wrong, reference_mask=mask)
+        # SHA-1 digests are 20 bytes; the SHA-3 search needs 32.
+        with pytest.raises(ValueError):
+            authority.run_search("client-0", digest)
+
+    def test_sha512_digest_against_sha3_search_rejected(self, small_authority):
+        authority, client, mask = small_authority
+        challenge = authority.issue_challenge("client-0")
+        wrong = dataclasses.replace(challenge, hash_name="sha512")
+        digest = client.respond(wrong, reference_mask=mask)
+        with pytest.raises(ValueError):
+            authority.run_search("client-0", digest)
+
+    def test_challenge_window_too_small(self, small_authority):
+        authority, _client, mask = small_authority
+        challenge = authority.issue_challenge("client-0")
+        starved = dataclasses.replace(
+            challenge, usable=challenge.usable & False
+        )
+        device = ClientDevice(
+            "client-0", SRAMPuf(num_cells=2048, seed=0),
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            device.respond(starved)
+
+
+class TestBudgetExhaustion:
+    def test_timeout_reported_not_swallowed(self, small_authority):
+        authority, client, mask = small_authority
+        authority.search_service.time_threshold = 0.0
+        client.noise_target_distance = 2  # force a non-trivial search
+        outcome = RBCSaltedProtocol(authority, max_attempts=2).authenticate(
+            client, reference_mask=mask
+        )
+        assert not outcome.authenticated
+        assert outcome.timed_out
+        assert outcome.attempts == 2
+
+    def test_network_flow_survives_timeout(self, small_authority):
+        authority, client, mask = small_authority
+        authority.search_service.time_threshold = 0.0
+        client.noise_target_distance = 2
+        transport = InProcessTransport()
+        result = NetworkClient(
+            client, transport, reference_mask=mask, max_attempts=2
+        ).authenticate(CAServer(authority))
+        assert not result.authenticated and result.timed_out
+
+
+class TestImposterResistance:
+    @pytest.mark.parametrize("imposter_seed", [1000, 2000, 3000])
+    def test_random_devices_never_authenticate(self, small_authority, imposter_seed):
+        authority, _client, _mask = small_authority
+        imposter = ClientDevice(
+            "client-0",
+            SRAMPuf(num_cells=2048, seed=imposter_seed),
+            rng=np.random.default_rng(imposter_seed),
+        )
+        outcome = RBCSaltedProtocol(authority, max_attempts=1).authenticate(imposter)
+        assert not outcome.authenticated
+
+    def test_guessing_digests_never_authenticates(self, small_authority, rng):
+        from repro.hashes.sha3 import sha3_256
+
+        authority, _client, _mask = small_authority
+        for _ in range(3):
+            fake_digest = sha3_256(rng.bytes(32))
+            result = authority.run_search("client-0", fake_digest)
+            assert not result.found

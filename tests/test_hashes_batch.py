@@ -1,0 +1,113 @@
+"""Batch (vectorized) hash kernels: equivalence with scalar + hashlib."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro._bitutils import seeds_to_words
+from repro.hashes.batch_sha1 import sha1_batch_seeds, sha1_digest_to_words
+from repro.hashes.batch_sha256 import sha256_batch_seeds, sha256_digest_to_words
+from repro.hashes.batch_sha3 import (
+    keccak_f1600_batch,
+    sha3_256_batch_seeds,
+    sha3_256_digest_to_words,
+)
+from repro.hashes.sha3 import keccak_f1600
+
+KERNELS = [
+    ("sha1", sha1_batch_seeds, sha1_digest_to_words, hashlib.sha1),
+    ("sha256", sha256_batch_seeds, sha256_digest_to_words, hashlib.sha256),
+    ("sha3", sha3_256_batch_seeds, sha3_256_digest_to_words, hashlib.sha3_256),
+]
+
+
+@pytest.fixture(params=KERNELS, ids=lambda k: k[0])
+def kernel(request):
+    return request.param
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("fixed", [True, False], ids=["fixed-pad", "generic-pad"])
+    def test_matches_hashlib(self, kernel, rng, fixed):
+        _, batch, to_words, ref = kernel
+        seeds = [rng.bytes(32) for _ in range(64)]
+        digests = batch(seeds_to_words(seeds), fixed_padding=fixed)
+        for i, seed in enumerate(seeds):
+            assert (digests[i] == to_words(ref(seed).digest())).all()
+
+    def test_generic_equals_fixed(self, kernel, rng):
+        _, batch, _, _ = kernel
+        words = seeds_to_words([rng.bytes(32) for _ in range(32)])
+        assert (batch(words, fixed_padding=True) == batch(words, fixed_padding=False)).all()
+
+    def test_single_seed_batch(self, kernel, rng):
+        _, batch, to_words, ref = kernel
+        seed = rng.bytes(32)
+        digests = batch(seeds_to_words([seed]))
+        assert digests.shape[0] == 1
+        assert (digests[0] == to_words(ref(seed).digest())).all()
+
+    def test_deterministic(self, kernel, rng):
+        _, batch, _, _ = kernel
+        words = seeds_to_words([rng.bytes(32) for _ in range(8)])
+        assert (batch(words) == batch(words)).all()
+
+    def test_input_not_mutated(self, kernel, rng):
+        _, batch, _, _ = kernel
+        words = seeds_to_words([rng.bytes(32) for _ in range(8)])
+        original = words.copy()
+        batch(words)
+        assert (words == original).all()
+
+    def test_shape_validation(self, kernel):
+        _, batch, _, _ = kernel
+        with pytest.raises(ValueError):
+            batch(np.zeros((4, 3), dtype=np.uint64))
+
+    def test_digest_to_words_validation(self, kernel):
+        _, _, to_words, _ = kernel
+        with pytest.raises(ValueError):
+            to_words(b"\x00" * 7)
+
+
+class TestBatchKeccakPermutation:
+    def test_matches_scalar_permutation(self, rng):
+        n = 16
+        lanes_int = [
+            [int(x) for x in rng.integers(0, 1 << 63, size=n)] for _ in range(25)
+        ]
+        batch_in = [np.array(lane, dtype=np.uint64) for lane in lanes_int]
+        batch_out = keccak_f1600_batch(batch_in)
+        for j in range(n):
+            scalar_out = keccak_f1600([lanes_int[i][j] for i in range(25)])
+            got = [int(batch_out[i][j]) for i in range(25)]
+            assert got == scalar_out
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            keccak_f1600_batch([np.zeros(4, dtype=np.uint64)] * 24)
+
+    def test_does_not_mutate_input(self):
+        lanes = [np.arange(4, dtype=np.uint64) for _ in range(25)]
+        keccak_f1600_batch(lanes)
+        assert (lanes[0] == np.arange(4, dtype=np.uint64)).all()
+
+
+class TestDigestComparisonLayout:
+    """The batch digest layout must make equality a column-wise compare."""
+
+    def test_planted_match_detected(self, kernel, rng):
+        _, batch, to_words, ref = kernel
+        seeds = [rng.bytes(32) for _ in range(50)]
+        target = to_words(ref(seeds[37]).digest())
+        digests = batch(seeds_to_words(seeds))
+        matches = np.flatnonzero((digests == target).all(axis=1))
+        assert matches.tolist() == [37]
+
+    def test_no_false_positives(self, kernel, rng):
+        _, batch, to_words, ref = kernel
+        seeds = [rng.bytes(32) for _ in range(50)]
+        target = to_words(ref(rng.bytes(32)).digest())
+        digests = batch(seeds_to_words(seeds))
+        assert not (digests == target).all(axis=1).any()

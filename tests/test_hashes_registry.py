@@ -1,0 +1,60 @@
+"""The hash registry binding scalar, batch, and APU metadata together."""
+
+import pytest
+
+from repro._bitutils import seeds_to_words
+from repro.hashes.registry import available_hashes, get_hash
+
+
+class TestLookup:
+    def test_available_names(self):
+        assert set(available_hashes()) == {"sha1", "sha256", "sha3-256", "sha512"}
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("sha1", "sha1"),
+            ("SHA-1", "sha1"),
+            ("sha3", "sha3-256"),
+            ("SHA3_256", "sha3-256"),
+            ("sha2", "sha256"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_hash(alias).name == canonical
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_hash("md5")
+
+
+class TestMetadata:
+    def test_apu_footprints_match_paper(self):
+        # Section 3.3: SHA-1 PE = 2 BPs, SHA-3 PE = 5 BPs.
+        assert get_hash("sha1").apu_bps_per_pe == 2
+        assert get_hash("sha3-256").apu_bps_per_pe == 5
+
+    def test_relative_costs_ordered(self):
+        # SHA-1 cheapest, SHA-3 most expensive (the paper's premise).
+        assert (
+            get_hash("sha1").relative_cost
+            < get_hash("sha256").relative_cost
+            < get_hash("sha512").relative_cost
+            < get_hash("sha3-256").relative_cost
+        )
+
+    def test_digest_sizes(self):
+        assert get_hash("sha1").digest_size == 20
+        assert get_hash("sha256").digest_size == 32
+        assert get_hash("sha3-256").digest_size == 32
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["sha1", "sha256", "sha3-256", "sha512"])
+    def test_scalar_batch_consistency(self, name, rng):
+        algo = get_hash(name)
+        seeds = [rng.bytes(32) for _ in range(10)]
+        batch = algo.hash_seeds_batch(seeds_to_words(seeds))
+        for i, seed in enumerate(seeds):
+            scalar_words = algo.digest_to_words(algo.hash_seed(seed))
+            assert (batch[i] == scalar_words).all()

@@ -1,0 +1,120 @@
+"""Scalar hash implementations validated against hashlib (FIPS vectors)."""
+
+import hashlib
+
+import pytest
+
+from repro.hashes.sha1 import SHA1, sha1
+from repro.hashes.sha256 import SHA256, sha256
+from repro.hashes.sha3 import (
+    keccak_f1600,
+    keccak_sponge,
+    sha3_224,
+    sha3_256,
+    sha3_384,
+    sha3_512,
+)
+
+REFERENCES = [
+    (sha1, hashlib.sha1),
+    (sha256, hashlib.sha256),
+    (sha3_224, hashlib.sha3_224),
+    (sha3_256, hashlib.sha3_256),
+    (sha3_384, hashlib.sha3_384),
+    (sha3_512, hashlib.sha3_512),
+]
+
+
+@pytest.fixture(params=REFERENCES, ids=lambda p: p[1]().name)
+def pair(request):
+    return request.param
+
+
+class TestAgainstHashlib:
+    def test_empty_message(self, pair):
+        ours, ref = pair
+        assert ours(b"") == ref(b"").digest()
+
+    def test_abc(self, pair):
+        ours, ref = pair
+        assert ours(b"abc") == ref(b"abc").digest()
+
+    def test_seed_sized_message(self, pair, rng):
+        ours, ref = pair
+        data = rng.bytes(32)
+        assert ours(data) == ref(data).digest()
+
+    @pytest.mark.parametrize("length", [1, 55, 56, 63, 64, 65, 127, 128, 135, 136, 137, 200, 257])
+    def test_padding_boundaries(self, pair, rng, length):
+        # Lengths straddling every block/pad boundary of both families.
+        ours, ref = pair
+        data = rng.bytes(length)
+        assert ours(data) == ref(data).digest()
+
+
+class TestIncrementalInterface:
+    @pytest.mark.parametrize("cls,ref", [(SHA1, hashlib.sha1), (SHA256, hashlib.sha256)])
+    def test_update_chunks_match_oneshot(self, cls, ref, rng):
+        data = rng.bytes(300)
+        h = cls()
+        for offset in range(0, 300, 7):
+            h.update(data[offset : offset + 7])
+        assert h.digest() == ref(data).digest()
+
+    @pytest.mark.parametrize("cls", [SHA1, SHA256])
+    def test_digest_does_not_finalize(self, cls):
+        h = cls(b"hello")
+        first = h.digest()
+        assert h.digest() == first  # repeatable
+        h.update(b" world")
+        assert h.digest() != first
+
+    @pytest.mark.parametrize("cls,ref", [(SHA1, hashlib.sha1), (SHA256, hashlib.sha256)])
+    def test_copy_forks_state(self, cls, ref):
+        h = cls(b"pre")
+        fork = h.copy()
+        fork.update(b"-a")
+        h.update(b"-b")
+        assert fork.digest() == ref(b"pre-a").digest()
+        assert h.digest() == ref(b"pre-b").digest()
+
+    @pytest.mark.parametrize("cls", [SHA1, SHA256])
+    def test_hexdigest(self, cls):
+        assert cls(b"x").hexdigest() == cls(b"x").digest().hex()
+
+
+class TestKeccakInternals:
+    def test_permutation_requires_25_lanes(self):
+        with pytest.raises(ValueError):
+            keccak_f1600([0] * 24)
+
+    def test_permutation_changes_zero_state(self):
+        out = keccak_f1600([0] * 25)
+        assert any(lane != 0 for lane in out)
+        # Known first lane of Keccak-f[1600] applied to the zero state.
+        assert out[0] == 0xF1258F7940E1DDE7
+
+    def test_permutation_is_deterministic(self):
+        state = list(range(25))
+        assert keccak_f1600(state) == keccak_f1600(state)
+
+    def test_permutation_does_not_mutate_input(self):
+        state = list(range(25))
+        keccak_f1600(state)
+        assert state == list(range(25))
+
+    def test_sponge_rate_validation(self):
+        with pytest.raises(ValueError):
+            keccak_sponge(b"", rate_bytes=0, digest_size=32)
+        with pytest.raises(ValueError):
+            keccak_sponge(b"", rate_bytes=200, digest_size=32)
+
+    def test_shake_style_domain(self):
+        # SHAKE128: rate 168, domain 0x1F. Cross-check against hashlib.
+        out = keccak_sponge(b"abc", rate_bytes=168, digest_size=32, domain=0x1F)
+        assert out == hashlib.shake_128(b"abc").digest(32)
+
+    def test_multi_block_squeeze(self):
+        # Squeeze more than one rate's worth of output (SHAKE-256, 200 B).
+        out = keccak_sponge(b"seed", rate_bytes=136, digest_size=200, domain=0x1F)
+        assert out == hashlib.shake_256(b"seed").digest(200)

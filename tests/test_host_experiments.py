@@ -1,0 +1,110 @@
+"""Host-calibrated device model and the experiment index."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, get_experiment, render_index
+from repro.devices.host import HostDeviceModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def host():
+    return HostDeviceModel(
+        hash_names=("sha1", "sha3-256"), probe_seeds=8000, batch_size=8192
+    )
+
+
+class TestHostModel:
+    def test_probed_throughputs_positive(self, host):
+        rates = host.throughput
+        assert rates["sha1"] > 0 and rates["sha3-256"] > 0
+
+    def test_sha1_faster_than_sha3(self, host):
+        assert host.throughput["sha1"] > host.throughput["sha3-256"]
+
+    def test_search_time_scales_with_space(self, host):
+        assert host.search_time("sha1", 3) > 50 * host.search_time("sha1", 2)
+
+    def test_average_mode_cheaper(self, host):
+        assert host.search_time("sha1", 2, "average") < host.search_time("sha1", 2)
+
+    def test_unprobed_hash_rejected(self, host):
+        with pytest.raises(KeyError):
+            host.search_time("sha256", 2)
+
+    def test_tractable_distance_reasonable(self, host):
+        # A laptop-scale host should handle at least d=2 but not d=6.
+        d = host.tractable_distance("sha1")
+        assert 2 <= d <= 5
+
+    def test_prediction_matches_reality(self, host):
+        predicted, measured = host.verify_prediction("sha1", distance=2)
+        assert predicted > 0 and measured > 0
+
+    def test_simulate_search_record(self, host):
+        timing = host.simulate_search("sha1", 2)
+        assert timing.seeds_searched == 32897
+        assert timing.device == "Host"
+
+
+class TestExperimentIndex:
+    def test_every_bench_file_exists(self):
+        for experiment in EXPERIMENTS:
+            assert (REPO_ROOT / experiment.bench).is_file(), experiment.experiment_id
+
+    def test_every_module_imports(self):
+        import importlib
+
+        for experiment in EXPERIMENTS:
+            for module in experiment.modules:
+                importlib.import_module(module)
+
+    def test_paper_artifacts_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS if not e.extension}
+        for expected in ("Table 1", "Table 4", "Table 5", "Table 6", "Table 7",
+                         "Figure 3", "Figure 4"):
+            assert expected in artifacts
+
+    def test_lookup(self):
+        assert get_experiment("t5").paper_artifact == "Table 5"
+        with pytest.raises(KeyError):
+            get_experiment("T99")
+
+    def test_ids_unique(self):
+        ids = [e.experiment_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_render_index_contains_all(self):
+        text = render_index()
+        for experiment in EXPERIMENTS:
+            assert experiment.experiment_id in text
+
+    def test_cli_experiments_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_cli_report_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "sample.txt").write_text("hello table")
+        output = tmp_path / "OUT.md"
+        code = main([
+            "report", "--results-dir", str(results), "--output", str(output)
+        ])
+        assert code == 0
+        assert "hello table" in output.read_text()
+
+    def test_cli_report_missing_dir(self, tmp_path):
+        from repro.cli import main
+
+        assert main([
+            "report", "--results-dir", str(tmp_path / "nope"),
+            "--output", str(tmp_path / "o.md"),
+        ]) == 1

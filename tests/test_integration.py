@@ -1,0 +1,151 @@
+"""Integration tests across subsystems, including model-vs-runtime
+cross-validation at reduced scale (the honesty checks of DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro import quick_setup
+from repro._bitutils import flip_bits
+from repro.core.protocol import RBCSaltedProtocol
+from repro.devices import APUModel, CPUModel, GPUModel
+from repro.hashes.registry import get_hash
+from repro.runtime.executor import BatchSearchExecutor
+
+
+class TestEndToEndScenarios:
+    def test_many_clients_one_authority(self):
+        """A fleet of clients enrolled in one CA, each authenticating."""
+        from repro.core import (
+            CertificateAuthority,
+            RBCSearchService,
+            RegistrationAuthority,
+        )
+        from repro.core.protocol import ClientDevice
+        from repro.core.salting import HashChainSalt
+        from repro.keygen.interface import get_keygen
+        from repro.puf.image_db import EncryptedImageDatabase
+        from repro.puf.model import SRAMPuf
+        from repro.puf.ternary import enroll_with_masking
+
+        authority = CertificateAuthority(
+            search_service=RBCSearchService(
+                BatchSearchExecutor("sha1", batch_size=16384), max_distance=2
+            ),
+            salt=HashChainSalt(),
+            keygen=get_keygen("aes-128"),
+            registration_authority=RegistrationAuthority(),
+            image_db=EncryptedImageDatabase(b"fleet-master-key"),
+            hash_name="sha1",
+        )
+        protocol = RBCSaltedProtocol(authority)
+        outcomes = []
+        for i in range(4):
+            puf = SRAMPuf(num_cells=2048, stable_error=0.001, seed=100 + i)
+            mask = enroll_with_masking(puf, 0, 2048, reads=64,
+                                       instability_threshold=0.02)
+            client_id = f"device-{i}"
+            authority.enroll(client_id, mask)
+            client = ClientDevice(client_id, puf, noise_target_distance=1,
+                                  rng=np.random.default_rng(i))
+            outcomes.append(protocol.authenticate(client, reference_mask=mask))
+        assert all(o.authenticated for o in outcomes)
+        # Each client got its own key registered.
+        keys = {authority.registration_authority.lookup(f"device-{i}") for i in range(4)}
+        assert len(keys) == 4
+
+    def test_one_time_keys_rotate_between_sessions(self, small_authority):
+        authority, client, mask = small_authority
+        protocol = RBCSaltedProtocol(authority)
+        first = protocol.authenticate(client, reference_mask=mask)
+        second = protocol.authenticate(client, reference_mask=mask)
+        assert first.authenticated and second.authenticated
+        # The PUF is erratic, so back-to-back sessions usually recover a
+        # different noisy seed -> different key; at minimum the RA count
+        # reflects both updates.
+        assert authority.registration_authority.update_count("client-0") == 2
+
+    def test_quick_setup_defaults(self):
+        authority, client, mask = quick_setup(seed=21)
+        outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+        assert outcome.authenticated
+
+    def test_hash_swap_is_transparent(self):
+        """The RBC-SALTED selling point: changing the hash (or keygen) is
+        a configuration change, not a protocol rewrite."""
+        for hash_name in ("sha1", "sha256", "sha3-256"):
+            authority, client, mask = quick_setup(seed=31, hash_name=hash_name)
+            outcome = RBCSaltedProtocol(authority).authenticate(
+                client, reference_mask=mask
+            )
+            assert outcome.authenticated, hash_name
+
+    def test_keygen_swap_is_transparent(self):
+        for keygen_name in ("aes-128", "speck-128", "chacha20", "lightsaber"):
+            authority, client, mask = quick_setup(seed=41, keygen_name=keygen_name)
+            outcome = RBCSaltedProtocol(authority).authenticate(
+                client, reference_mask=mask
+            )
+            assert outcome.authenticated, keygen_name
+
+
+class TestModelRuntimeCrossValidation:
+    """The device models and the real executor must agree on structure."""
+
+    def test_hash_cost_ordering_matches_reality(self):
+        """Modeled SHA-3 > SHA-256 > SHA-1 per-hash cost must hold in the
+        real batch kernels on this host."""
+        rates = {}
+        for name in ("sha1", "sha256", "sha3-256"):
+            rates[name] = BatchSearchExecutor(name).throughput_probe(20000)
+        assert rates["sha1"] > rates["sha256"] > rates["sha3-256"]
+
+    def test_modeled_and_real_sha3_sha1_ratio_same_direction(self):
+        gpu = GPUModel()
+        modeled = gpu.search_time("sha3-256", 5) / gpu.search_time("sha1", 5)
+        real = (
+            BatchSearchExecutor("sha1").throughput_probe(20000)
+            / BatchSearchExecutor("sha3-256").throughput_probe(20000)
+        )
+        # Both say SHA-3 is multiple times costlier (exact factors differ
+        # between an A100 and NumPy lanes).
+        assert modeled > 1.5 and real > 1.5
+
+    def test_shell_sizes_match_executor_counts(self, base_seed, rng):
+        """The model's seed accounting equals what the executor hashes."""
+        from repro.combinatorics.binomial import exhaustive_seed_count
+        from repro.hashes.sha1 import sha1
+
+        executor = BatchSearchExecutor("sha1", batch_size=8192)
+        result = executor.search(base_seed, sha1(rng.bytes(32)), 2)
+        assert result.seeds_hashed == exhaustive_seed_count(2)
+
+    def test_average_case_statistics(self, rng):
+        """Planted uniformly at d=2, the mean seeds-hashed across trials
+        approaches the Equation 3 average a(2)."""
+        from repro.combinatorics.binomial import average_seed_count
+        from repro.hashes.sha1 import sha1
+
+        base = rng.bytes(32)
+        executor = BatchSearchExecutor("sha1", batch_size=257)
+        counts = []
+        for _ in range(30):
+            positions = rng.choice(256, size=2, replace=False)
+            client = flip_bits(base, positions.tolist())
+            result = executor.search(base, sha1(client), 2)
+            assert result.found
+            counts.append(result.seeds_hashed)
+        mean = float(np.mean(counts))
+        expected = average_seed_count(2)
+        # Batched checking quantizes to 257-seed blocks; allow 25%.
+        assert expected * 0.5 < mean < expected * 1.6
+
+    def test_devices_agree_on_threshold_planning(self):
+        """All three models agree with complexity.tractable_distance."""
+        from repro.core.complexity import tractable_distance
+
+        for model in (GPUModel(), APUModel(), CPUModel()):
+            t5 = model.search_time("sha3-256", 5)
+            rate = 8987138113 / t5
+            planned = tractable_distance(rate, 20.0)
+            meets = t5 <= 20.0
+            assert (planned >= 5) == meets

@@ -1,0 +1,146 @@
+"""Network layer: messages, latency-accounted transport, endpoints."""
+
+import numpy as np
+import pytest
+
+from repro.net.messages import (
+    AuthenticationResult,
+    DigestSubmission,
+    HandshakeRequest,
+    HandshakeResponse,
+)
+from repro.net.transport import (
+    InProcessTransport,
+    LatencyModel,
+    US_ISRAEL_LINK,
+    US_LINK,
+)
+
+
+class TestMessages:
+    def test_handshake_request_serialization(self):
+        raw = HandshakeRequest("alice").to_bytes()
+        assert b"alice" in raw and b"handshake_request" in raw
+
+    def test_usable_mask_roundtrip(self):
+        usable = np.array([True, False, True] * 100)
+        packed = HandshakeResponse.pack_usable(usable)
+        response = HandshakeResponse(
+            client_id="a", address=0, window=300, usable_mask=packed,
+            bit_count=256, hash_name="sha3-256",
+        )
+        assert (response.unpack_usable() == usable).all()
+
+    def test_digest_submission_hex_encoding(self):
+        raw = DigestSubmission("a", b"\xde\xad").to_bytes()
+        assert b"dead" in raw
+
+    def test_result_serialization_with_and_without_key(self):
+        with_key = AuthenticationResult("a", True, 2, b"\x01", 1.0, False).to_bytes()
+        without = AuthenticationResult("a", False, None, None, 1.0, True).to_bytes()
+        assert b"01" in with_key
+        assert b"null" in without
+
+
+class TestTransport:
+    def test_message_cost_components(self):
+        model = LatencyModel("t", round_trip_seconds=0.2, bytes_per_second=1000)
+        assert model.message_cost(500) == pytest.approx(0.1 + 0.5)
+
+    def test_clock_accumulates(self):
+        transport = InProcessTransport(latency=LatencyModel("t", 0.2, 1e9))
+        transport.deliver("a", b"x" * 10)
+        transport.deliver("b", b"x" * 10)
+        assert transport.elapsed_seconds == pytest.approx(0.2, rel=0.01)
+        assert transport.messages_delivered == 2
+        assert transport.bytes_delivered == 20
+
+    def test_payload_passthrough(self):
+        transport = InProcessTransport()
+        assert transport.deliver("a", b"payload") == b"payload"
+
+    def test_puf_read_charged(self):
+        transport = InProcessTransport(latency=US_LINK)
+        transport.charge_puf_read()
+        assert transport.elapsed_seconds == pytest.approx(US_LINK.puf_read_seconds)
+
+    def test_log_and_reset(self):
+        transport = InProcessTransport()
+        transport.deliver("a", b"x")
+        assert len(transport.log) == 1
+        transport.reset()
+        assert transport.elapsed_seconds == 0 and not transport.log
+
+    def test_us_link_matches_paper_comm_time(self, small_authority):
+        """A full authentication round must cost ~0.90 s of communication."""
+        from repro.net.client import NetworkClient
+        from repro.net.server import CAServer
+
+        authority, client, mask = small_authority
+        transport = InProcessTransport(latency=US_LINK)
+        NetworkClient(client, transport, reference_mask=mask).authenticate(
+            CAServer(authority)
+        )
+        assert transport.elapsed_seconds == pytest.approx(0.90, abs=0.05)
+
+    def test_long_haul_link_costs_more(self):
+        assert US_ISRAEL_LINK.message_cost(1000) > US_LINK.message_cost(1000)
+
+
+class TestEndpoints:
+    def test_full_round_authenticates(self, small_authority):
+        from repro.net.client import NetworkClient
+        from repro.net.server import CAServer
+
+        authority, client, mask = small_authority
+        server = CAServer(authority)
+        transport = InProcessTransport(latency=US_LINK)
+        result = NetworkClient(client, transport, reference_mask=mask).authenticate(server)
+        assert result.authenticated
+        assert result.public_key == authority.registration_authority.lookup("client-0")
+        assert server.handshakes_served >= 1 and server.searches_run >= 1
+
+    def test_imposter_rejected_over_network(self, small_authority):
+        from repro.net.client import NetworkClient
+        from repro.net.server import CAServer
+        from repro.core.protocol import ClientDevice
+        from repro.puf.model import SRAMPuf
+
+        authority, _, _ = small_authority
+        imposter = ClientDevice(
+            "client-0", SRAMPuf(num_cells=2048, seed=4242),
+            rng=np.random.default_rng(0),
+        )
+        transport = InProcessTransport()
+        result = NetworkClient(imposter, transport, max_attempts=2).authenticate(
+            CAServer(authority)
+        )
+        assert not result.authenticated and result.public_key is None
+
+    def test_retries_charge_extra_communication(self, small_authority):
+        from repro.net.client import NetworkClient
+        from repro.net.server import CAServer
+        from repro.core.protocol import ClientDevice
+        from repro.puf.model import SRAMPuf
+
+        authority, _, _ = small_authority
+        imposter = ClientDevice(
+            "client-0", SRAMPuf(num_cells=2048, seed=77),
+            rng=np.random.default_rng(0),
+        )
+        transport = InProcessTransport(latency=US_LINK)
+        NetworkClient(imposter, transport, max_attempts=3).authenticate(CAServer(authority))
+        # Three full rounds of messages were paid for.
+        assert transport.elapsed_seconds == pytest.approx(3 * 0.90, rel=0.1)
+
+    def test_max_attempts_validation(self, small_authority):
+        from repro.net.client import NetworkClient
+        from repro.core.protocol import ClientDevice
+        from repro.puf.model import SRAMPuf
+
+        with pytest.raises(ValueError):
+            NetworkClient(
+                ClientDevice("x", SRAMPuf(num_cells=512, seed=0)),
+                InProcessTransport(),
+                max_attempts=0,
+            )

@@ -1,0 +1,62 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_contains_all_series_markers(self):
+        out = line_plot(
+            {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]}
+        )
+        assert "*" in out and "+" in out
+        assert "legend: * a   + b" in out
+
+    def test_axis_labels(self):
+        out = line_plot({"s": [(0, 0), (10, 5)]}, x_label="gpus", y_label="spd")
+        assert "gpus" in out and "spd" in out
+
+    def test_range_annotations(self):
+        out = line_plot({"s": [(1, 3), (4, 9)]})
+        assert "9" in out and "3" in out and "1" in out and "4" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = line_plot({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "*" in out
+
+    def test_single_point(self):
+        out = line_plot({"dot": [(2, 2)]})
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"empty": []})
+
+    def test_title(self):
+        out = line_plot({"s": [(0, 0), (1, 1)]}, title="My Figure")
+        assert out.splitlines()[0] == "My Figure"
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = {l.split(" |")[0].strip(): l for l in out.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_value_labels(self):
+        out = bar_chart({"x": 3.14159}, value_format="{:.1f}")
+        assert "3.1" in out
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = [l for l in out.splitlines() if l.startswith("zero")][0]
+        assert "#" not in zero_line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"neg": -1.0})

@@ -1,0 +1,67 @@
+"""Property-based tests for the workload/queueing machinery."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.workload import (
+    AuthRequest,
+    ServerCapacityModel,
+    simulate_queue,
+)
+from repro.runtime.partition import partition_ranks
+
+
+class TestQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 100.0),   # inter-arrival gap
+                st.floats(0.001, 5.0),    # service time
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_waits_are_nonnegative_and_conservative(self, gaps_services):
+        arrivals = np.cumsum([g for g, _ in gaps_services])
+        requests = [
+            AuthRequest(float(a), 1, 0.5) for a in arrivals
+        ]
+        services = np.array([s for _, s in gaps_services])
+        sim = simulate_queue(requests, services)
+        assert sim["mean_wait_seconds"] >= 0.0
+        assert sim["p95_wait_seconds"] >= sim["mean_wait_seconds"] * 0.0
+        assert 0.0 < sim["busy_fraction"] <= 1.0 + 1e-9
+
+    @given(st.floats(0.01, 0.95), st.floats(0.1, 10.0))
+    @settings(max_examples=40)
+    def test_pk_wait_increases_with_load(self, rho_low, mean_service):
+        model = ServerCapacityModel(np.full(50, mean_service))
+        rho_high = min(0.99, rho_low + 0.04)
+        low = model.estimate(rho_low / mean_service)
+        high = model.estimate(rho_high / mean_service)
+        assert high.mean_wait_seconds >= low.mean_wait_seconds
+
+    @given(st.floats(0.1, 10.0))
+    @settings(max_examples=20)
+    def test_stability_boundary(self, mean_service):
+        model = ServerCapacityModel(np.full(20, mean_service))
+        assert model.estimate(0.99 / mean_service).stable
+        assert not model.estimate(1.01 / mean_service).stable
+
+
+class TestPartitionProperties:
+    @given(st.integers(0, 100000), st.integers(1, 200))
+    @settings(max_examples=60)
+    def test_partition_invariants(self, total, parts):
+        ranges = partition_ranks(total, parts)
+        assert len(ranges) == parts
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == total
+        sizes = [b - a for a, b in ranges]
+        assert all(size >= 0 for size in sizes)
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+        for (a, b), (c, _d) in zip(ranges, ranges[1:]):
+            assert b == c

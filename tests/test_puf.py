@@ -1,0 +1,191 @@
+"""PUF substrate: statistical model, TAPKI masking, noise, encrypted DB."""
+
+import numpy as np
+import pytest
+
+from repro.puf.image_db import EncryptedImageDatabase
+from repro.puf.model import SRAMPuf
+from repro.puf.noise import flip_random_bits, inject_noise_to_distance
+from repro.puf.ternary import enroll_with_masking
+
+
+class TestSRAMPuf:
+    def test_reference_is_stable(self):
+        puf = SRAMPuf(num_cells=1024, seed=1)
+        a = puf.reference_bits(0, 256)
+        b = puf.reference_bits(0, 256)
+        assert (a == b).all()
+
+    def test_reads_are_noisy_but_close(self):
+        puf = SRAMPuf(num_cells=1024, seed=2)
+        reference = puf.reference_bits(0, 1024)
+        distances = [
+            int((puf.read(0, 1024).bits != reference).sum()) for _ in range(20)
+        ]
+        assert max(distances) < 200          # errors are a small minority
+        assert sum(distances) > 0            # but noise does occur
+
+    def test_distinct_devices_have_distinct_fingerprints(self):
+        a = SRAMPuf(num_cells=512, seed=10).reference_bits(0, 512)
+        b = SRAMPuf(num_cells=512, seed=11).reference_bits(0, 512)
+        # Independent random references differ in roughly half the cells.
+        assert 150 < int((a != b).sum()) < 362
+
+    def test_stable_fraction_controls_noise(self):
+        noisy = SRAMPuf(num_cells=4096, stable_fraction=0.5, seed=3)
+        quiet = SRAMPuf(num_cells=4096, stable_fraction=0.99, seed=3)
+        assert noisy.flip_probability.mean() > quiet.flip_probability.mean()
+
+    def test_window_validation(self):
+        puf = SRAMPuf(num_cells=512, seed=0)
+        with pytest.raises(ValueError):
+            puf.read(500, 100)
+        with pytest.raises(ValueError):
+            puf.read(0, 0)
+
+    def test_num_cells_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            SRAMPuf(num_cells=100)
+
+    def test_flip_probability_read_only(self):
+        puf = SRAMPuf(num_cells=512, seed=0)
+        with pytest.raises(ValueError):
+            puf.flip_probability[0] = 0.5
+
+    def test_readout_packing(self):
+        puf = SRAMPuf(num_cells=512, seed=0)
+        readout = puf.read(0, 256)
+        packed = readout.to_bytes()
+        assert len(packed) == 32
+        assert (np.unpackbits(np.frombuffer(packed, np.uint8)) == readout.bits).all()
+
+    def test_readout_packing_requires_multiple_of_8(self):
+        puf = SRAMPuf(num_cells=512, seed=0)
+        with pytest.raises(ValueError):
+            puf.read(0, 10).to_bytes()
+
+
+class TestTernaryMasking:
+    def test_masks_erratic_cells(self):
+        puf = SRAMPuf(num_cells=2048, stable_fraction=0.8, seed=4)
+        mask = enroll_with_masking(puf, 0, 2048, reads=48, instability_threshold=0.05)
+        usable_p = puf.flip_probability[mask.usable]
+        masked_p = puf.flip_probability[~mask.usable]
+        assert usable_p.mean() < masked_p.mean()
+
+    def test_masked_selection_reduces_error_rate(self):
+        puf = SRAMPuf(num_cells=4096, stable_fraction=0.85, seed=5)
+        mask = enroll_with_masking(puf, 0, 4096, reads=48)
+        reference = mask.reference_seed_bits(256)
+        masked_dists = []
+        for _ in range(20):
+            bits = mask.select_bits(puf.read(0, 4096).bits, 256)
+            masked_dists.append(int((bits != reference).sum()))
+        assert np.mean(masked_dists) < 5  # tractable search region
+
+    def test_select_bits_shape_validation(self):
+        puf = SRAMPuf(num_cells=512, seed=6)
+        mask = enroll_with_masking(puf, 0, 512)
+        with pytest.raises(ValueError):
+            mask.select_bits(np.zeros(100, dtype=np.uint8), 64)
+
+    def test_select_bits_insufficient_cells(self):
+        puf = SRAMPuf(num_cells=512, seed=6)
+        mask = enroll_with_masking(puf, 0, 512)
+        with pytest.raises(ValueError):
+            mask.select_bits(puf.read(0, 512).bits, 10_000)
+
+    def test_enrollment_needs_multiple_reads(self):
+        puf = SRAMPuf(num_cells=512, seed=6)
+        with pytest.raises(ValueError):
+            enroll_with_masking(puf, 0, 512, reads=1)
+
+    def test_instability_estimates_in_range(self):
+        puf = SRAMPuf(num_cells=512, seed=7)
+        mask = enroll_with_masking(puf, 0, 512, reads=32)
+        assert (mask.instability >= 0).all() and (mask.instability <= 0.5).all()
+
+
+class TestNoiseInjection:
+    def test_reaches_exact_target(self, rng):
+        reference = rng.integers(0, 2, 256, dtype=np.uint8)
+        client = reference.copy()
+        noisy = inject_noise_to_distance(client, reference, 5, rng)
+        assert int((noisy != reference).sum()) == 5
+
+    def test_tops_up_partial_noise(self, rng):
+        reference = rng.integers(0, 2, 256, dtype=np.uint8)
+        client = reference.copy()
+        client[[3, 10]] ^= 1
+        noisy = inject_noise_to_distance(client, reference, 5, rng)
+        assert int((noisy != reference).sum()) == 5
+        assert (noisy[[3, 10]] != reference[[3, 10]]).all()  # keeps old errors
+
+    def test_leaves_excess_noise_alone(self, rng):
+        reference = rng.integers(0, 2, 256, dtype=np.uint8)
+        client = reference.copy()
+        client[:7] ^= 1
+        noisy = inject_noise_to_distance(client, reference, 5, rng)
+        assert (noisy == client).all()
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            inject_noise_to_distance(
+                np.zeros(10, np.uint8), np.zeros(12, np.uint8), 2, rng
+            )
+
+    def test_flip_random_bits_count(self, rng):
+        bits = np.zeros(64, dtype=np.uint8)
+        flipped = flip_random_bits(bits, 9, rng)
+        assert int(flipped.sum()) == 9
+
+    def test_flip_random_bits_validation(self, rng):
+        with pytest.raises(ValueError):
+            flip_random_bits(np.zeros(4, np.uint8), 5, rng)
+        with pytest.raises(ValueError):
+            flip_random_bits(np.zeros(4, np.uint8), -1, rng)
+
+
+class TestEncryptedImageDatabase:
+    @pytest.fixture
+    def mask(self):
+        puf = SRAMPuf(num_cells=512, seed=8)
+        return enroll_with_masking(puf, 0, 512)
+
+    def test_roundtrip(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        db.enroll("alice", mask)
+        restored = db.lookup("alice")
+        assert restored.address == mask.address
+        assert (restored.usable == mask.usable).all()
+        assert (restored.reference == mask.reference).all()
+        assert np.allclose(restored.instability, mask.instability)
+
+    def test_records_are_encrypted_at_rest(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        db.enroll("alice", mask)
+        ciphertext = db.encrypted_record("alice")
+        assert b"reference" not in ciphertext  # JSON keys not visible
+
+    def test_unknown_client(self):
+        db = EncryptedImageDatabase(b"k" * 16)
+        with pytest.raises(KeyError):
+            db.lookup("mallory")
+
+    def test_contains_and_len(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        assert "alice" not in db and len(db) == 0
+        db.enroll("alice", mask)
+        assert "alice" in db and len(db) == 1
+
+    def test_master_key_length(self):
+        with pytest.raises(ValueError):
+            EncryptedImageDatabase(b"short")
+
+    def test_wrong_key_cannot_decrypt(self, mask):
+        db1 = EncryptedImageDatabase(b"k" * 16)
+        db1.enroll("alice", mask)
+        db2 = EncryptedImageDatabase(b"x" * 16)
+        db2._records["alice"] = db1.encrypted_record("alice")
+        with pytest.raises(Exception):
+            db2.lookup("alice")

@@ -1,0 +1,135 @@
+"""Environmental PUF effects: temperature/voltage stress and aging."""
+
+import numpy as np
+import pytest
+
+from repro.puf.environment import (
+    EnvironmentalConditions,
+    EnvironmentalPuf,
+    stress_factor,
+)
+from repro.puf.model import SRAMPuf
+from repro.puf.ternary import enroll_with_masking
+
+
+class TestConditions:
+    def test_nominal_factor_is_one(self):
+        assert stress_factor(EnvironmentalConditions()) == pytest.approx(1.0)
+
+    def test_heat_raises_stress(self):
+        hot = stress_factor(EnvironmentalConditions(temperature_c=85.0))
+        cold = stress_factor(EnvironmentalConditions(temperature_c=-20.0))
+        assert hot > 1.3 and cold > 1.3
+
+    def test_voltage_deviation_is_quadratic(self):
+        small = stress_factor(EnvironmentalConditions(supply_voltage=1.05))
+        large = stress_factor(EnvironmentalConditions(supply_voltage=1.10))
+        assert (large - 1.0) == pytest.approx(4 * (small - 1.0), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnvironmentalConditions(temperature_c=200.0)
+        with pytest.raises(ValueError):
+            EnvironmentalConditions(supply_voltage=0.2)
+        with pytest.raises(ValueError):
+            EnvironmentalConditions(age_years=-1.0)
+
+
+class TestEnvironmentalPuf:
+    @pytest.fixture
+    def base_puf(self):
+        return SRAMPuf(num_cells=4096, stable_error=0.002, seed=90)
+
+    def _mean_distance(self, puf, reference, reads=12):
+        return np.mean(
+            [(puf.read(0, 4096).bits != reference).sum() for _ in range(reads)]
+        )
+
+    def test_nominal_matches_underlying(self, base_puf):
+        wrapped = EnvironmentalPuf(base_puf, rng=np.random.default_rng(0))
+        reference = base_puf.reference_bits(0, 4096)
+        wrapped_d = self._mean_distance(wrapped, reference)
+        raw_d = self._mean_distance(base_puf, reference)
+        assert wrapped_d == pytest.approx(raw_d, rel=0.6)
+
+    def test_heat_raises_distance(self, base_puf):
+        reference = base_puf.reference_bits(0, 4096)
+        hot = EnvironmentalPuf(
+            base_puf,
+            EnvironmentalConditions(temperature_c=105.0),
+            rng=np.random.default_rng(1),
+        )
+        nominal = EnvironmentalPuf(base_puf, rng=np.random.default_rng(1))
+        assert self._mean_distance(hot, reference) > self._mean_distance(
+            nominal, reference
+        )
+
+    def test_aging_produces_persistent_drift(self, base_puf):
+        aged = EnvironmentalPuf(
+            base_puf,
+            EnvironmentalConditions(age_years=10.0),
+            aging_drift_per_year=0.002,
+            rng=np.random.default_rng(2),
+        )
+        assert aged._drifted.sum() > 0
+        # Drifted cells flip on every read (persistent, unlike noise).
+        reference = base_puf.reference_bits(0, 4096)
+        drifted = np.flatnonzero(aged._drifted[:4096])
+        if drifted.size:
+            flips = np.mean(
+                [
+                    (aged.read(0, 4096).bits[drifted] != reference[drifted]).mean()
+                    for _ in range(6)
+                ]
+            )
+            assert flips > 0.9
+
+    def test_expected_distance_tracks_conditions(self, base_puf):
+        mask = enroll_with_masking(base_puf, 0, 4096, reads=32)
+        nominal = EnvironmentalPuf(base_puf, rng=np.random.default_rng(3))
+        hot = EnvironmentalPuf(
+            base_puf,
+            EnvironmentalConditions(temperature_c=125.0),
+            rng=np.random.default_rng(3),
+        )
+        assert hot.expected_distance(mask) > nominal.expected_distance(mask)
+
+    def test_protocol_still_authenticates_when_hot(self, base_puf):
+        """The RBC promise: environmental drift costs search time, not
+        a protocol change — as long as d stays tractable."""
+        from repro.core import (
+            CertificateAuthority,
+            RBCSaltedProtocol,
+            RBCSearchService,
+            RegistrationAuthority,
+        )
+        from repro.core.protocol import ClientDevice
+        from repro.core.salting import HashChainSalt
+        from repro.keygen.interface import get_keygen
+        from repro.puf.image_db import EncryptedImageDatabase
+        from repro.runtime.executor import BatchSearchExecutor
+
+        mask = enroll_with_masking(
+            base_puf, 0, 4096, reads=64, instability_threshold=0.02
+        )
+        hot_puf = EnvironmentalPuf(
+            base_puf,
+            EnvironmentalConditions(temperature_c=70.0),
+            rng=np.random.default_rng(4),
+        )
+        authority = CertificateAuthority(
+            search_service=RBCSearchService(
+                BatchSearchExecutor("sha1", batch_size=16384), max_distance=3
+            ),
+            salt=HashChainSalt(),
+            keygen=get_keygen("aes-128"),
+            registration_authority=RegistrationAuthority(),
+            image_db=EncryptedImageDatabase(b"environmental-ke"),
+            hash_name="sha1",
+        )
+        authority.enroll("hot-dev", mask)
+        client = ClientDevice("hot-dev", hot_puf, rng=np.random.default_rng(5))
+        outcome = RBCSaltedProtocol(authority, max_attempts=3).authenticate(
+            client, reference_mask=mask
+        )
+        assert outcome.authenticated

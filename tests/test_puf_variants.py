@@ -1,0 +1,151 @@
+"""Arbiter and ring-oscillator PUF models + protocol agnosticism."""
+
+import numpy as np
+import pytest
+
+from repro.puf.arbiter import ArbiterPuf
+from repro.puf.ring_oscillator import RingOscillatorPuf
+from repro.puf.ternary import enroll_with_masking
+
+VARIANTS = [
+    lambda seed: ArbiterPuf(num_cells=2048, seed=seed),
+    lambda seed: RingOscillatorPuf(num_cells=2048, seed=seed),
+]
+
+
+@pytest.fixture(params=VARIANTS, ids=["arbiter", "ring-oscillator"])
+def make_puf(request):
+    return request.param
+
+
+class TestCommonContract:
+    def test_reference_is_deterministic(self, make_puf):
+        puf = make_puf(1)
+        a = puf.reference_bits(0, 512)
+        b = puf.reference_bits(0, 512)
+        assert (a == b).all()
+
+    def test_reads_are_close_to_reference(self, make_puf):
+        puf = make_puf(2)
+        reference = puf.reference_bits(0, 2048)
+        distances = [
+            int((puf.read(0, 2048).bits != reference).sum()) for _ in range(10)
+        ]
+        assert max(distances) < 300  # mostly stable
+        assert sum(distances) > 0    # but noisy
+
+    def test_devices_are_unique(self, make_puf):
+        a = make_puf(10).reference_bits(0, 1024)
+        b = make_puf(11).reference_bits(0, 1024)
+        differing = int((a != b).sum())
+        assert 300 < differing < 724  # near-uniform inter-device distance
+
+    def test_window_validation(self, make_puf):
+        puf = make_puf(3)
+        with pytest.raises(ValueError):
+            puf.read(2040, 100)
+        with pytest.raises(ValueError):
+            puf.read(0, 0)
+
+    def test_read_repeated_shape(self, make_puf):
+        puf = make_puf(4)
+        samples = puf.read_repeated(0, 128, 5)
+        assert samples.shape == (5, 128)
+
+    def test_tapki_masking_reduces_noise(self, make_puf):
+        puf = make_puf(5)
+        mask = enroll_with_masking(puf, 0, 2048, reads=48, instability_threshold=0.05)
+        reference = mask.reference_seed_bits(256)
+        masked_dists = []
+        for _ in range(15):
+            bits = mask.select_bits(puf.read(0, 2048).bits, 256)
+            masked_dists.append(int((bits != reference).sum()))
+        assert np.mean(masked_dists) < 8
+
+
+class TestArbiterSpecifics:
+    def test_instability_concentrates_at_small_margins(self):
+        puf = ArbiterPuf(num_cells=4096, seed=6)
+        samples = puf.read_repeated(0, 4096, 24)
+        ones = samples.sum(axis=0)
+        disagreement = np.minimum(ones, 24 - ones) / 24
+        margins = puf.delay_margins
+        unstable = disagreement > 0.1
+        if unstable.any():
+            assert margins[unstable].mean() < margins[~unstable].mean()
+
+    def test_stage_count_validation(self):
+        with pytest.raises(ValueError):
+            ArbiterPuf(stages=4)
+
+    def test_feature_map_suffix_parity(self):
+        challenges = np.array([[0, 1, 1]], dtype=np.int8)
+        features = ArbiterPuf._feature_map(challenges)
+        # signs = (+1, -1, -1); suffix products: (+1, +1, -1), const 1.
+        assert features[0].tolist() == [1.0, 1.0, -1.0, 1.0]
+
+
+class TestRingOscillatorSpecifics:
+    def test_instability_concentrates_at_small_margins(self):
+        puf = RingOscillatorPuf(num_cells=4096, seed=7)
+        samples = puf.read_repeated(0, 4096, 24)
+        ones = samples.sum(axis=0)
+        disagreement = np.minimum(ones, 24 - ones) / 24
+        margins = puf.frequency_margins
+        unstable = disagreement > 0.1
+        if unstable.any():
+            assert margins[unstable].mean() < margins[~unstable].mean()
+
+    def test_longer_window_is_quieter(self):
+        noisy = RingOscillatorPuf(num_cells=2048, count_window_seconds=1e-5, seed=8)
+        quiet = RingOscillatorPuf(num_cells=2048, count_window_seconds=1e-3, seed=8)
+        ref_noisy = noisy.reference_bits(0, 2048)
+        ref_quiet = quiet.reference_bits(0, 2048)
+        noisy_err = np.mean([
+            (noisy.read(0, 2048).bits != ref_noisy).mean() for _ in range(8)
+        ])
+        quiet_err = np.mean([
+            (quiet.read(0, 2048).bits != ref_quiet).mean() for _ in range(8)
+        ])
+        assert quiet_err < noisy_err
+
+
+class TestProtocolAgnosticism:
+    """RBC-SALTED runs unchanged over any PUF architecture."""
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=["arbiter", "ring-oscillator"])
+    def test_full_authentication(self, variant):
+        from repro.core import (
+            CertificateAuthority,
+            RBCSaltedProtocol,
+            RBCSearchService,
+            RegistrationAuthority,
+        )
+        from repro.core.protocol import ClientDevice
+        from repro.core.salting import HashChainSalt
+        from repro.keygen.interface import get_keygen
+        from repro.puf.image_db import EncryptedImageDatabase
+        from repro.runtime.executor import BatchSearchExecutor
+
+        puf = variant(99)
+        mask = enroll_with_masking(
+            puf, 0, 2048, reads=64, instability_threshold=0.02
+        )
+        authority = CertificateAuthority(
+            search_service=RBCSearchService(
+                BatchSearchExecutor("sha1", batch_size=8192), max_distance=2
+            ),
+            salt=HashChainSalt(),
+            keygen=get_keygen("aes-128"),
+            registration_authority=RegistrationAuthority(),
+            image_db=EncryptedImageDatabase(b"puf-agnostic-key"),
+            hash_name="sha1",
+        )
+        authority.enroll("dev", mask)
+        client = ClientDevice(
+            "dev", puf, noise_target_distance=1, rng=np.random.default_rng(0)
+        )
+        outcome = RBCSaltedProtocol(authority).authenticate(
+            client, reference_mask=mask
+        )
+        assert outcome.authenticated

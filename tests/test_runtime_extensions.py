@@ -1,0 +1,133 @@
+"""Batch original-RBC engine and the distributed cluster executor."""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+from repro.hashes.sha1 import sha1
+from repro.keygen.interface import get_keygen
+from repro.runtime.cluster import ClusterSearchExecutor, Interconnect
+from repro.runtime.original_batch import BATCH_KEYGEN_CHOICES, BatchOriginalRBCSearch
+
+
+class TestBatchOriginalRBC:
+    @pytest.mark.parametrize("name", BATCH_KEYGEN_CHOICES)
+    def test_finds_planted_seed(self, base_seed, name):
+        gen = get_keygen(name)
+        client = flip_bits(base_seed, [3, 250])
+        engine = BatchOriginalRBCSearch(name, batch_size=4096)
+        result = engine.search(base_seed, gen.public_key(client), 2)
+        assert result.found and result.seed == client and result.distance == 2
+
+    @pytest.mark.parametrize("name", BATCH_KEYGEN_CHOICES)
+    def test_distance_zero(self, base_seed, name):
+        gen = get_keygen(name)
+        engine = BatchOriginalRBCSearch(name)
+        result = engine.search(base_seed, gen.public_key(base_seed), 1)
+        assert result.found and result.distance == 0 and result.seeds_hashed == 1
+
+    def test_not_found(self, base_seed, rng):
+        gen = get_keygen("speck-128")
+        engine = BatchOriginalRBCSearch("speck-128", batch_size=2048)
+        result = engine.search(base_seed, gen.public_key(rng.bytes(32)), 1)
+        assert not result.found
+        assert result.seeds_hashed == 1 + 256
+
+    def test_batch_matches_scalar_registry(self, rng):
+        """The batch response kernel must equal the scalar KeyGenerator."""
+        from repro._bitutils import seed_to_words
+
+        for name in BATCH_KEYGEN_CHOICES:
+            gen = get_keygen(name)
+            engine = BatchOriginalRBCSearch(name)
+            seed = rng.bytes(32)
+            batch = engine.response_batch(seed_to_words(seed)[None, :])
+            scalar = gen.public_key(seed)
+            assert batch[0].tobytes() == scalar[: batch.shape[1]], name
+
+    def test_timeout(self, base_seed, rng):
+        engine = BatchOriginalRBCSearch("aes-128", batch_size=256)
+        gen = get_keygen("aes-128")
+        result = engine.search(
+            base_seed, gen.public_key(rng.bytes(32)), 2, time_budget=0.0
+        )
+        assert result.timed_out
+
+    def test_response_length_validation(self, base_seed):
+        engine = BatchOriginalRBCSearch("aes-128")
+        with pytest.raises(ValueError):
+            engine.search(base_seed, b"\x00" * 5, 1)
+
+    def test_unknown_keygen_rejected(self):
+        with pytest.raises(ValueError):
+            BatchOriginalRBCSearch("dilithium3")  # scalar-only by design
+
+    def test_throughput_probe(self):
+        assert BatchOriginalRBCSearch("speck-128").throughput_probe(2000) > 0
+
+
+class TestClusterExecutor:
+    def test_finds_planted_seed(self, base_seed):
+        client = flip_bits(base_seed, [100, 101])
+        cluster = ClusterSearchExecutor(3, "sha1", batch_size=2048)
+        result = cluster.search(base_seed, sha1(client), 2)
+        assert result.found and result.seed == client and result.distance == 2
+        assert result.finder_rank is not None
+
+    def test_distance_zero_found_by_rank_zero(self, base_seed):
+        cluster = ClusterSearchExecutor(3, "sha1", batch_size=2048)
+        result = cluster.search(base_seed, sha1(base_seed), 1)
+        assert result.found and result.distance == 0 and result.finder_rank == 0
+
+    def test_exhaustion_covers_whole_space(self, base_seed, rng):
+        cluster = ClusterSearchExecutor(4, "sha1", batch_size=1024)
+        result = cluster.search(base_seed, sha1(rng.bytes(32)), 1)
+        assert not result.found
+        # Every rank also hashes S_init (the d=0 probe), so the joint
+        # count is the shell plus one probe per rank.
+        assert result.seeds_hashed_total == 256 + 4
+
+    def test_ranks_partition_disjointly(self, base_seed):
+        # Plant at a known lexicographic rank and verify exactly one
+        # rank finds it regardless of cluster size.
+        client = flip_bits(base_seed, [255])  # last d=1 candidate
+        digest = sha1(client)
+        for ranks in (1, 2, 5):
+            cluster = ClusterSearchExecutor(ranks, "sha1", batch_size=512)
+            result = cluster.search(base_seed, digest, 1)
+            assert result.found
+            assert result.finder_rank == ranks - 1  # owner of the tail slice
+
+    def test_wall_time_accounting(self, base_seed, rng):
+        quiet = Interconnect(
+            name="zero", broadcast_seconds=0, allreduce_seconds=0,
+            gather_seconds=0, exit_propagation_seconds=0,
+        )
+        slow = Interconnect(
+            name="slow", broadcast_seconds=1.0, allreduce_seconds=1.0,
+            gather_seconds=1.0, exit_propagation_seconds=0,
+        )
+        digest = sha1(rng.bytes(32))
+        fast_result = ClusterSearchExecutor(2, "sha1", 1024, quiet).search(
+            base_seed, digest, 1
+        )
+        slow_result = ClusterSearchExecutor(2, "sha1", 1024, slow).search(
+            base_seed, digest, 1
+        )
+        assert slow_result.wall_seconds > fast_result.wall_seconds + 2.9
+
+    def test_single_rank_has_no_fabric_cost(self, base_seed, rng):
+        cluster = ClusterSearchExecutor(1, "sha1", 1024)
+        result = cluster.search(base_seed, sha1(rng.bytes(32)), 1)
+        assert result.wall_seconds == pytest.approx(
+            max(result.per_rank_seconds), rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSearchExecutor(0)
+
+    def test_result_truthiness(self, base_seed):
+        cluster = ClusterSearchExecutor(2, "sha1", 1024)
+        found = cluster.search(base_seed, sha1(base_seed), 1)
+        assert bool(found) is True

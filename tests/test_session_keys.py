@@ -1,0 +1,161 @@
+"""One-time session keys in use: encrypt to the RA key, decrypt on-device."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CertificateAuthority,
+    RBCSaltedProtocol,
+    RBCSearchService,
+    RegistrationAuthority,
+)
+from repro.core.protocol import ClientDevice
+from repro.core.salting import HashChainSalt
+from repro.core.session_keys import (
+    LWESessionKeygen,
+    SessionClient,
+    SessionService,
+    run_session_flow,
+)
+from repro.keygen.lwe import ToyModuleLWE
+from repro.puf.image_db import EncryptedImageDatabase
+from repro.puf.model import SRAMPuf
+from repro.puf.ternary import enroll_with_masking
+from repro.runtime.executor import BatchSearchExecutor
+
+
+@pytest.fixture(scope="module")
+def session_authority():
+    """A CA issuing usable LWE keys, with an authenticated client."""
+    puf = SRAMPuf(num_cells=2048, stable_error=0.001, seed=31337)
+    mask = enroll_with_masking(puf, 0, 2048, reads=64, instability_threshold=0.02)
+    authority = CertificateAuthority(
+        search_service=RBCSearchService(
+            BatchSearchExecutor("sha3-256", batch_size=16384), max_distance=2
+        ),
+        salt=HashChainSalt(b"session-keys"),
+        keygen=LWESessionKeygen("light"),
+        registration_authority=RegistrationAuthority(),
+        image_db=EncryptedImageDatabase(b"session-master-k"),
+        hash_name="sha3-256",
+    )
+    authority.enroll("device-7", mask)
+    client = ClientDevice(
+        "device-7", puf, noise_target_distance=1, rng=np.random.default_rng(2)
+    )
+    outcome = RBCSaltedProtocol(authority).authenticate(client, reference_mask=mask)
+    assert outcome.authenticated
+    # The seed the CA found (and the client could re-derive from its read).
+    found_seed = authority._last_result.seed
+    return authority, found_seed
+
+
+class TestLWESessionKeygen:
+    def test_public_key_is_importable(self):
+        keygen = LWESessionKeygen("light")
+        raw = keygen.public_key(b"\x07" * 32)
+        rho, b = keygen.scheme.import_public(raw)
+        assert len(rho) == 32 and b.shape == (2, 256)
+
+    def test_seed_length_enforced(self):
+        with pytest.raises(ValueError):
+            LWESessionKeygen().public_key(b"short")
+
+    def test_import_rejects_wrong_size(self):
+        keygen = LWESessionKeygen("light")
+        with pytest.raises(ValueError):
+            keygen.scheme.import_public(b"\x00" * 10)
+
+
+class TestSessionFlow:
+    def test_end_to_end_session(self, session_authority):
+        authority, found_seed = session_authority
+        secret, expected = run_session_flow(
+            authority, "device-7", found_seed, rng=np.random.default_rng(3)
+        )
+        assert secret is not None
+        assert secret == expected
+
+    def test_wrong_seed_cannot_open(self, session_authority):
+        authority, _found_seed = session_authority
+        rng = np.random.default_rng(4)
+        secret, expected = run_session_flow(
+            authority, "device-7", rng.bytes(32), rng=rng
+        )
+        assert secret is None or secret != expected
+
+    def test_key_rotation_kills_old_tokens(self, session_authority):
+        authority, found_seed = session_authority
+        service = SessionService(
+            authority.registration_authority,
+            authority.keygen,
+            rng=np.random.default_rng(5),
+        )
+        old_token, old_expected = service.establish("device-7")
+
+        # Re-key: a new authentication epoch registers a different key
+        # (simulated by issuing a key for a freshly salted seed).
+        rng = np.random.default_rng(6)
+        new_seed = rng.bytes(32)
+        authority.issue_public_key("device-7", new_seed)
+
+        # The old token still opens with the *old* seed (tokens bind to
+        # key epochs, not identities)...
+        opener = SessionClient(authority.salt, authority.keygen)
+        assert opener.open_token(old_token, found_seed) == old_expected
+        # ...but a fresh token for the new epoch does not open with it.
+        fresh_token, fresh_expected = service.establish("device-7")
+        got = opener.open_token(fresh_token, found_seed)
+        assert got is None or got != fresh_expected
+        # The new epoch's owner opens it fine.
+        assert opener.open_token(fresh_token, new_seed) == fresh_expected
+
+    def test_tampered_token_rejected(self, session_authority):
+        authority, found_seed = session_authority
+        service = SessionService(
+            authority.registration_authority,
+            authority.keygen,
+            rng=np.random.default_rng(7),
+        )
+        token, _expected = service.establish("device-7")
+        tampered_v = token.ciphertext_v.copy()
+        tampered_v[:64] = (tampered_v[:64] + authority.keygen.scheme.modulus // 2) % (
+            authority.keygen.scheme.modulus
+        )
+        import dataclasses
+
+        bad = dataclasses.replace(token, ciphertext_v=tampered_v)
+        opener = SessionClient(authority.salt, authority.keygen)
+        assert opener.open_token(bad, found_seed) is None
+
+    def test_requires_session_keygen(self, small_authority):
+        authority, _client, _mask = small_authority  # AES keygen
+        with pytest.raises(TypeError):
+            run_session_flow(authority, "client-0", b"\x00" * 32)
+
+
+class TestRegevScheme:
+    def test_owner_and_third_party_agree(self, rng):
+        lwe = ToyModuleLWE("light")
+        seed = rng.bytes(32)
+        msg = rng.integers(0, 2, 256).astype(np.uint8)
+        randomness = rng.bytes(32)
+        owner_ct = lwe.encrypt(seed, msg, randomness)
+        third_ct = lwe.encrypt_to_public(lwe.export_public(seed), msg, randomness)
+        assert (owner_ct[0] == third_ct[0]).all()
+        assert (owner_ct[1] == third_ct[1]).all()
+
+    def test_decrypt_roundtrip_all_presets(self, rng):
+        for preset in ("light", "saber"):
+            lwe = ToyModuleLWE(preset)
+            seed = rng.bytes(32)
+            msg = rng.integers(0, 2, lwe.degree).astype(np.uint8)
+            ct = lwe.encrypt(seed, msg, rng.bytes(32))
+            assert (lwe.decrypt(seed, ct) == msg).all()
+
+    def test_message_shape_enforced(self, rng):
+        lwe = ToyModuleLWE("light")
+        with pytest.raises(ValueError):
+            lwe.encrypt(rng.bytes(32), np.zeros(10, np.uint8), rng.bytes(32))
+        with pytest.raises(ValueError):
+            lwe.encrypt(rng.bytes(32), np.zeros(256, np.uint8), b"short")

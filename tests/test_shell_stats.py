@@ -1,0 +1,61 @@
+"""Per-shell search statistics (the breakdown API)."""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+from repro.combinatorics.binomial import binomial
+from repro.hashes.sha1 import sha1
+from repro.runtime import BatchSearchExecutor, ShellStats
+
+
+class TestShellStats:
+    def test_full_miss_covers_every_shell(self, base_seed, rng):
+        executor = BatchSearchExecutor("sha1", batch_size=4096)
+        result = executor.search(base_seed, sha1(rng.bytes(32)), 2)
+        distances = [s.distance for s in result.shells]
+        assert distances == [0, 1, 2]
+        by_distance = {s.distance: s.seeds_hashed for s in result.shells}
+        assert by_distance[0] == 1
+        assert by_distance[1] == 256
+        assert by_distance[2] == binomial(256, 2)
+
+    def test_shell_counts_sum_to_total(self, base_seed, rng):
+        executor = BatchSearchExecutor("sha1", batch_size=2048)
+        result = executor.search(base_seed, sha1(rng.bytes(32)), 2)
+        assert sum(s.seeds_hashed for s in result.shells) == result.seeds_hashed
+
+    def test_found_search_truncates_last_shell(self, base_seed):
+        client = flip_bits(base_seed, [3, 4])  # early in lexicographic order
+        executor = BatchSearchExecutor("sha1", batch_size=257)
+        result = executor.search(base_seed, sha1(client), 2)
+        assert result.found
+        last = result.shells[-1]
+        assert last.distance == 2
+        assert last.seeds_hashed < binomial(256, 2)
+
+    def test_distance_zero_hit_has_single_shell(self, base_seed):
+        executor = BatchSearchExecutor("sha1")
+        result = executor.search(base_seed, sha1(base_seed), 2)
+        assert [s.distance for s in result.shells] == [0]
+
+    def test_throughput_property(self):
+        stats = ShellStats(distance=2, seeds_hashed=1000, seconds=0.5)
+        assert stats.throughput == pytest.approx(2000.0)
+        assert ShellStats(1, 10, 0.0).throughput == 0.0
+
+    def test_higher_shells_get_faster_throughput(self, base_seed, rng):
+        """Bigger shells amortize batch overhead — the lane-width story
+        visible inside a single search."""
+        executor = BatchSearchExecutor("sha1", batch_size=16384)
+        result = executor.search(base_seed, sha1(rng.bytes(32)), 2)
+        by_distance = {s.distance: s for s in result.shells}
+        assert by_distance[2].throughput > by_distance[1].throughput
+
+    def test_timeout_records_partial_shell(self, base_seed, rng):
+        executor = BatchSearchExecutor("sha1", batch_size=64)
+        result = executor.search(
+            base_seed, sha1(rng.bytes(32)), 2, time_budget=0.0
+        )
+        assert result.timed_out
+        assert result.shells[-1].seeds_hashed <= binomial(256, result.shells[-1].distance)

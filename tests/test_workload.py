@@ -1,0 +1,137 @@
+"""Workload generator and server-capacity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import (
+    AuthRequest,
+    ServerCapacityModel,
+    WorkloadGenerator,
+    service_time_distribution,
+    simulate_queue,
+)
+from repro.devices import GPUModel
+
+
+class TestWorkloadGenerator:
+    def test_arrivals_are_increasing(self, rng):
+        gen = WorkloadGenerator(10.0, rng=rng)
+        requests = gen.generate(100)
+        times = [r.arrival_seconds for r in requests]
+        assert times == sorted(times)
+
+    def test_rate_roughly_matches(self, rng):
+        gen = WorkloadGenerator(50.0, rng=rng)
+        requests = gen.generate(2000)
+        span = requests[-1].arrival_seconds - requests[0].arrival_seconds
+        assert 2000 / span == pytest.approx(50.0, rel=0.2)
+
+    def test_distance_mix_respected(self, rng):
+        gen = WorkloadGenerator(1.0, distance_weights={1: 0.5, 5: 0.5}, rng=rng)
+        requests = gen.generate(400)
+        distances = {r.distance for r in requests}
+        assert distances <= {1, 5}
+        ones = sum(1 for r in requests if r.distance == 1)
+        assert 120 < ones < 280
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(1.0, distance_weights={1: 0.0})
+
+
+class TestServiceTimes:
+    def test_monotone_in_distance(self, rng):
+        gpu = GPUModel()
+        requests = [AuthRequest(0.0, d, 0.5) for d in (1, 2, 3, 4, 5)]
+        times = service_time_distribution(gpu, "sha3-256", requests)
+        assert (np.diff(times) > 0).all()
+
+    def test_shell_fraction_scales_cost(self):
+        gpu = GPUModel()
+        early = service_time_distribution(gpu, "sha3-256", [AuthRequest(0, 5, 0.01)])
+        late = service_time_distribution(gpu, "sha3-256", [AuthRequest(0, 5, 0.99)])
+        assert early[0] < late[0]
+
+    def test_distance_zero_is_epsilon(self):
+        gpu = GPUModel()
+        times = service_time_distribution(gpu, "sha1", [AuthRequest(0, 0, 0.0)])
+        assert times[0] < 1e-3
+
+
+class TestCapacityModel:
+    def test_utilization_and_stability(self):
+        model = ServerCapacityModel(np.full(100, 2.0))
+        ok = model.estimate(0.25)  # rho = 0.5
+        assert ok.stable and ok.utilization == pytest.approx(0.5)
+        saturated = model.estimate(0.6)  # rho = 1.2
+        assert not saturated.stable and saturated.mean_wait_seconds == float("inf")
+
+    def test_deterministic_service_matches_md1(self):
+        # M/D/1: W = rho * s / (2 (1 - rho)).
+        model = ServerCapacityModel(np.full(1000, 1.0))
+        estimate = model.estimate(0.5)
+        assert estimate.mean_wait_seconds == pytest.approx(0.5, rel=0.01)
+
+    def test_variance_increases_wait(self, rng):
+        flat = ServerCapacityModel(np.full(1000, 1.0))
+        jittery_times = rng.exponential(1.0, size=4000)
+        jittery = ServerCapacityModel(jittery_times)
+        assert (
+            jittery.estimate(0.5).mean_wait_seconds
+            > flat.estimate(0.5).mean_wait_seconds
+        )
+
+    def test_max_stable_rate(self):
+        model = ServerCapacityModel(np.full(10, 2.0))
+        assert model.max_stable_rate(0.8) == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            model.max_stable_rate(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerCapacityModel(np.array([]))
+        with pytest.raises(ValueError):
+            ServerCapacityModel(np.array([0.0]))
+        with pytest.raises(ValueError):
+            ServerCapacityModel(np.array([1.0])).estimate(0.0)
+
+
+class TestQueueSimulation:
+    def test_simulation_agrees_with_pk_formula(self, rng):
+        gen = WorkloadGenerator(0.4, distance_weights={1: 1.0}, rng=rng)
+        requests = gen.generate(3000)
+        service = rng.exponential(1.0, size=3000)
+        sim = simulate_queue(requests, service)
+        model = ServerCapacityModel(service)
+        analytic = model.estimate(0.4)
+        # M/M/1 at rho=0.4: W = rho/(mu - lambda)... mean wait ~ 0.67 s.
+        assert sim["mean_wait_seconds"] == pytest.approx(
+            analytic.mean_wait_seconds, rel=0.35
+        )
+
+    def test_busy_fraction_tracks_utilization(self, rng):
+        gen = WorkloadGenerator(0.25, rng=rng)
+        requests = gen.generate(2000)
+        service = np.full(2000, 2.0)
+        sim = simulate_queue(requests, service)
+        assert sim["busy_fraction"] == pytest.approx(0.5, rel=0.15)
+
+    def test_alignment_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_queue([AuthRequest(0, 1, 0.5)], np.array([1.0, 2.0]))
+
+
+class TestEndToEndCapacityStory:
+    def test_gpu_serves_many_more_clients_than_cpu(self, rng):
+        """The operational meaning of Table 5."""
+        from repro.devices import CPUModel
+
+        gen = WorkloadGenerator(1.0, rng=rng)
+        requests = gen.generate(600)
+        gpu_service = service_time_distribution(GPUModel(), "sha3-256", requests)
+        cpu_service = service_time_distribution(CPUModel(), "sha3-256", requests)
+        gpu_capacity = ServerCapacityModel(gpu_service).max_stable_rate()
+        cpu_capacity = ServerCapacityModel(cpu_service).max_stable_rate()
+        assert gpu_capacity > 5 * cpu_capacity
