@@ -1,10 +1,38 @@
-"""Speedup/efficiency metrics and paper-vs-measured comparisons."""
+"""Speedup/efficiency metrics, paper-vs-measured comparisons, and the
+resilience report produced by chaos runs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["speedup", "parallel_efficiency", "PaperComparison", "compare_to_paper"]
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "PaperComparison",
+    "compare_to_paper",
+    "percentile",
+    "ResilienceReport",
+]
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile of a sequence (q in [0, 100]).
+
+    Deterministic and dependency-light — the chaos report must be
+    byte-identical across runs, so no float-order surprises allowed.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = rank - lo
+    return float(ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction)
 
 
 def speedup(baseline_seconds: float, parallel_seconds: float) -> float:
@@ -58,3 +86,77 @@ def compare_to_paper(
 ) -> PaperComparison:
     """Record one comparison (convenience constructor)."""
     return PaperComparison(experiment, quantity, paper_value, measured_value)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """What an authentication storm under a fault plan produced.
+
+    Every field is derived from the virtual clock and deterministic
+    counters — no wall-clock measurements — so two runs with the same
+    fault-plan seed compare equal (`==`), which is the reproducibility
+    contract the chaos regression tests assert.
+    """
+
+    plan: str
+    seed: int
+    clients: int
+    succeeded: int
+    failed_clean: int
+    false_authentications: int
+    #: (outcome_name, count), sorted by name. Outcome names are the
+    #: typed terminal states: authenticated, rejected, deadline_exceeded,
+    #: retries_exhausted, server_busy.
+    outcomes: tuple[tuple[str, int], ...]
+    #: (fault_kind, count) actually injected on the links, sorted.
+    faults_injected: tuple[tuple[str, int], ...]
+    attempts_total: int
+    max_attempts_single_client: int
+    latency_p50: float
+    latency_p95: float
+    latency_max: float
+    #: Breaker history as 'from->to' strings, in order.
+    breaker_transitions: tuple[str, ...]
+    primary_searches: int
+    fallback_searches: int
+    device_failures: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of clients that authenticated successfully."""
+        return self.succeeded / self.clients if self.clients else 0.0
+
+    def render(self) -> str:
+        """Human-readable report for the `repro chaos` subcommand."""
+        from repro.analysis.tables import format_table
+
+        lines = [
+            f"chaos storm: plan={self.plan!r} seed={self.seed} "
+            f"clients={self.clients}",
+            "",
+            format_table(
+                ["outcome", "count"],
+                [[name, count] for name, count in self.outcomes],
+                title="client outcomes",
+            ),
+            "",
+            format_table(
+                ["fault", "count"],
+                [[name, count] for name, count in self.faults_injected]
+                or [["(none)", 0]],
+                title="injected link faults",
+            ),
+            "",
+            f"availability:        {self.availability:.1%}",
+            f"false auths:         {self.false_authentications}",
+            f"attempts:            {self.attempts_total} total, "
+            f"worst client {self.max_attempts_single_client}",
+            f"virtual latency:     p50={self.latency_p50:.2f}s "
+            f"p95={self.latency_p95:.2f}s max={self.latency_max:.2f}s",
+            f"searches:            {self.primary_searches} primary, "
+            f"{self.fallback_searches} fallback, "
+            f"{self.device_failures} device failures",
+            f"breaker transitions: "
+            + (" ".join(self.breaker_transitions) or "(none)"),
+        ]
+        return "\n".join(lines)

@@ -8,6 +8,8 @@ Commands:
 * ``probe``      — measure this host's real kernel throughputs.
 * ``attack``     — run the opponent simulation against a fresh digest.
 * ``complexity`` — print Table 1 and the tractability planner.
+* ``chaos``      — run a deterministic fault-injected authentication
+                   storm and print the resilience report.
 """
 
 from __future__ import annotations
@@ -157,6 +159,16 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.reliability.chaos import run_named_storm
+
+    report = run_named_storm(
+        args.plan, seed=args.seed, clients=args.clients, workers=args.workers
+    )
+    print(report.render())
+    return 0 if report.false_authentications == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -195,6 +207,22 @@ def main(argv: list[str] | None = None) -> int:
     complexity.add_argument("--throughput", type=float, default=None)
     complexity.add_argument("--threshold", type=float, default=20.0)
     complexity.set_defaults(fn=_cmd_complexity)
+
+    chaos = sub.add_parser("chaos", help="fault-injected authentication storm")
+    # Kept literal so parsing stays import-free; test_chaos checks it
+    # matches sorted(NAMED_PLANS).
+    chaos.add_argument(
+        "--plan",
+        default="lossy-wan",
+        choices=("clean", "flaky-device", "lossy-wan", "smoke"),
+        help="named fault plan",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--clients", type=int, default=None,
+                       help="override the plan's fleet size")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="override the server worker count")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

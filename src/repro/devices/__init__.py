@@ -31,6 +31,7 @@ from repro.devices.bitserial import (
     sha3_256_bitserial,
     hash_cost_profile,
 )
+from repro.devices.flaky import DeviceFailure, FlakyDeviceModel, FlakyEngine
 
 __all__ = [
     "DeviceSpec",
@@ -53,4 +54,7 @@ __all__ = [
     "PLATFORM_A_GPU",
     "PLATFORM_B_APU",
     "COMM_TIME_SECONDS",
+    "DeviceFailure",
+    "FlakyDeviceModel",
+    "FlakyEngine",
 ]

@@ -1,0 +1,104 @@
+"""Fault-injecting wrappers for search backends.
+
+Two wrappers share one fault stream
+(:class:`~repro.reliability.faults.DeviceFaultInjector`):
+
+* :class:`FlakyDeviceModel` wraps an analytic device model (GPU / APU /
+  CPU): a scheduled failure raises :class:`DeviceFailure` mid-search, a
+  scheduled slowdown stretches the modeled time (thermal throttling, a
+  sick HBM stack) — and the energy account scales with it.
+* :class:`FlakyEngine` wraps a *real* execution engine (the serving
+  path's :class:`~repro.runtime.executor.BatchSearchExecutor`): scheduled
+  failures raise before the search runs, which is what trips the
+  server-side circuit breaker and exercises CPU failover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.devices.base import DeviceModel, SearchTiming
+
+__all__ = ["DeviceFailure", "FlakyDeviceModel", "FlakyEngine"]
+
+
+class DeviceFailure(RuntimeError):
+    """The accelerator died (or was killed) during a search."""
+
+    def __init__(self, device: str, search_index: int):
+        super().__init__(f"device {device!r} failed on search #{search_index}")
+        self.device = device
+        self.search_index = search_index
+
+
+class FlakyDeviceModel(DeviceModel):
+    """A simulated accelerator that can fail or throttle mid-search."""
+
+    def __init__(self, inner: DeviceModel, injector):
+        self.inner = inner
+        self.injector = injector
+        self.spec = inner.spec
+        self.searches_attempted = 0
+        self.failures_injected = 0
+        self.slowdowns_injected = 0
+
+    def _fault(self) -> str | None:
+        self.searches_attempted += 1
+        fault = self.injector.next()
+        if fault == "fail":
+            self.failures_injected += 1
+            raise DeviceFailure(self.spec.name, self.searches_attempted - 1)
+        if fault == "slow":
+            self.slowdowns_injected += 1
+        return fault
+
+    def _slow_factor(self, fault: str | None) -> float:
+        if fault != "slow":
+            return 1.0
+        return getattr(self.injector.spec, "device_slow_factor", 4.0)
+
+    def search_time(self, hash_name, distance, mode="exhaustive", **kwargs) -> float:
+        """Modeled seconds, stretched or aborted per the fault stream."""
+        fault = self._fault()
+        return self.inner.search_time(hash_name, distance, mode, **kwargs) * (
+            self._slow_factor(fault)
+        )
+
+    def simulate_search(self, hash_name, distance, mode="exhaustive", **kwargs) -> SearchTiming:
+        """Full timing record; a throttled search burns energy for longer."""
+        fault = self._fault()
+        timing = self.inner.simulate_search(hash_name, distance, mode, **kwargs)
+        factor = self._slow_factor(fault)
+        if factor == 1.0:
+            return timing
+        return dataclasses.replace(
+            timing,
+            device=f"{timing.device} (throttled x{factor:g})",
+            search_seconds=timing.search_seconds * factor,
+            energy_joules=timing.energy_joules * factor,
+        )
+
+
+class FlakyEngine:
+    """A real SearchEngine whose device can die between searches."""
+
+    def __init__(self, inner, injector, name: str = "primary"):
+        self.inner = inner
+        self.injector = injector
+        self.name = name
+        # Inherit search geometry so adapters (e.g. the session layer's
+        # nonce-binding engine) see the same batch size.
+        self.batch_size = getattr(inner, "batch_size", 4096)
+        self.searches_attempted = 0
+        self.failures_injected = 0
+
+    def search(self, base_seed, target_digest, max_distance, time_budget=None):
+        """Run the inner search unless the fault stream kills the device."""
+        index = self.searches_attempted
+        self.searches_attempted += 1
+        if self.injector.next() == "fail":
+            self.failures_injected += 1
+            raise DeviceFailure(self.name, index)
+        return self.inner.search(
+            base_seed, target_digest, max_distance, time_budget=time_budget
+        )

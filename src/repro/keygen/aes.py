@@ -59,6 +59,29 @@ _SBOX, _INV_SBOX = _build_sbox()
 _RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
 
 
+def _build_enc_tables() -> tuple[list[int], list[int], list[int], list[int]]:
+    """Fused SubBytes+MixColumns lookup tables (the classic T-tables).
+
+    ``T_r[x]`` is the 32-bit column contribution of the row-``r`` input
+    byte ``x`` after S-box substitution, so one encryption round reduces
+    to sixteen table lookups and a handful of XORs. Derived from the same
+    programmatic S-box as the reference round functions below.
+    """
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = _SBOX[x]
+        s2 = _gf_mul(s, 2)
+        s3 = s2 ^ s
+        t0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        t1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        t2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        t3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_enc_tables()
+
+
 def _expand_key(key: bytes) -> list[list[int]]:
     """AES-128 key schedule: 11 round keys of 16 bytes each."""
     if len(key) != 16:
@@ -140,21 +163,51 @@ class AES128:
 
     def __init__(self, key: bytes):
         self._round_keys = _expand_key(key)
+        # Round keys as big-endian column words for the T-table fast path.
+        self._round_key_words = [
+            tuple(
+                int.from_bytes(bytes(rk[4 * c : 4 * c + 4]), "big")
+                for c in range(4)
+            )
+            for rk in self._round_keys
+        ]
 
     def encrypt_block(self, plaintext: bytes) -> bytes:
-        """Encrypt one 16-byte block."""
+        """Encrypt one 16-byte block (T-table fast path).
+
+        Equivalent to SubBytes/ShiftRows/MixColumns/AddRoundKey over the
+        column-major state; ``_mix_columns`` et al. below remain as the
+        readable reference (and serve the decryption direction).
+        """
         if len(plaintext) != 16:
             raise ValueError("AES block must be 16 bytes")
-        state = _add_round_key(list(plaintext), self._round_keys[0])
-        for round_index in range(1, 10):
-            state = _sub_bytes(state)
-            state = _shift_rows(state)
-            state = _mix_columns(state)
-            state = _add_round_key(state, self._round_keys[round_index])
-        state = _sub_bytes(state)
-        state = _shift_rows(state)
-        state = _add_round_key(state, self._round_keys[10])
-        return bytes(state)
+        rk = self._round_key_words
+        k = rk[0]
+        s0 = int.from_bytes(plaintext[0:4], "big") ^ k[0]
+        s1 = int.from_bytes(plaintext[4:8], "big") ^ k[1]
+        s2 = int.from_bytes(plaintext[8:12], "big") ^ k[2]
+        s3 = int.from_bytes(plaintext[12:16], "big") ^ k[3]
+        for k in rk[1:10]:
+            t0 = (_T0[s0 >> 24] ^ _T1[(s1 >> 16) & 0xFF]
+                  ^ _T2[(s2 >> 8) & 0xFF] ^ _T3[s3 & 0xFF] ^ k[0])
+            t1 = (_T0[s1 >> 24] ^ _T1[(s2 >> 16) & 0xFF]
+                  ^ _T2[(s3 >> 8) & 0xFF] ^ _T3[s0 & 0xFF] ^ k[1])
+            t2 = (_T0[s2 >> 24] ^ _T1[(s3 >> 16) & 0xFF]
+                  ^ _T2[(s0 >> 8) & 0xFF] ^ _T3[s1 & 0xFF] ^ k[2])
+            t3 = (_T0[s3 >> 24] ^ _T1[(s0 >> 16) & 0xFF]
+                  ^ _T2[(s1 >> 8) & 0xFF] ^ _T3[s2 & 0xFF] ^ k[3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        k = rk[10]
+        sb = _SBOX
+        o0 = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 0xFF] << 16)
+              | (sb[(s2 >> 8) & 0xFF] << 8) | sb[s3 & 0xFF]) ^ k[0]
+        o1 = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 0xFF] << 16)
+              | (sb[(s3 >> 8) & 0xFF] << 8) | sb[s0 & 0xFF]) ^ k[1]
+        o2 = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 0xFF] << 16)
+              | (sb[(s0 >> 8) & 0xFF] << 8) | sb[s1 & 0xFF]) ^ k[2]
+        o3 = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 0xFF] << 16)
+              | (sb[(s1 >> 8) & 0xFF] << 8) | sb[s2 & 0xFF]) ^ k[3]
+        return b"".join(o.to_bytes(4, "big") for o in (o0, o1, o2, o3))
 
     def decrypt_block(self, ciphertext: bytes) -> bytes:
         """Decrypt one 16-byte block."""

@@ -8,6 +8,12 @@ profile for the US<->Israel APU setup the paper explicitly excludes from
 fair comparison), and client/server endpoints that speak the protocol.
 """
 
+from repro.net.errors import (
+    TransportError,
+    MessageDropped,
+    MessageCorrupted,
+    ServerBusy,
+)
 from repro.net.messages import (
     HandshakeRequest,
     HandshakeResponse,
@@ -20,6 +26,10 @@ from repro.net.server import CAServer
 from repro.net.concurrent import ConcurrentCAServer, ServerMetrics
 
 __all__ = [
+    "TransportError",
+    "MessageDropped",
+    "MessageCorrupted",
+    "ServerBusy",
     "HandshakeRequest",
     "HandshakeResponse",
     "DigestSubmission",

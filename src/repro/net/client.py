@@ -2,6 +2,14 @@
 
 Wraps a :class:`~repro.core.protocol.ClientDevice` with the Figure 1
 message flow: handshake request, PUF read, digest submission, result.
+
+Every frame round-trips through its byte serialization and is re-parsed
+on arrival, so transport-level corruption is detected (CRC framing in
+:mod:`repro.net.messages`) instead of silently consumed. Retries follow
+a :class:`~repro.reliability.retry.RetryPolicy` — the paper's "resend
+the handshake on timeout" made real and bounded: exponential backoff
+with jitter (charged to the virtual clock), and per-attempt plus
+end-to-end deadlines that terminate in typed errors.
 """
 
 from __future__ import annotations
@@ -10,6 +18,7 @@ import numpy as np
 
 from repro.core.authentication import Challenge
 from repro.core.protocol import ClientDevice
+from repro.net.errors import TransportError
 from repro.net.messages import (
     AuthenticationResult,
     DigestSubmission,
@@ -18,6 +27,11 @@ from repro.net.messages import (
 )
 from repro.net.transport import InProcessTransport
 from repro.puf.ternary import TernaryMask
+from repro.reliability.retry import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+)
 
 __all__ = ["NetworkClient"]
 
@@ -31,6 +45,8 @@ class NetworkClient:
         transport: InProcessTransport,
         reference_mask: TernaryMask | None = None,
         max_attempts: int = 3,
+        retry_policy: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
@@ -38,27 +54,103 @@ class NetworkClient:
         self.transport = transport
         self.reference_mask = reference_mask
         self.max_attempts = max_attempts
+        # Without an explicit policy, reproduce the legacy behaviour:
+        # up to max_attempts back-to-back rounds, no backoff, no deadline.
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=max_attempts,
+                base_backoff_seconds=0.0,
+                jitter_fraction=0.0,
+                attempt_deadline_seconds=None,
+                deadline_seconds=None,
+            )
+        )
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Attempts consumed by the most recent authenticate() call.
+        self.last_attempts = 0
 
     def authenticate(self, server) -> AuthenticationResult:
         """Authenticate, restarting the handshake on failure/timeout.
 
         The paper's behaviour: "if a timeout occurs, the CA simply sends
         the client a new PUF address and the process is restarted" — a
-        fresh read usually lands at a smaller Hamming distance.
+        fresh read usually lands at a smaller Hamming distance. Here the
+        restart is governed by the retry policy; terminal outcomes are a
+        result (authenticated or cleanly rejected),
+        :class:`~repro.reliability.retry.RetriesExhausted` when every
+        attempt died on the link, or
+        :class:`~repro.reliability.retry.DeadlineExceeded`.
         """
-        result = self._one_round(server)
-        attempts = 1
-        while not result.authenticated and attempts < self.max_attempts:
-            result = self._one_round(server)
-            attempts += 1
-        return result
+        policy = self.retry_policy
+        start = self.transport.elapsed_seconds
+        result: AuthenticationResult | None = None
+        last_error: TransportError | None = None
+
+        for attempt in range(1, policy.max_attempts + 1):
+            self.last_attempts = attempt
+            if attempt > 1:
+                backoff = policy.backoff_seconds(attempt - 1, self._rng)
+                if backoff:
+                    self.transport.charge("retry-backoff", backoff)
+                self._check_deadline(policy, start, attempt)
+
+            attempt_start = self.transport.elapsed_seconds
+            try:
+                result = self._one_round(server)
+                last_error = None
+            except TransportError as exc:
+                result = None
+                last_error = exc
+
+            if result is not None and result.authenticated:
+                return result
+            attempt_elapsed = self.transport.elapsed_seconds - attempt_start
+            if (
+                result is not None
+                and policy.attempt_deadline_seconds is not None
+                and attempt_elapsed > policy.attempt_deadline_seconds
+            ):
+                # The round crawled past its budget: treat as timed out.
+                result = None
+            self._check_deadline(policy, start, attempt)
+
+        if result is not None:
+            return result
+        assert last_error is not None
+        raise RetriesExhausted(
+            attempts=policy.max_attempts,
+            elapsed_seconds=self.transport.elapsed_seconds - start,
+            last_error=last_error,
+        )
+
+    def _check_deadline(self, policy: RetryPolicy, start: float, attempts: int) -> None:
+        if policy.deadline_seconds is None:
+            return
+        elapsed = self.transport.elapsed_seconds - start
+        if elapsed > policy.deadline_seconds:
+            raise DeadlineExceeded(
+                f"authentication deadline of {policy.deadline_seconds:.1f}s "
+                f"exceeded after {attempts} attempt(s) ({elapsed:.2f}s)",
+                attempts=attempts,
+                elapsed_seconds=elapsed,
+            )
 
     def _one_round(self, server) -> AuthenticationResult:
-        """Run handshake -> read -> digest -> result against ``server``."""
+        """Run handshake -> read -> digest -> result against ``server``.
+
+        Each leg is serialized, delivered (where faults may strike), and
+        re-parsed, so what the peer consumes is what the wire produced.
+        """
         request = HandshakeRequest(client_id=self.device.client_id)
-        self.transport.deliver("handshake-request", request.to_bytes())
+        request = HandshakeRequest.from_bytes(
+            self.transport.deliver("handshake-request", request.to_bytes())
+        )
         response: HandshakeResponse = server.handle_handshake(request)
-        self.transport.deliver("handshake-response", response.to_bytes())
+        response = HandshakeResponse.from_bytes(
+            self.transport.deliver("handshake-response", response.to_bytes())
+        )
 
         challenge = Challenge(
             client_id=response.client_id,
@@ -74,7 +166,10 @@ class NetworkClient:
         submission = DigestSubmission(
             client_id=self.device.client_id, digest=digest
         )
-        self.transport.deliver("digest-submission", submission.to_bytes())
+        submission = DigestSubmission.from_bytes(
+            self.transport.deliver("digest-submission", submission.to_bytes())
+        )
         result: AuthenticationResult = server.handle_digest(submission)
-        self.transport.deliver("authentication-result", result.to_bytes())
-        return result
+        return AuthenticationResult.from_bytes(
+            self.transport.deliver("authentication-result", result.to_bytes())
+        )

@@ -4,8 +4,9 @@ The capacity model (:mod:`repro.analysis.workload`) predicts what a CA
 can sustain; this module is the serving layer that actually does it:
 a bounded worker pool over the authority's search service, per-client
 serialization (two in-flight searches for the same identity make no
-sense — the second would race the RA update), admission control, and
-service metrics the operator can read off.
+sense — the second would race the RA update), admission control, an
+optional circuit breaker guarding the search backend, and service
+metrics the operator can read off.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.core.authentication import CertificateAuthority
 from repro.net.messages import AuthenticationResult
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
 
 __all__ = ["ServerMetrics", "ConcurrentCAServer"]
 
@@ -28,10 +30,35 @@ class ServerMetrics:
     submitted: int = 0
     completed: int = 0
     authenticated: int = 0
+    failed: int = 0
     rejected_busy: int = 0
     rejected_duplicate: int = 0
+    rejected_open: int = 0
     total_search_seconds: float = 0.0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(
+        self,
+        *,
+        submitted: int = 0,
+        completed: int = 0,
+        authenticated: int = 0,
+        failed: int = 0,
+        rejected_busy: int = 0,
+        rejected_duplicate: int = 0,
+        rejected_open: int = 0,
+        search_seconds: float = 0.0,
+    ) -> None:
+        """Atomically increment counters — the one write path callers use."""
+        with self._lock:
+            self.submitted += submitted
+            self.completed += completed
+            self.authenticated += authenticated
+            self.failed += failed
+            self.rejected_busy += rejected_busy
+            self.rejected_duplicate += rejected_duplicate
+            self.rejected_open += rejected_open
+            self.total_search_seconds += search_seconds
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
@@ -40,8 +67,10 @@ class ServerMetrics:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "authenticated": self.authenticated,
+                "failed": self.failed,
                 "rejected_busy": self.rejected_busy,
                 "rejected_duplicate": self.rejected_duplicate,
+                "rejected_open": self.rejected_open,
                 "total_search_seconds": self.total_search_seconds,
             }
 
@@ -54,6 +83,7 @@ class ConcurrentCAServer:
         authority: CertificateAuthority,
         workers: int = 4,
         max_queue: int = 64,
+        breaker: CircuitBreaker | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -61,6 +91,10 @@ class ConcurrentCAServer:
             raise ValueError("max_queue must be positive")
         self.authority = authority
         self.max_queue = max_queue
+        #: Optional breaker guarding the search backend: when open,
+        #: searches are refused instantly instead of queued onto a
+        #: backend that is known to be failing.
+        self.breaker = breaker
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="rbc-search"
         )
@@ -82,19 +116,16 @@ class ConcurrentCAServer:
             if self._closed:
                 raise RuntimeError("server is closed")
             if self._pending >= self.max_queue:
-                with self.metrics._lock:
-                    self.metrics.rejected_busy += 1
+                self.metrics.record(rejected_busy=1)
                 raise RuntimeError("server saturated; retry later")
             if client_id in self._in_flight_clients:
-                with self.metrics._lock:
-                    self.metrics.rejected_duplicate += 1
+                self.metrics.record(rejected_duplicate=1)
                 raise RuntimeError(
                     f"client {client_id!r} already has a search in flight"
                 )
             self._in_flight_clients.add(client_id)
             self._pending += 1
-        with self.metrics._lock:
-            self.metrics.submitted += 1
+        self.metrics.record(submitted=1)
         future = self._pool.submit(self._run, client_id, digest)
         future.add_done_callback(lambda _f: self._release(client_id))
         return future
@@ -104,19 +135,36 @@ class ConcurrentCAServer:
             self._in_flight_clients.discard(client_id)
             self._pending -= 1
 
+    def _search(self, client_id: str, digest: bytes):
+        if self.breaker is not None:
+            return self.breaker.call(
+                lambda: self.authority.run_search(client_id, digest)
+            )
+        return self.authority.run_search(client_id, digest)
+
     def _run(self, client_id: str, digest: bytes) -> AuthenticationResult:
         start = time.perf_counter()
-        result = self.authority.run_search(client_id, digest)
+        try:
+            result = self._search(client_id, digest)
+        except CircuitOpenError:
+            self.metrics.record(rejected_open=1, failed=1)
+            raise
+        except Exception:
+            # A failed search is still a finished search: account for it
+            # so `submitted == completed + failed + pending` stays true.
+            self.metrics.record(
+                failed=1, search_seconds=time.perf_counter() - start
+            )
+            raise
         public_key = None
         if result.found:
             assert result.seed is not None
             public_key = self.authority.issue_public_key(client_id, result.seed)
-        elapsed = time.perf_counter() - start
-        with self.metrics._lock:
-            self.metrics.completed += 1
-            if result.found:
-                self.metrics.authenticated += 1
-            self.metrics.total_search_seconds += elapsed
+        self.metrics.record(
+            completed=1,
+            authenticated=1 if result.found else 0,
+            search_seconds=time.perf_counter() - start,
+        )
         return AuthenticationResult(
             client_id=client_id,
             authenticated=result.found,

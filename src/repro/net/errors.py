@@ -1,0 +1,32 @@
+"""Typed failures of the client<->CA link.
+
+The fault-injection layer (:mod:`repro.reliability`) produces these; the
+retry machinery in :class:`~repro.net.client.NetworkClient` consumes
+them. Anything that is *not* one of these types is a programming error
+and propagates — only link-level faults are retryable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TransportError", "MessageDropped", "MessageCorrupted", "ServerBusy"]
+
+
+class TransportError(Exception):
+    """Base class for retryable link-level failures."""
+
+
+class MessageDropped(TransportError):
+    """A message never arrived; the sender waited out its timeout."""
+
+    def __init__(self, label: str, waited_seconds: float):
+        super().__init__(f"message {label!r} dropped after {waited_seconds:.2f}s timeout")
+        self.label = label
+        self.waited_seconds = waited_seconds
+
+
+class MessageCorrupted(TransportError):
+    """A frame arrived but failed integrity or structural validation."""
+
+
+class ServerBusy(TransportError):
+    """The CA refused admission (saturated queue or duplicate client)."""

@@ -5,14 +5,25 @@ transport can charge for realistic payload sizes. Nothing secret crosses
 the wire: the handshake carries cell addresses and the public ternary
 mask, the submission carries the digest ``M₁`` (useless without the PUF
 image), and the result carries the public key.
+
+Every frame carries a CRC-32 over its canonical body, and every message
+type has a ``from_bytes`` parser that verifies it. A frame that was
+corrupted in flight therefore fails *loudly* as
+:class:`~repro.net.errors.MessageCorrupted` instead of silently feeding
+garbage into the search — the property the fault-injection suite leans
+on. (The CRC detects accidents, not attackers; authenticity is the
+session layer's job, see :mod:`repro.net.session`.)
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, asdict
+import zlib
+from dataclasses import dataclass
 
 import numpy as np
+
+from repro.net.errors import MessageCorrupted
 
 __all__ = [
     "HandshakeRequest",
@@ -20,6 +31,39 @@ __all__ = [
     "DigestSubmission",
     "AuthenticationResult",
 ]
+
+
+def _encode(kind: str, payload: dict) -> bytes:
+    """Serialize a message body plus a CRC-32 over its canonical form.
+
+    The CRC is fixed-width hex so the frame length never varies with the
+    checksum's value — frame length feeds the transport's virtual clock,
+    which must be a pure function of the message *fields*.
+    """
+    body = dict(payload)
+    body["type"] = kind
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    body["crc"] = f"{zlib.crc32(canonical.encode()):08x}"
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _decode(raw: bytes, kind: str) -> dict:
+    """Parse and integrity-check one frame; raises MessageCorrupted."""
+    try:
+        body = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MessageCorrupted(f"unparseable {kind} frame: {exc}") from exc
+    if not isinstance(body, dict):
+        raise MessageCorrupted(f"{kind} frame is not an object")
+    crc = body.pop("crc", None)
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    if crc != f"{zlib.crc32(canonical.encode()):08x}":
+        raise MessageCorrupted(f"{kind} frame failed its CRC check")
+    if body.get("type") != kind:
+        raise MessageCorrupted(
+            f"expected a {kind} frame, got {body.get('type')!r}"
+        )
+    return body
 
 
 @dataclass(frozen=True)
@@ -30,7 +74,16 @@ class HandshakeRequest:
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        return json.dumps({"type": "handshake_request", **asdict(self)}).encode()
+        return _encode("handshake_request", {"client_id": self.client_id})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HandshakeRequest":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "handshake_request")
+        try:
+            return cls(client_id=body["client_id"])
+        except KeyError as exc:
+            raise MessageCorrupted(f"handshake_request missing {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -46,9 +99,33 @@ class HandshakeResponse:
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        payload = asdict(self)
-        payload["usable_mask"] = self.usable_mask.hex()
-        return json.dumps({"type": "handshake_response", **payload}).encode()
+        return _encode(
+            "handshake_response",
+            {
+                "client_id": self.client_id,
+                "address": self.address,
+                "window": self.window,
+                "usable_mask": self.usable_mask.hex(),
+                "bit_count": self.bit_count,
+                "hash_name": self.hash_name,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HandshakeResponse":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "handshake_response")
+        try:
+            return cls(
+                client_id=body["client_id"],
+                address=int(body["address"]),
+                window=int(body["window"]),
+                usable_mask=bytes.fromhex(body["usable_mask"]),
+                bit_count=int(body["bit_count"]),
+                hash_name=body["hash_name"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise MessageCorrupted(f"malformed handshake_response: {exc}") from exc
 
     def unpack_usable(self) -> np.ndarray:
         """The boolean cell mask for the challenge window."""
@@ -70,13 +147,22 @@ class DigestSubmission:
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        return json.dumps(
-            {
-                "type": "digest_submission",
-                "client_id": self.client_id,
-                "digest": self.digest.hex(),
-            }
-        ).encode()
+        return _encode(
+            "digest_submission",
+            {"client_id": self.client_id, "digest": self.digest.hex()},
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DigestSubmission":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "digest_submission")
+        try:
+            return cls(
+                client_id=body["client_id"],
+                digest=bytes.fromhex(body["digest"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise MessageCorrupted(f"malformed digest_submission: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -92,14 +178,34 @@ class AuthenticationResult:
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        return json.dumps(
+        return _encode(
+            "authentication_result",
             {
-                "type": "authentication_result",
                 "client_id": self.client_id,
                 "authenticated": self.authenticated,
                 "distance": self.distance,
                 "public_key": self.public_key.hex() if self.public_key else None,
-                "search_seconds": self.search_seconds,
+                # Fixed-width so the frame length (and therefore the
+                # virtual transfer cost) never depends on how many digits
+                # a wall-clock measurement happened to produce.
+                "search_seconds": f"{self.search_seconds:018.6f}",
                 "timed_out": self.timed_out,
-            }
-        ).encode()
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AuthenticationResult":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "authentication_result")
+        try:
+            key = body["public_key"]
+            return cls(
+                client_id=body["client_id"],
+                authenticated=bool(body["authenticated"]),
+                distance=body["distance"],
+                public_key=bytes.fromhex(key) if key else None,
+                search_seconds=float(body["search_seconds"]),
+                timed_out=bool(body["timed_out"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise MessageCorrupted(f"malformed authentication_result: {exc}") from exc

@@ -148,7 +148,15 @@ class SessionManager:
             self.replays_rejected += 1
             raise SessionError("nonce was issued to a different client")
 
-        result = self._nonce_bound_search(client_id, nonce, digest)
+        try:
+            result = self._nonce_bound_search(client_id, nonce, digest)
+        except Exception:
+            # A transient backend failure (dead device, open breaker)
+            # must not burn the client's nonce: no search completed, so
+            # re-registering it cannot enable a replay, and the client's
+            # retry can reuse its challenge instead of re-handshaking.
+            self._outstanding[nonce] = entry
+            raise
         public_key = None
         if result.found:
             assert result.seed is not None

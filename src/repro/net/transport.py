@@ -24,6 +24,9 @@ class LatencyModel:
     #: Client-side constant per authentication (USB PUF read, Table 5's
     #: methodology folds it into communication).
     puf_read_seconds: float = 0.0
+    #: How long a sender waits before concluding a message was dropped
+    #: (consumed by the fault-injection transport's drop path).
+    timeout_seconds: float = 2.0
 
     def message_cost(self, payload_bytes: int) -> float:
         """Seconds to deliver one message of the given size."""
@@ -69,6 +72,13 @@ class InProcessTransport:
         self.bytes_delivered += len(payload)
         self._log.append((label, len(payload), cost))
         return payload
+
+    def charge(self, label: str, seconds: float) -> None:
+        """Charge arbitrary client-side wait time (timeouts, backoff)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.elapsed_seconds += seconds
+        self._log.append((label, 0, seconds))
 
     def charge_puf_read(self) -> None:
         """Account for the client's USB PUF read."""

@@ -1,0 +1,57 @@
+"""Fault injection and resilience for the RBC serving stack.
+
+Two halves, by design:
+
+* **producing failure** — :class:`FaultSpec` / :class:`FaultPlan` derive
+  every stochastic fault choice (message drops, corrupted frames, device
+  failure episodes, dead cluster ranks) from one root seed;
+  :class:`FaultyTransport` applies the message stream to a link.
+* **consuming failure** — :class:`RetryPolicy` bounds the client's
+  restart behaviour, :class:`CircuitBreaker` guards the server's search
+  backend, and :class:`FailoverSearchService` degrades gracefully to a
+  CPU baseline while the fast device is sick.
+
+The chaos harness that wires both halves together lives in
+:mod:`repro.reliability.chaos` (imported explicitly — it pulls in the
+full serving stack).
+"""
+
+from repro.reliability.faults import (
+    FaultSpec,
+    FaultPlan,
+    MessageFaultInjector,
+    ScriptedFaultInjector,
+    DeviceFaultInjector,
+    ClusterFaultInjector,
+    VirtualClock,
+    MESSAGE_FAULTS,
+)
+from repro.reliability.retry import (
+    RetryPolicy,
+    RetryError,
+    DeadlineExceeded,
+    RetriesExhausted,
+)
+from repro.reliability.breaker import BreakerState, CircuitBreaker, CircuitOpenError
+from repro.reliability.transport import FaultyTransport
+from repro.reliability.failover import FailoverSearchService
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "MessageFaultInjector",
+    "ScriptedFaultInjector",
+    "DeviceFaultInjector",
+    "ClusterFaultInjector",
+    "VirtualClock",
+    "MESSAGE_FAULTS",
+    "RetryPolicy",
+    "RetryError",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultyTransport",
+    "FailoverSearchService",
+]

@@ -1,0 +1,80 @@
+"""Graceful degradation: fast backend behind a breaker, CPU baseline behind it.
+
+:class:`FailoverSearchService` is a drop-in replacement for
+:class:`~repro.core.search.RBCSearchService` (same ``find_seed`` /
+``max_distance`` / ``time_threshold`` / ``engine`` surface, so the CA,
+the concurrent server, and the session layer compose with it unchanged).
+Requests route to the *primary* engine while its circuit breaker allows
+them; a backend failure records into the breaker and the request is
+served by the *fallback* engine instead, so the client sees a slower
+answer, never an error. While the breaker is open, requests skip the
+primary entirely; half-open probes go to the primary again and close the
+breaker once the device recovers.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import DEFAULT_TIME_THRESHOLD, SearchEngine
+from repro.reliability.breaker import BreakerState, CircuitBreaker
+from repro.runtime.executor import SearchResult
+
+__all__ = ["FailoverSearchService"]
+
+
+class FailoverSearchService:
+    """RBCSearchService-compatible service with breaker-gated failover."""
+
+    def __init__(
+        self,
+        primary: SearchEngine,
+        fallback: SearchEngine,
+        breaker: CircuitBreaker | None = None,
+        max_distance: int = 5,
+        time_threshold: float = DEFAULT_TIME_THRESHOLD,
+    ):
+        self.primary = primary
+        self.fallback = fallback
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.max_distance = max_distance
+        self.time_threshold = time_threshold
+        self.primary_searches = 0
+        self.fallback_searches = 0
+
+    @property
+    def engine(self) -> SearchEngine:
+        """The engine a request would use right now (session-layer hook)."""
+        if self.breaker.state == BreakerState.OPEN:
+            return self.fallback
+        return self.primary
+
+    def find_seed(self, enrolled_seed: bytes, client_digest: bytes) -> SearchResult:
+        """Search via the primary when healthy, the fallback otherwise."""
+        if self.max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        if self.breaker.allow_request():
+            try:
+                result = self.primary.search(
+                    enrolled_seed,
+                    client_digest,
+                    max_distance=self.max_distance,
+                    time_budget=self.time_threshold,
+                )
+            except Exception:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+                self.primary_searches += 1
+                return result
+        self.fallback_searches += 1
+        return self.fallback.search(
+            enrolled_seed,
+            client_digest,
+            max_distance=self.max_distance,
+            time_budget=self.time_threshold,
+        )
+
+    def plan_max_distance(self, throughput_hashes_per_second: float) -> int:
+        """Largest d tractable under T at the given engine throughput."""
+        from repro.core.complexity import tractable_distance
+
+        return tractable_distance(throughput_hashes_per_second, self.time_threshold)

@@ -1,0 +1,83 @@
+"""Client-side retry discipline: bounded, backed-off, deadline-aware.
+
+The paper's client "simply resends" the handshake on a timeout. This
+module makes that behaviour real *and bounded*: exponential backoff with
+jitter between attempts, a per-attempt budget that converts a crawling
+round into a retry, and an end-to-end deadline after which the client
+stops burning the link and reports a typed error. All waiting is charged
+to the transport's virtual clock, never slept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RetryError", "DeadlineExceeded", "RetriesExhausted"]
+
+
+class RetryError(Exception):
+    """Base class for terminal retry outcomes."""
+
+    def __init__(self, message: str, attempts: int, elapsed_seconds: float):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+
+
+class DeadlineExceeded(RetryError):
+    """The end-to-end deadline passed before any attempt succeeded."""
+
+
+class RetriesExhausted(RetryError):
+    """Every allowed attempt failed with a retryable transport error."""
+
+    def __init__(self, attempts: int, elapsed_seconds: float, last_error: Exception):
+        super().__init__(
+            f"all {attempts} attempts failed (last: {last_error})",
+            attempts,
+            elapsed_seconds,
+        )
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter + deadlines for one authentication."""
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 0.25
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 2.0
+    #: Backoff is scaled by a uniform factor in [1 - j, 1 + j].
+    jitter_fraction: float = 0.2
+    #: A round whose virtual duration exceeds this counts as a failed
+    #: attempt even if it eventually produced a rejection (None = off).
+    attempt_deadline_seconds: float | None = None
+    #: Hard end-to-end budget across all attempts (None = off).
+    deadline_seconds: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.base_backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def backoff_seconds(
+        self, retry_index: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Wait before retry number ``retry_index`` (1-based)."""
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        backoff = min(
+            self.base_backoff_seconds * self.backoff_multiplier ** (retry_index - 1),
+            self.max_backoff_seconds,
+        )
+        if rng is not None and self.jitter_fraction and backoff:
+            backoff *= 1.0 + self.jitter_fraction * (2.0 * float(rng.random()) - 1.0)
+        return backoff

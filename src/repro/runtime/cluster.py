@@ -16,6 +16,13 @@ Each rank's slice really executes (vectorized NumPy); the cluster wall
 clock is modeled as the slowest concurrent rank plus interconnect costs,
 which is exactly how a synchronous MPI search behaves. The interconnect
 cost model is explicit and auditable.
+
+Rank-level faults are first-class: a fault injector (see
+:class:`~repro.reliability.faults.ClusterFaultInjector`) can kill ranks
+outright or slow them down. A dead rank's shell slices are *recovered* —
+re-partitioned onto the survivors and searched in a second pass — and
+the extra wall time (failure detection, the recovery compute, one more
+fabric round) is accounted honestly in the result.
 """
 
 from __future__ import annotations
@@ -42,6 +49,9 @@ class Interconnect:
     #: Early-exit propagation: how stale a remote rank's view of the
     #: found-flag may be (it finishes its current batch + this delay).
     exit_propagation_seconds: float = 5e-3
+    #: Heartbeat timeout before the survivors declare a rank dead and
+    #: re-partition its slices.
+    failure_detection_seconds: float = 5e-2
 
     def round_cost(self, ranks: int) -> float:
         """Fixed fabric cost of one search round with ``ranks`` nodes."""
@@ -59,12 +69,20 @@ class ClusterSearchResult:
     distance: int | None
     finder_rank: int | None
     seeds_hashed_total: int
-    #: Modeled concurrent wall time: slowest relevant rank + fabric costs.
+    #: Modeled concurrent wall time: slowest relevant rank + fabric costs
+    #: (+ detection and recovery when ranks died).
     wall_seconds: float
     #: Actual serial execution time of the simulation (for reference).
     simulation_seconds: float
     per_rank_seconds: tuple[float, ...] = field(default=())
     per_rank_hashed: tuple[int, ...] = field(default=())
+    #: Ranks that died before the search and whose slices were recovered.
+    dead_ranks: tuple[int, ...] = ()
+    #: Ranks that ran at a slowdown factor (reflected in wall time).
+    straggler_ranks: tuple[int, ...] = ()
+    #: Wall time of the recovery pass alone (0.0 when no rank died or a
+    #: survivor found the seed before recovery was needed).
+    recovery_seconds: float = 0.0
 
     def __bool__(self) -> bool:
         return self.found
@@ -79,6 +97,7 @@ class ClusterSearchExecutor:
         hash_name: str = "sha3-256",
         batch_size: int = 16384,
         interconnect: Interconnect | None = None,
+        fault_injector=None,
     ):
         if ranks < 1:
             raise ValueError("ranks must be positive")
@@ -86,6 +105,9 @@ class ClusterSearchExecutor:
         self.hash_name = hash_name
         self.batch_size = batch_size
         self.interconnect = interconnect if interconnect is not None else Interconnect()
+        #: Optional rank-fault source: anything exposing ``dead_ranks``
+        #: (a set of ints) and ``straggle_factor(rank) -> float``.
+        self.fault_injector = fault_injector
 
     def _rank_slices(self, max_distance: int, rank: int) -> dict[int, tuple[int, int]]:
         slices = {}
@@ -93,6 +115,37 @@ class ClusterSearchExecutor:
             ranges = partition_ranks(binomial(SEED_BITS, distance), self.ranks)
             slices[distance] = ranges[rank]
         return slices
+
+    def _make_executor(self) -> BatchSearchExecutor:
+        return BatchSearchExecutor(self.hash_name, batch_size=self.batch_size)
+
+    def _run_slices(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        slices: dict[int, tuple[int, int]],
+        time_budget: float | None,
+        owns_distance_zero: bool,
+    ) -> SearchResult:
+        """One node's share of the search, with the d=0 ownership rule.
+
+        Every engine checks the d=0 candidate (Algorithm 1 lines 4-8);
+        only the node that *owns* it may report it, so the protocol
+        counts that hash exactly once across the cluster.
+        """
+        result = self._make_executor().search(
+            base_seed,
+            target_digest,
+            max_distance,
+            time_budget=time_budget,
+            rank_range_by_distance=slices,
+        )
+        if result.distance == 0 and not owns_distance_zero:
+            result = SearchResult(
+                False, None, None, result.seeds_hashed, result.elapsed_seconds
+            )
+        return result
 
     def search(
         self,
@@ -103,56 +156,69 @@ class ClusterSearchExecutor:
     ) -> ClusterSearchResult:
         """Run the distributed search (each rank's slice really executes)."""
         simulation_start = time.perf_counter()
-        per_rank_results: list[SearchResult] = []
-        for rank in range(self.ranks):
-            executor = BatchSearchExecutor(
-                self.hash_name, batch_size=self.batch_size
+        faults = self.fault_injector
+        dead = frozenset(faults.dead_ranks) if faults is not None else frozenset()
+        if len(dead) >= self.ranks:
+            raise RuntimeError("no surviving ranks: the whole cluster is dead")
+        survivors = [rank for rank in range(self.ranks) if rank not in dead]
+
+        def effective(rank: int, seconds: float) -> float:
+            if faults is None:
+                return seconds
+            return seconds * faults.straggle_factor(rank)
+
+        per_rank_results: dict[int, SearchResult] = {}
+        for rank in survivors:
+            per_rank_results[rank] = self._run_slices(
+                base_seed,
+                target_digest,
+                max_distance,
+                self._rank_slices(max_distance, rank),
+                time_budget,
+                owns_distance_zero=(rank == 0),
             )
-            slices = self._rank_slices(max_distance, rank)
-            # Rank 0 performs the d=0 check (Algorithm 1 lines 4-8); the
-            # other ranks skip it, mirroring the thread-level protocol.
-            if rank == 0:
-                result = executor.search(
-                    base_seed,
-                    target_digest,
-                    max_distance,
-                    time_budget=time_budget,
-                    rank_range_by_distance=slices,
-                )
-            else:
-                result = executor.search(
-                    base_seed,
-                    target_digest,
-                    max_distance,
-                    time_budget=time_budget,
-                    rank_range_by_distance=slices,
-                )
-                if result.distance == 0:
-                    # Only rank 0 owns the d=0 candidate; discount others.
-                    result = SearchResult(
-                        False, None, None, result.seeds_hashed,
-                        result.elapsed_seconds,
-                    )
-            per_rank_results.append(result)
 
-        simulation_seconds = time.perf_counter() - simulation_start
-        finders = [
-            (rank, res) for rank, res in enumerate(per_rank_results) if res.found
-        ]
-        per_rank_seconds = tuple(r.elapsed_seconds for r in per_rank_results)
-        per_rank_hashed = tuple(r.seeds_hashed for r in per_rank_results)
+        per_rank_seconds = tuple(
+            effective(rank, per_rank_results[rank].elapsed_seconds)
+            if rank in per_rank_results
+            else 0.0
+            for rank in range(self.ranks)
+        )
+        per_rank_hashed = tuple(
+            per_rank_results[rank].seeds_hashed if rank in per_rank_results else 0
+            for rank in range(self.ranks)
+        )
         fabric = self.interconnect.round_cost(self.ranks)
+        stragglers = (
+            tuple(r for r in faults.straggler_ranks if r in per_rank_results)
+            if faults is not None and hasattr(faults, "straggler_ranks")
+            else ()
+        )
+        common = dict(
+            simulation_seconds=0.0,  # patched below
+            per_rank_seconds=per_rank_seconds,
+            per_rank_hashed=per_rank_hashed,
+            dead_ranks=tuple(sorted(dead)),
+            straggler_ranks=stragglers,
+        )
 
+        finders = [
+            (rank, res) for rank, res in sorted(per_rank_results.items()) if res.found
+        ]
         if finders:
-            finder_rank, res = finders[0]
+            # The earliest finder in wall time wins the allreduce.
+            finder_rank, res = min(
+                finders, key=lambda item: effective(item[0], item[1].elapsed_seconds)
+            )
             # Concurrent wall time: the finder's time, plus every other
             # rank draining its in-flight batch after flag propagation —
             # bounded by finder time + propagation (they poll per batch).
             wall = (
-                res.elapsed_seconds
+                effective(finder_rank, res.elapsed_seconds)
                 + (self.interconnect.exit_propagation_seconds if self.ranks > 1 else 0.0)
                 + fabric
             )
+            common["simulation_seconds"] = time.perf_counter() - simulation_start
             return ClusterSearchResult(
                 found=True,
                 seed=res.seed,
@@ -160,20 +226,66 @@ class ClusterSearchExecutor:
                 finder_rank=finder_rank,
                 seeds_hashed_total=sum(per_rank_hashed),
                 wall_seconds=wall,
-                simulation_seconds=simulation_seconds,
-                per_rank_seconds=per_rank_seconds,
-                per_rank_hashed=per_rank_hashed,
+                **common,
             )
-        # Exhausted (or timed out): everyone ran to completion.
-        wall = max(per_rank_seconds) + fabric
+
+        # First pass exhausted. If ranks died, their slices have not been
+        # searched: the survivors detect the failure, re-partition the
+        # dead slices among themselves, and run a recovery pass.
+        first_pass_wall = max(per_rank_seconds) + fabric
+        recovery_seconds = 0.0
+        recovery_hashed = 0
+        recovery_finder: tuple[int, SearchResult] | None = None
+        if dead:
+            per_survivor_recovery = [0.0] * len(survivors)
+            for dead_rank in sorted(dead):
+                dead_slices = self._rank_slices(max_distance, dead_rank)
+                for position, survivor in enumerate(survivors):
+                    slices = {}
+                    for distance, (lo, hi) in dead_slices.items():
+                        sub = partition_ranks(hi - lo, len(survivors))[position]
+                        slices[distance] = (lo + sub[0], lo + sub[1])
+                    result = self._run_slices(
+                        base_seed,
+                        target_digest,
+                        max_distance,
+                        slices,
+                        time_budget,
+                        # The d=0 candidate transfers to the first
+                        # survivor when its owner (rank 0) died.
+                        owns_distance_zero=(dead_rank == 0 and position == 0),
+                    )
+                    recovery_hashed += result.seeds_hashed
+                    per_survivor_recovery[position] += effective(
+                        survivor, result.elapsed_seconds
+                    )
+                    if result.found and recovery_finder is None:
+                        recovery_finder = (survivor, result)
+            recovery_seconds = (
+                self.interconnect.failure_detection_seconds
+                + max(per_survivor_recovery)
+                + fabric
+            )
+
+        common["simulation_seconds"] = time.perf_counter() - simulation_start
+        common["recovery_seconds"] = recovery_seconds
+        if recovery_finder is not None:
+            finder_rank, res = recovery_finder
+            return ClusterSearchResult(
+                found=True,
+                seed=res.seed,
+                distance=res.distance,
+                finder_rank=finder_rank,
+                seeds_hashed_total=sum(per_rank_hashed) + recovery_hashed,
+                wall_seconds=first_pass_wall + recovery_seconds,
+                **common,
+            )
         return ClusterSearchResult(
             found=False,
             seed=None,
             distance=None,
             finder_rank=None,
-            seeds_hashed_total=sum(per_rank_hashed),
-            wall_seconds=wall,
-            simulation_seconds=simulation_seconds,
-            per_rank_seconds=per_rank_seconds,
-            per_rank_hashed=per_rank_hashed,
+            seeds_hashed_total=sum(per_rank_hashed) + recovery_hashed,
+            wall_seconds=first_pass_wall + recovery_seconds,
+            **common,
         )

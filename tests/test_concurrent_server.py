@@ -11,7 +11,7 @@ from repro.core import (
 from repro.core.protocol import ClientDevice
 from repro.core.salting import HashChainSalt
 from repro.keygen.interface import get_keygen
-from repro.net.concurrent import ConcurrentCAServer
+from repro.net.concurrent import ConcurrentCAServer, ServerMetrics
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.model import SRAMPuf
 from repro.puf.ternary import enroll_with_masking
@@ -147,3 +147,178 @@ class TestConcurrentServer:
             ConcurrentCAServer(authority, workers=0)
         with pytest.raises(ValueError):
             ConcurrentCAServer(authority, max_queue=0)
+
+    def test_backend_exception_recorded_as_failed(self, fleet_authority):
+        authority, clients = fleet_authority
+        original = authority.run_search
+
+        def exploding(client_id, digest):
+            raise RuntimeError("backend died")
+
+        authority.run_search = exploding
+        try:
+            with ConcurrentCAServer(authority, workers=1) as server:
+                future = server.submit("c0", b"\x00" * 20)
+                with pytest.raises(RuntimeError, match="backend died"):
+                    future.result(timeout=60)
+        finally:
+            authority.run_search = original
+        snapshot = server.metrics.snapshot()
+        # The failed search is accounted, not silently dropped:
+        # submitted == completed + failed.
+        assert snapshot["failed"] == 1
+        assert snapshot["completed"] == 0
+        assert snapshot["submitted"] == 1
+
+
+class TestServerMetricsRecord:
+    def test_record_is_the_single_write_path(self):
+        metrics = ServerMetrics()
+        metrics.record(submitted=2, completed=1, authenticated=1,
+                       failed=1, search_seconds=0.5)
+        metrics.record(rejected_busy=1, rejected_duplicate=2,
+                       rejected_open=3)
+        snapshot = metrics.snapshot()
+        assert snapshot == {
+            "submitted": 2,
+            "completed": 1,
+            "authenticated": 1,
+            "failed": 1,
+            "rejected_busy": 1,
+            "rejected_duplicate": 2,
+            "rejected_open": 3,
+            "total_search_seconds": 0.5,
+        }
+
+    def test_record_is_thread_safe(self):
+        import threading
+
+        metrics = ServerMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.record(submitted=1, search_seconds=0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["submitted"] == 4000
+        assert snapshot["total_search_seconds"] == pytest.approx(4.0)
+
+
+class TestAdmissionControlUnderConcurrency:
+    def test_saturation_storm_keeps_counters_consistent(self, fleet_authority):
+        """Many threads push past max_queue; nothing leaks or double-counts."""
+        import threading
+
+        authority, clients = fleet_authority
+        gate = threading.Event()
+        original = authority.run_search
+
+        def gated(client_id, digest):
+            gate.wait(timeout=30)
+            return original(client_id, digest)
+
+        authority.run_search = gated
+        max_queue = 3
+        attempts_per_thread = 4
+        threads = 8
+        accepted, rejected_busy, rejected_dup = [], [], []
+        record_lock = threading.Lock()
+
+        try:
+            with ConcurrentCAServer(
+                authority, workers=2, max_queue=max_queue
+            ) as server:
+                digests = {
+                    client_id: _digest_for(authority, client_id, device, mask)
+                    for client_id, device, mask in clients
+                }
+
+                def storm(thread_index):
+                    for attempt in range(attempts_per_thread):
+                        client_id, _device, _mask = clients[
+                            (thread_index + attempt) % len(clients)
+                        ]
+                        try:
+                            future = server.submit(client_id, digests[client_id])
+                            with record_lock:
+                                accepted.append(future)
+                        except RuntimeError as exc:
+                            with record_lock:
+                                if "saturated" in str(exc):
+                                    rejected_busy.append(client_id)
+                                else:
+                                    rejected_dup.append(client_id)
+
+                    # In-flight load never exceeds the admission limit.
+                    assert server._pending <= max_queue
+
+                workers = [
+                    threading.Thread(target=storm, args=(i,))
+                    for i in range(threads)
+                ]
+                for t in workers:
+                    t.start()
+                gate.set()
+                for t in workers:
+                    t.join()
+                results = [f.result(timeout=60) for f in accepted]
+        finally:
+            authority.run_search = original
+
+        snapshot = server.metrics.snapshot()
+        total_attempts = threads * attempts_per_thread
+        # Every attempt is accounted exactly once.
+        assert (
+            len(accepted) + len(rejected_busy) + len(rejected_dup)
+            == total_attempts
+        )
+        assert snapshot["submitted"] == len(accepted)
+        assert snapshot["rejected_busy"] == len(rejected_busy)
+        assert snapshot["rejected_duplicate"] == len(rejected_dup)
+        # Every accepted search finished (this backend cannot fail).
+        assert snapshot["completed"] == len(accepted)
+        assert snapshot["failed"] == 0
+        assert all(r.authenticated for r in results)
+        # The queue fully drained.
+        assert server._pending == 0
+        assert not server._in_flight_clients
+
+    def test_breaker_guards_the_backend(self, fleet_authority):
+        from repro.reliability.breaker import (
+            CircuitBreaker,
+            CircuitOpenError,
+        )
+        from repro.reliability.faults import VirtualClock
+
+        authority, clients = fleet_authority
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=60.0, clock=clock.now
+        )
+        original = authority.run_search
+
+        def exploding(client_id, digest):
+            raise RuntimeError("sick accelerator")
+
+        authority.run_search = exploding
+        try:
+            with ConcurrentCAServer(
+                authority, workers=1, breaker=breaker
+            ) as server:
+                with pytest.raises(RuntimeError, match="sick accelerator"):
+                    server.submit("c0", b"\x00" * 20).result(timeout=60)
+                # Breaker now open: refused without touching the backend.
+                authority.run_search = original
+                with pytest.raises(CircuitOpenError):
+                    server.submit("c1", b"\x00" * 20).result(timeout=60)
+        finally:
+            authority.run_search = original
+        snapshot = server.metrics.snapshot()
+        assert snapshot["rejected_open"] == 1
+        assert snapshot["failed"] == 2
+        assert breaker.state == "open"
