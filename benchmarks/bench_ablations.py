@@ -18,7 +18,7 @@ from repro.core.complexity import tractable_distance
 from repro.core.salting import HashChainSalt, RotateSalt, XorSalt
 from repro.puf.model import SRAMPuf
 from repro.puf.ternary import enroll_with_masking
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 
 def test_ablation_lane_width(benchmark, report):
@@ -107,7 +107,7 @@ def test_ablation_salt_cost(benchmark, report):
     ]
     rows = []
     shell_seconds = None
-    executor = BatchSearchExecutor("sha3-256", batch_size=257)
+    executor = build_engine("batch:sha3-256,bs=257")
     from repro.hashes.sha3 import sha3_256
 
     start = time.perf_counter()

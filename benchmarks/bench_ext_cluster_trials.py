@@ -10,8 +10,7 @@ from repro.analysis.tables import format_table
 from repro.analysis.trials import run_device_trials, run_search_trials
 from repro.devices import APUModel, CPUModel, GPUModel
 from repro.hashes.sha1 import sha1
-from repro.runtime.cluster import ClusterSearchExecutor
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 
 def test_cluster_engine_real_runs(benchmark, report):
@@ -22,7 +21,7 @@ def test_cluster_engine_real_runs(benchmark, report):
 
     rows = []
     for ranks in (1, 2, 4, 8):
-        cluster = ClusterSearchExecutor(ranks, "sha1", batch_size=4096)
+        cluster = build_engine(f"cluster:{ranks},hash=sha1,bs=4096")
         result = cluster.search(base, absent, 2)
         assert not result.found
         slowest = max(result.per_rank_seconds)
@@ -41,7 +40,7 @@ def test_cluster_engine_real_runs(benchmark, report):
     )
 
     benchmark(
-        lambda: ClusterSearchExecutor(2, "sha1", batch_size=8192).search(
+        lambda: build_engine("cluster:2,hash=sha1,bs=8192").search(
             base, absent, 1
         )
     )
@@ -53,7 +52,7 @@ def test_cluster_early_exit_propagates(benchmark, report):
     client = flip_bits(base, [40, 222])
     digest = sha1(client)
 
-    cluster = ClusterSearchExecutor(4, "sha1", batch_size=4096)
+    cluster = build_engine("cluster:4,hash=sha1,bs=4096")
     result = benchmark(cluster.search, base, digest, 2)
     assert result.found and result.seed == client
     record_report(
@@ -109,7 +108,7 @@ def test_trials_methodology_paper_scale(benchmark, report):
 def test_trials_real_executor(benchmark, report):
     """Reduced-scale real trials: empirical mean vs Equation 3."""
     rng = np.random.default_rng(61)
-    executor = BatchSearchExecutor("sha1", batch_size=129)
+    executor = build_engine("batch:sha1,bs=129")
     stats = benchmark.pedantic(
         lambda: run_search_trials(executor, sha1, distance=1, trials=80, rng=rng),
         rounds=1,

@@ -19,7 +19,7 @@ from repro._bitutils import flip_bits
 from repro.analysis.tables import format_table
 from repro.hashes.sha3 import sha3_256
 from repro.keygen.interface import get_keygen
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 from repro.runtime.original_batch import BATCH_KEYGEN_CHOICES, BatchOriginalRBCSearch
 
 
@@ -31,7 +31,7 @@ def test_live_engine_comparison(benchmark, report):
 
     rows = []
     # RBC-SALTED (the hash search).
-    salted = BatchSearchExecutor("sha3-256", batch_size=257)
+    salted = build_engine("batch:sha3-256,bs=257")
     start = time.perf_counter()
     result = salted.search(base, sha3_256(absent_seed), 1)
     salted_seconds = time.perf_counter() - start
@@ -71,7 +71,7 @@ def test_structural_claim_holds_for_pqc(benchmark, report):
     base = rng.bytes(32)
     client = flip_bits(base, [128])
 
-    salted = BatchSearchExecutor("sha3-256", batch_size=512)
+    salted = build_engine("batch:sha3-256,bs=512")
     start = time.perf_counter()
     r1 = salted.search(base, sha3_256(client), 1)
     salted_seconds = time.perf_counter() - start

@@ -87,7 +87,7 @@ def test_real_multiprocess_scaling(benchmark, report):
 
     from repro._bitutils import flip_bits
     from repro.hashes.sha1 import sha1
-    from repro.runtime.parallel import ParallelSearchExecutor
+    from repro.engines import build_engine
 
     rng = np.random.default_rng(3)
     base = rng.bytes(32)
@@ -98,7 +98,7 @@ def test_real_multiprocess_scaling(benchmark, report):
     worker_counts = [w for w in (1, 2, 4) if w <= available]
     times = {}
     for workers in worker_counts:
-        executor = ParallelSearchExecutor("sha1", workers=workers, batch_size=2048)
+        executor = build_engine(f"parallel:sha1,w={workers},bs=2048")
         start = time.perf_counter()
         result = executor.search(base, absent, 2)
         times[workers] = time.perf_counter() - start

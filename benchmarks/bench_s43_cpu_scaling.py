@@ -82,7 +82,7 @@ def test_s5_cluster_future_work(benchmark, report):
 def test_real_host_scaling(benchmark, report):
     """Actual multiprocessing speedup on this machine (reduced scale)."""
     from repro.hashes.sha1 import sha1
-    from repro.runtime.parallel import ParallelSearchExecutor
+    from repro.engines import build_engine
 
     rng = np.random.default_rng(17)
     base = rng.bytes(32)
@@ -93,7 +93,7 @@ def test_real_host_scaling(benchmark, report):
     counts = sorted({1, 2, min(4, available)})
     times = {}
     for workers in counts:
-        executor = ParallelSearchExecutor("sha1", workers=workers, batch_size=4096)
+        executor = build_engine(f"parallel:sha1,w={workers},bs=4096")
         start = time.perf_counter()
         executor.search(base, absent, 2)
         times[workers] = time.perf_counter() - start

@@ -16,7 +16,7 @@ from conftest import record_report
 from repro._bitutils import flip_bits
 from repro.analysis.tables import format_table
 from repro.hashes.sha1 import sha1
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 
 def test_s44_check_interval_sweep(benchmark, report):
@@ -29,7 +29,7 @@ def test_s44_check_interval_sweep(benchmark, report):
     rows = []
     throughputs = {}
     for batch in (1024, 4096, 16384, 32768):
-        executor = BatchSearchExecutor("sha1", batch_size=batch)
+        executor = build_engine(f"batch:sha1,bs={batch}")
         start = time.perf_counter()
         result = executor.search(base, absent, 2)
         elapsed = time.perf_counter() - start
@@ -62,8 +62,8 @@ def test_s44_average_case_latency_effect(benchmark):
     client = flip_bits(base, [3, 4])  # early in lexicographic order
     digest = sha1(client)
 
-    fine = BatchSearchExecutor("sha1", batch_size=257)
-    coarse = BatchSearchExecutor("sha1", batch_size=32768)
+    fine = build_engine("batch:sha1,bs=257")
+    coarse = build_engine("batch:sha1,bs=32768")
     fine_result = fine.search(base, digest, 2)
     coarse_result = coarse.search(base, digest, 2)
     assert fine_result.found and coarse_result.found

@@ -23,7 +23,7 @@ from repro.core.original_rbc import OriginalRBCSearch
 from repro.devices import APUModel, CPUModel, GPUModel
 from repro.devices.calibration import PRIOR_WORK_KEYGEN_RATE, U4, U5
 from repro.keygen.interface import get_keygen
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 #: Table 7 rows: (ref, algorithm, d, cpu_s, gpu_s, apu_s)
 PAPER_TABLE_7 = [
@@ -78,7 +78,7 @@ def test_table7_reproduction(benchmark, report):
 
 def test_real_cost_asymmetry(benchmark, report):
     """Real per-candidate costs on this host: hash vs key generation."""
-    hash_rate = BatchSearchExecutor("sha3-256").throughput_probe(30000)
+    hash_rate = build_engine("batch:sha3-256").throughput_probe(30000)
     benchmark(lambda: get_keygen("aes-128").public_key(b"\x07" * 32))
     rows = [["sha3-256 (batched hash)", f"{hash_rate:12,.0f}", "1.0x"]]
     for name in ("aes-128", "lightsaber", "dilithium3"):
@@ -107,7 +107,7 @@ def test_salted_vs_original_same_search(benchmark, report):
 
     from repro.hashes.sha3 import sha3_256
 
-    salted = BatchSearchExecutor("sha3-256", batch_size=512)
+    salted = build_engine("batch:sha3-256,bs=512")
     start = time.perf_counter()
     r1 = salted.search(base, sha3_256(client), 1)
     salted_seconds = time.perf_counter() - start

@@ -18,7 +18,7 @@ from repro.devices import (
     GPUModel,
     speedup_curve,
 )
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 
 def response_time_table(models) -> str:
@@ -103,7 +103,7 @@ def main() -> None:
 
     print("\nReal kernels on this host (NumPy lanes, not a model):")
     for name in ("sha1", "sha256", "sha3-256"):
-        rate = BatchSearchExecutor(name).throughput_probe(50000)
+        rate = build_engine("batch", hash_name=name).throughput_probe(50000)
         print(f"  {name:9s}: {rate:12,.0f} hashes/s")
     print("  (the SHA-3 > SHA-1 cost ordering that drives every table above)")
 

@@ -26,7 +26,7 @@ from repro.net import CAServer, InProcessTransport, NetworkClient, US_LINK
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.model import SRAMPuf
 from repro.puf.ternary import enroll_with_masking
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 FLEET_SIZE = 6
 
@@ -54,7 +54,7 @@ def provision_fleet():
 def main() -> None:
     authority = CertificateAuthority(
         search_service=RBCSearchService(
-            BatchSearchExecutor("sha3-256", batch_size=16384), max_distance=2
+            build_engine("batch:sha3-256,bs=16384"), max_distance=2
         ),
         salt=HashChainSalt(b"iot-fleet/2026"),
         keygen=get_keygen("aes-128"),

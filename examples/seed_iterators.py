@@ -23,7 +23,7 @@ from repro.combinatorics import (
 )
 from repro.combinatorics.ranking import unrank_lexicographic_batch
 from repro.hashes.sha1 import sha1
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 N_BITS = 256
 K = 3
@@ -89,7 +89,7 @@ def search_with_each_iterator() -> str:
     digest = sha1(client_seed)
     rows = []
     for iterator in ("unrank", "chase", "gosper", "lex", "unrank-scalar"):
-        executor = BatchSearchExecutor("sha1", batch_size=8192, iterator=iterator)
+        executor = build_engine(f"batch:sha1,bs=8192,it={iterator}")
         result = executor.search(base, digest, 2)
         assert result.found and result.seed == client_seed
         rows.append(

@@ -32,7 +32,7 @@ from repro.core.salting import HashChainSalt
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.model import SRAMPuf
 from repro.puf.ternary import enroll_with_masking
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import build_engine
 
 
 def main() -> None:
@@ -40,7 +40,7 @@ def main() -> None:
     mask = enroll_with_masking(puf, 0, 2048, reads=64, instability_threshold=0.02)
     authority = CertificateAuthority(
         search_service=RBCSearchService(
-            BatchSearchExecutor("sha3-256", batch_size=16384), max_distance=2
+            build_engine("batch:sha3-256,bs=16384"), max_distance=2
         ),
         salt=HashChainSalt(b"lifecycle"),
         keygen=LWESessionKeygen("light"),

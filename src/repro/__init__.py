@@ -35,6 +35,7 @@ from repro.core import (
     RegistrationAuthority,
     DEFAULT_TIME_THRESHOLD,
 )
+from repro.engines import build_engine
 from repro.runtime import BatchSearchExecutor, ParallelSearchExecutor
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "DEFAULT_TIME_THRESHOLD",
     "BatchSearchExecutor",
     "ParallelSearchExecutor",
+    "build_engine",
     "quick_setup",
 ]
 
@@ -81,7 +83,7 @@ def quick_setup(
     )
     authority = CertificateAuthority(
         search_service=RBCSearchService(
-            BatchSearchExecutor(hash_name, batch_size=16384),
+            build_engine("batch", hash_name=hash_name, batch_size=16384),
             max_distance=max_distance,
         ),
         salt=HashChainSalt(),

@@ -1,9 +1,11 @@
-"""Speedup/efficiency metrics, paper-vs-measured comparisons, and the
-resilience report produced by chaos runs."""
+"""Speedup/efficiency metrics, paper-vs-measured comparisons, the
+resilience report produced by chaos runs, and aggregation over the
+unified :class:`~repro.engines.result.SearchResult`."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 __all__ = [
     "speedup",
@@ -12,6 +14,7 @@ __all__ = [
     "compare_to_paper",
     "percentile",
     "ResilienceReport",
+    "summarize_search_results",
 ]
 
 
@@ -33,6 +36,53 @@ def percentile(values, q: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     fraction = rank - lo
     return float(ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction)
+
+
+def summarize_search_results(results: Iterable) -> dict:
+    """Aggregate a batch of unified search results into one summary.
+
+    Accepts any iterable of :class:`~repro.engines.result.SearchResult`
+    (from any engine — every registered engine returns the same type)
+    and reports fleet-level statistics: totals, outcome counts, the
+    distance histogram of successful finds, and the per-distance seed
+    counts accumulated from each result's shell telemetry.
+    """
+    searches = 0
+    found = 0
+    timed_out = 0
+    seeds_hashed = 0
+    wall_seconds = 0.0
+    found_distances: dict[int, int] = {}
+    seeds_by_distance: dict[int, int] = {}
+    engines: dict[str, int] = {}
+    for result in results:
+        searches += 1
+        seeds_hashed += result.seeds_hashed
+        wall_seconds += result.elapsed_seconds
+        if result.found:
+            found += 1
+            found_distances[result.distance] = (
+                found_distances.get(result.distance, 0) + 1
+            )
+        if result.timed_out:
+            timed_out += 1
+        for shell in result.shells:
+            seeds_by_distance[shell.distance] = (
+                seeds_by_distance.get(shell.distance, 0) + shell.seeds_hashed
+            )
+        label = result.engine if result.engine is not None else "(untagged)"
+        engines[label] = engines.get(label, 0) + 1
+    return {
+        "searches": searches,
+        "found": found,
+        "timed_out": timed_out,
+        "seeds_hashed": seeds_hashed,
+        "wall_seconds": wall_seconds,
+        "throughput": seeds_hashed / wall_seconds if wall_seconds > 0 else 0.0,
+        "found_distances": dict(sorted(found_distances.items())),
+        "seeds_by_distance": dict(sorted(seeds_by_distance.items())),
+        "engines": dict(sorted(engines.items())),
+    }
 
 
 def speedup(baseline_seconds: float, parallel_seconds: float) -> float:
@@ -120,6 +170,12 @@ class ResilienceReport:
     primary_searches: int
     fallback_searches: int
     device_failures: int
+    #: Engine telemetry (from the storm's shared
+    #: :class:`~repro.engines.hooks.TelemetryHooks` tap): candidate
+    #: seeds hashed and Hamming shells completed across both backends.
+    #: Pure counters — deterministic, unlike shell wall times.
+    engine_seeds_hashed: int = 0
+    engine_shells_completed: int = 0
 
     @property
     def availability(self) -> float:
@@ -156,6 +212,8 @@ class ResilienceReport:
             f"searches:            {self.primary_searches} primary, "
             f"{self.fallback_searches} fallback, "
             f"{self.device_failures} device failures",
+            f"engine telemetry:    {self.engine_seeds_hashed} seeds hashed "
+            f"across {self.engine_shells_completed} shells",
             f"breaker transitions: "
             + (" ".join(self.breaker_transitions) or "(none)"),
         ]

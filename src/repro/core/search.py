@@ -14,29 +14,14 @@ reports the largest tractable ``d``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
 
 from repro.core.complexity import tractable_distance
-from repro.runtime.executor import SearchResult
+from repro.engines.result import SearchEngine, SearchResult
 
 __all__ = ["RBCSearchService", "SearchEngine", "DEFAULT_TIME_THRESHOLD"]
 
 #: The paper's authentication time threshold (Section 3, after prior work).
 DEFAULT_TIME_THRESHOLD = 20.0
-
-
-class SearchEngine(Protocol):
-    """Anything that can run the Algorithm-1 search."""
-
-    def search(
-        self,
-        base_seed: bytes,
-        target_digest: bytes,
-        max_distance: int,
-        time_budget: float | None = None,
-    ) -> SearchResult:
-        """Run Algorithm 1 up to ``max_distance`` within ``time_budget``."""
-        ...
 
 
 @dataclass

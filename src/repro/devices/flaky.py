@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.devices.base import DeviceModel, SearchTiming
+from repro.engines.wrappers import EngineWrapper, describe_engine
 
 __all__ = ["DeviceFailure", "FlakyDeviceModel", "FlakyEngine"]
 
@@ -79,18 +80,26 @@ class FlakyDeviceModel(DeviceModel):
         )
 
 
-class FlakyEngine:
-    """A real SearchEngine whose device can die between searches."""
+class FlakyEngine(EngineWrapper):
+    """A real SearchEngine whose device can die between searches.
+
+    Search geometry (batch size, hash name) forwards from the wrapped
+    engine via :class:`~repro.engines.wrappers.EngineWrapper`, so the
+    session layer's nonce-binding adapter composes around this wrapper
+    unchanged.
+    """
+
+    wrapper_name = "flaky"
 
     def __init__(self, inner, injector, name: str = "primary"):
-        self.inner = inner
+        super().__init__(inner)
         self.injector = injector
         self.name = name
-        # Inherit search geometry so adapters (e.g. the session layer's
-        # nonce-binding engine) see the same batch size.
-        self.batch_size = getattr(inner, "batch_size", 4096)
         self.searches_attempted = 0
         self.failures_injected = 0
+
+    def describe(self) -> str:
+        return f"flaky[{self.name}]({describe_engine(self.inner)})"
 
     def search(self, base_seed, target_digest, max_distance, time_budget=None):
         """Run the inner search unless the fault stream kills the device."""

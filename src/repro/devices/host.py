@@ -19,7 +19,7 @@ import time
 
 from repro.combinatorics.binomial import average_seed_count, exhaustive_seed_count
 from repro.devices.base import DeviceModel, DeviceSpec, SearchTiming
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines.registry import build_engine
 
 __all__ = ["HostDeviceModel"]
 
@@ -47,7 +47,7 @@ class HostDeviceModel(DeviceModel):
         )
         self._throughput: dict[str, float] = {}
         for name in hash_names:
-            executor = BatchSearchExecutor(name, batch_size=batch_size)
+            executor = build_engine("batch", hash_name=name, batch_size=batch_size)
             # Warm-up then probe.
             executor.throughput_probe(min(2000, probe_seeds))
             self._throughput[executor.algo.name] = executor.throughput_probe(
@@ -118,7 +118,9 @@ class HostDeviceModel(DeviceModel):
         rng = np.random.default_rng(0)
         base = rng.bytes(32)
         absent = get_hash(hash_name).scalar(rng.bytes(32))
-        executor = BatchSearchExecutor(hash_name, batch_size=self.batch_size)
+        executor = build_engine(
+            "batch", hash_name=hash_name, batch_size=self.batch_size
+        )
         start = time.perf_counter()
         result = executor.search(base, absent, distance)
         measured = time.perf_counter() - start

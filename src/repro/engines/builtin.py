@@ -1,0 +1,151 @@
+"""Built-in engine registrations — the registry's one construction site.
+
+Imported lazily by :mod:`repro.engines.registry` on first use. This is
+deliberately the only module in ``src/repro`` outside the engines'
+own implementations that constructs engine classes directly; everything
+else goes through :func:`repro.engines.build_engine`.
+"""
+
+from __future__ import annotations
+
+from repro.engines.hooks import EngineHooks
+from repro.engines.modeled import ModeledDeviceEngine
+from repro.engines.registry import register_engine
+from repro.runtime.cluster import ClusterSearchExecutor, Interconnect
+from repro.runtime.executor import BatchSearchExecutor
+from repro.runtime.original_batch import BatchOriginalRBCSearch
+from repro.runtime.parallel import ParallelSearchExecutor
+
+__all__: list[str] = []
+
+
+@register_engine(
+    "batch",
+    description="Single-process vectorized SALTED search (NumPy lanes)",
+)
+def _build_batch(
+    hash_name: str = "sha3-256",
+    batch_size: int = 16384,
+    iterator: str = "unrank",
+    fixed_padding: bool = True,
+    hooks: EngineHooks | None = None,
+) -> BatchSearchExecutor:
+    return BatchSearchExecutor(
+        hash_name=hash_name,
+        batch_size=batch_size,
+        iterator=iterator,
+        fixed_padding=fixed_padding,
+        hooks=hooks,
+    )
+
+
+@register_engine(
+    "parallel",
+    description="Multiprocessing SALTED search with a shared early-exit flag",
+    aliases={"w": "workers"},
+)
+def _build_parallel(
+    hash_name: str = "sha3-256",
+    workers: int | None = None,
+    batch_size: int = 8192,
+    iterator: str = "unrank",
+    fixed_padding: bool = True,
+    hooks: EngineHooks | None = None,
+) -> ParallelSearchExecutor:
+    return ParallelSearchExecutor(
+        hash_name=hash_name,
+        workers=workers,
+        batch_size=batch_size,
+        iterator=iterator,
+        fixed_padding=fixed_padding,
+        hooks=hooks,
+    )
+
+
+@register_engine(
+    "cluster",
+    description="MPI-style distributed SALTED search over in-process ranks",
+    aliases={"r": "ranks"},
+)
+def _build_cluster(
+    ranks: int = 2,
+    hash_name: str = "sha3-256",
+    batch_size: int = 16384,
+    interconnect: Interconnect | None = None,
+    fault_injector=None,
+    hooks: EngineHooks | None = None,
+) -> ClusterSearchExecutor:
+    return ClusterSearchExecutor(
+        ranks,
+        hash_name=hash_name,
+        batch_size=batch_size,
+        interconnect=interconnect,
+        fault_injector=fault_injector,
+        hooks=hooks,
+    )
+
+
+@register_engine(
+    "original",
+    description="Key-agile batched original-RBC baseline (AES/SPECK/ChaCha20)",
+)
+def _build_original(
+    keygen_name: str = "aes-128",
+    batch_size: int = 8192,
+    hooks: EngineHooks | None = None,
+) -> BatchOriginalRBCSearch:
+    return BatchOriginalRBCSearch(
+        keygen_name=keygen_name, batch_size=batch_size, hooks=hooks
+    )
+
+
+def _register_modeled(name: str, model_factory, description: str) -> None:
+    @register_engine(name, description=description)
+    def _build_modeled(
+        hash_name: str = "sha3-256",
+        batch_size: int = 16384,
+        mode: str = "exhaustive",
+        hooks: EngineHooks | None = None,
+    ) -> ModeledDeviceEngine:
+        return ModeledDeviceEngine(
+            model_factory(),
+            hash_name=hash_name,
+            batch_size=batch_size,
+            mode=mode,
+            hooks=hooks,
+        )
+
+
+def _gpu_model():
+    from repro.devices.gpu import GPUModel
+
+    return GPUModel()
+
+
+def _apu_model():
+    from repro.devices.apu import APUModel
+
+    return APUModel()
+
+
+def _cpu_model():
+    from repro.devices.cpu import CPUModel
+
+    return CPUModel()
+
+
+_register_modeled(
+    "gpu-model",
+    _gpu_model,
+    "Real search, wall time modeled on the paper's A100 GPU",
+)
+_register_modeled(
+    "apu-model",
+    _apu_model,
+    "Real search, wall time modeled on the paper's Gemini APU",
+)
+_register_modeled(
+    "cpu-model",
+    _cpu_model,
+    "Real search, wall time modeled on the paper's EPYC CPU",
+)

@@ -1,0 +1,179 @@
+"""The one instrumented outcome type every search engine returns.
+
+Historically the stack had two result shapes: the single-node engines
+returned ``SearchResult`` while the distributed engine returned a
+``ClusterSearchResult`` with per-rank accounting. Every consumer — the
+serving layer, the chaos harness, the analysis code — had to know which
+one it was holding. This module merges them: per-rank statistics become
+an optional :class:`ClusterStats` extension, and ``timed_out`` /
+``shells`` are populated by every engine, so one telemetry shape flows
+from the combinator-driven kernels all the way up to the servers.
+
+Nothing in this module imports from the rest of :mod:`repro` — it is the
+bottom of the engine-stack dependency graph, safe to import from any
+layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "ShellStats",
+    "merge_shells",
+    "ClusterStats",
+    "SearchResult",
+    "SearchEngine",
+]
+
+
+@dataclass(frozen=True)
+class ShellStats:
+    """Per-Hamming-distance breakdown of one search."""
+
+    distance: int
+    seeds_hashed: int
+    seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Seeds hashed per second within this shell."""
+        return self.seeds_hashed / self.seconds if self.seconds > 0 else 0.0
+
+
+def merge_shells(
+    shell_groups: "list[tuple[ShellStats, ...]]",
+) -> tuple[ShellStats, ...]:
+    """Merge concurrent per-worker shell stats into one per-distance view.
+
+    Seed counts add across workers; seconds take the slowest worker
+    (the shells ran concurrently, so the maximum is the wall time).
+    """
+    hashed: dict[int, int] = {}
+    seconds: dict[int, float] = {}
+    for shells in shell_groups:
+        for shell in shells:
+            hashed[shell.distance] = hashed.get(shell.distance, 0) + shell.seeds_hashed
+            seconds[shell.distance] = max(
+                seconds.get(shell.distance, 0.0), shell.seconds
+            )
+    return tuple(
+        ShellStats(distance, hashed[distance], seconds[distance])
+        for distance in sorted(hashed)
+    )
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Distributed-search extension: per-rank accounting and recovery."""
+
+    finder_rank: int | None = None
+    per_rank_seconds: tuple[float, ...] = ()
+    per_rank_hashed: tuple[int, ...] = ()
+    #: Ranks that died before the search and whose slices were recovered.
+    dead_ranks: tuple[int, ...] = ()
+    #: Ranks that ran at a slowdown factor (reflected in wall time).
+    straggler_ranks: tuple[int, ...] = ()
+    #: Wall time of the recovery pass alone (0.0 when no rank died or a
+    #: survivor found the seed before recovery was needed).
+    recovery_seconds: float = 0.0
+    #: Actual serial execution time of the simulation (for reference).
+    simulation_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one RBC search — the unified, instrumented shape.
+
+    ``elapsed_seconds`` is always the answer-latency the protocol
+    compares against T: real wall time for host engines, modeled
+    concurrent wall time for the cluster engine, modeled device time for
+    the device-model-backed engines.
+    """
+
+    found: bool
+    seed: bytes | None
+    distance: int | None
+    seeds_hashed: int
+    elapsed_seconds: float
+    timed_out: bool = False
+    #: Per-shell breakdown; every engine populates it.
+    shells: tuple[ShellStats, ...] = ()
+    #: Which engine produced this result (its ``describe()`` string).
+    engine: str | None = None
+    #: Distributed extension; ``None`` for single-node engines.
+    cluster: ClusterStats | None = field(default=None)
+
+    def __bool__(self) -> bool:
+        return self.found
+
+    @property
+    def throughput(self) -> float:
+        """Seeds hashed per second over the whole search."""
+        return (
+            self.seeds_hashed / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+
+    # -- legacy ClusterSearchResult surface ----------------------------
+    # The distributed engine used to return its own result type; these
+    # properties keep that vocabulary alive on the unified shape.
+
+    @property
+    def wall_seconds(self) -> float:
+        """Modeled concurrent wall time (alias of ``elapsed_seconds``)."""
+        return self.elapsed_seconds
+
+    @property
+    def seeds_hashed_total(self) -> int:
+        """Total seeds hashed across all ranks (alias of ``seeds_hashed``)."""
+        return self.seeds_hashed
+
+    @property
+    def finder_rank(self) -> int | None:
+        return self.cluster.finder_rank if self.cluster is not None else None
+
+    @property
+    def per_rank_seconds(self) -> tuple[float, ...]:
+        return self.cluster.per_rank_seconds if self.cluster is not None else ()
+
+    @property
+    def per_rank_hashed(self) -> tuple[int, ...]:
+        return self.cluster.per_rank_hashed if self.cluster is not None else ()
+
+    @property
+    def dead_ranks(self) -> tuple[int, ...]:
+        return self.cluster.dead_ranks if self.cluster is not None else ()
+
+    @property
+    def straggler_ranks(self) -> tuple[int, ...]:
+        return self.cluster.straggler_ranks if self.cluster is not None else ()
+
+    @property
+    def recovery_seconds(self) -> float:
+        return self.cluster.recovery_seconds if self.cluster is not None else 0.0
+
+    @property
+    def simulation_seconds(self) -> float:
+        return (
+            self.cluster.simulation_seconds
+            if self.cluster is not None
+            else self.elapsed_seconds
+        )
+
+
+@runtime_checkable
+class SearchEngine(Protocol):
+    """Anything that can run the Algorithm-1 search."""
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Run Algorithm 1 up to ``max_distance`` within ``time_budget``."""
+        ...

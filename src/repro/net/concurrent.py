@@ -35,6 +35,10 @@ class ServerMetrics:
     rejected_duplicate: int = 0
     rejected_open: int = 0
     total_search_seconds: float = 0.0
+    #: Engine-level telemetry read off each unified search result:
+    #: candidate seeds hashed and Hamming shells completed.
+    seeds_hashed: int = 0
+    shells_completed: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -48,6 +52,8 @@ class ServerMetrics:
         rejected_duplicate: int = 0,
         rejected_open: int = 0,
         search_seconds: float = 0.0,
+        seeds_hashed: int = 0,
+        shells_completed: int = 0,
     ) -> None:
         """Atomically increment counters — the one write path callers use."""
         with self._lock:
@@ -59,6 +65,8 @@ class ServerMetrics:
             self.rejected_duplicate += rejected_duplicate
             self.rejected_open += rejected_open
             self.total_search_seconds += search_seconds
+            self.seeds_hashed += seeds_hashed
+            self.shells_completed += shells_completed
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
@@ -72,6 +80,8 @@ class ServerMetrics:
                 "rejected_duplicate": self.rejected_duplicate,
                 "rejected_open": self.rejected_open,
                 "total_search_seconds": self.total_search_seconds,
+                "seeds_hashed": self.seeds_hashed,
+                "shells_completed": self.shells_completed,
             }
 
 
@@ -164,6 +174,8 @@ class ConcurrentCAServer:
             completed=1,
             authenticated=1 if result.found else 0,
             search_seconds=time.perf_counter() - start,
+            seeds_hashed=result.seeds_hashed,
+            shells_completed=len(result.shells),
         )
         return AuthenticationResult(
             client_id=client_id,

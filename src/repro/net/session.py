@@ -28,10 +28,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.authentication import CertificateAuthority, Challenge
+from repro.engines.result import SearchResult
+from repro.engines.wrappers import EngineWrapper, describe_engine
 from repro.hashes.hmac import hmac_digest, hmac_verify
 from repro.hashes.registry import get_hash
 from repro.net.messages import AuthenticationResult
-from repro.runtime.executor import SearchResult
 
 __all__ = ["SessionError", "SecureChallenge", "SessionManager", "SecureClientSession"]
 
@@ -191,20 +192,29 @@ class SessionManager:
         )
 
 
-class _NonceBindingEngine:
+class _NonceBindingEngine(EngineWrapper):
     """Adapter: search for H(candidate ‖ nonce) instead of H(candidate).
 
     For SHA-3 the nonce is absorbed into the vectorized batch kernel
     (``seed ‖ nonce`` still fits one sponge block, so the bound search
     runs at full batch throughput); other hashes fall back to a scalar
     Chase-sequence walk, adequate at reproduction scale.
+
+    Search geometry (notably ``batch_size``) forwards from the wrapped
+    engine via :class:`~repro.engines.wrappers.EngineWrapper`, so the
+    bound search batches exactly like the engine it stands in for —
+    even when that engine is itself a wrapper stack (flaky, failover).
     """
 
+    wrapper_name = "nonce-bound"
+
     def __init__(self, engine, hash_name: str, nonce: bytes):
+        super().__init__(engine)
         self.algo = get_hash(hash_name)
         self.nonce = nonce
-        # Inherit search geometry where available.
-        self.batch_size = getattr(engine, "batch_size", 4096)
+
+    def describe(self) -> str:
+        return f"nonce-bound[{self.algo.name}]({describe_engine(self.inner)})"
 
     def search(
         self,
@@ -214,13 +224,17 @@ class _NonceBindingEngine:
         time_budget: float | None = None,
     ) -> SearchResult:
         """Nonce-bound Algorithm 1 (vectorized for SHA-3)."""
+        import dataclasses
+
         if self.algo.name == "sha3-256":
-            return self._search_vectorized(
+            result = self._search_vectorized(
                 base_seed, target_digest, max_distance, time_budget
             )
-        return self._search_scalar(
-            base_seed, target_digest, max_distance, time_budget
-        )
+        else:
+            result = self._search_scalar(
+                base_seed, target_digest, max_distance, time_budget
+            )
+        return dataclasses.replace(result, engine=self.describe())
 
     def _search_vectorized(
         self,

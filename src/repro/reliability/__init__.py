@@ -35,6 +35,7 @@ from repro.reliability.retry import (
 from repro.reliability.breaker import BreakerState, CircuitBreaker, CircuitOpenError
 from repro.reliability.transport import FaultyTransport
 from repro.reliability.failover import FailoverSearchService
+from repro.reliability.guards import BreakerGuardedEngine, RetryingEngine
 
 __all__ = [
     "FaultSpec",
@@ -54,4 +55,6 @@ __all__ = [
     "CircuitOpenError",
     "FaultyTransport",
     "FailoverSearchService",
+    "BreakerGuardedEngine",
+    "RetryingEngine",
 ]

@@ -53,7 +53,7 @@ from repro.reliability.failover import FailoverSearchService
 from repro.reliability.faults import FaultPlan, FaultSpec, VirtualClock
 from repro.reliability.retry import DeadlineExceeded, RetriesExhausted, RetryPolicy
 from repro.reliability.transport import FaultyTransport
-from repro.runtime.executor import BatchSearchExecutor
+from repro.engines import TelemetryHooks, build_engine
 from repro.devices.flaky import DeviceFailure, FlakyEngine
 
 __all__ = ["StormConfig", "NAMED_PLANS", "run_storm", "run_named_storm"]
@@ -235,12 +235,20 @@ def run_storm(
 
     authority, clients = _enroll_fleet(seed, config)
     device_injector = plan.device_injector(horizon=max(40, config.clients))
+    # One telemetry tap across both backends: the report's engine
+    # counters cover every batch either engine actually ran.
+    telemetry = TelemetryHooks()
     primary = FlakyEngine(
-        BatchSearchExecutor(config.hash_name, batch_size=16384),
+        build_engine(
+            "batch", hash_name=config.hash_name, batch_size=16384,
+            hooks=telemetry,
+        ),
         device_injector,
         name="accelerator",
     )
-    fallback = BatchSearchExecutor(config.hash_name, batch_size=4096)
+    fallback = build_engine(
+        "batch", hash_name=config.hash_name, batch_size=4096, hooks=telemetry
+    )
     breaker = CircuitBreaker(
         failure_threshold=config.breaker_failure_threshold,
         recovery_seconds=config.breaker_recovery_seconds,
@@ -314,6 +322,8 @@ def run_storm(
         primary_searches=service.primary_searches,
         fallback_searches=service.fallback_searches,
         device_failures=primary.failures_injected,
+        engine_seeds_hashed=telemetry.seeds_hashed,
+        engine_shells_completed=telemetry.shells_completed,
     )
 
 

@@ -3,26 +3,32 @@
 :class:`FailoverSearchService` is a drop-in replacement for
 :class:`~repro.core.search.RBCSearchService` (same ``find_seed`` /
 ``max_distance`` / ``time_threshold`` / ``engine`` surface, so the CA,
-the concurrent server, and the session layer compose with it unchanged).
-Requests route to the *primary* engine while its circuit breaker allows
-them; a backend failure records into the breaker and the request is
-served by the *fallback* engine instead, so the client sees a slower
-answer, never an error. While the breaker is open, requests skip the
-primary entirely; half-open probes go to the primary again and close the
-breaker once the device recovers.
+the concurrent server, and the session layer compose with it unchanged)
+— and it is also an :class:`~repro.engines.wrappers.EngineWrapper`, so
+it serves the common ``search()`` surface and forwards the geometry of
+whichever engine would handle the *next* request. Requests route to the
+*primary* engine while its circuit breaker allows them; a backend
+failure records into the breaker and the request is served by the
+*fallback* engine instead, so the client sees a slower answer, never an
+error. While the breaker is open, requests skip the primary entirely;
+half-open probes go to the primary again and close the breaker once the
+device recovers.
 """
 
 from __future__ import annotations
 
 from repro.core.search import DEFAULT_TIME_THRESHOLD, SearchEngine
+from repro.engines.result import SearchResult
+from repro.engines.wrappers import EngineWrapper, describe_engine
 from repro.reliability.breaker import BreakerState, CircuitBreaker
-from repro.runtime.executor import SearchResult
 
 __all__ = ["FailoverSearchService"]
 
 
-class FailoverSearchService:
+class FailoverSearchService(EngineWrapper):
     """RBCSearchService-compatible service with breaker-gated failover."""
+
+    wrapper_name = "failover"
 
     def __init__(
         self,
@@ -32,7 +38,7 @@ class FailoverSearchService:
         max_distance: int = 5,
         time_threshold: float = DEFAULT_TIME_THRESHOLD,
     ):
-        self.primary = primary
+        super().__init__(primary)
         self.fallback = fallback
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.max_distance = max_distance
@@ -41,23 +47,43 @@ class FailoverSearchService:
         self.fallback_searches = 0
 
     @property
+    def primary(self) -> SearchEngine:
+        """The preferred (breaker-guarded) engine."""
+        return self.inner
+
+    @property
     def engine(self) -> SearchEngine:
         """The engine a request would use right now (session-layer hook)."""
         if self.breaker.state == BreakerState.OPEN:
             return self.fallback
         return self.primary
 
-    def find_seed(self, enrolled_seed: bytes, client_digest: bytes) -> SearchResult:
-        """Search via the primary when healthy, the fallback otherwise."""
-        if self.max_distance < 0:
-            raise ValueError("max_distance must be non-negative")
+    def _geometry_source(self) -> SearchEngine:
+        # Dynamic routing: report the geometry of whichever engine would
+        # serve the next request, so adapters batch like it will.
+        return self.engine
+
+    def describe(self) -> str:
+        return (
+            f"failover({describe_engine(self.primary)}"
+            f" -> {describe_engine(self.fallback)})"
+        )
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Breaker-gated routing on the common engine surface."""
         if self.breaker.allow_request():
             try:
                 result = self.primary.search(
-                    enrolled_seed,
-                    client_digest,
-                    max_distance=self.max_distance,
-                    time_budget=self.time_threshold,
+                    base_seed,
+                    target_digest,
+                    max_distance=max_distance,
+                    time_budget=time_budget,
                 )
             except Exception:
                 self.breaker.record_failure()
@@ -67,6 +93,17 @@ class FailoverSearchService:
                 return result
         self.fallback_searches += 1
         return self.fallback.search(
+            base_seed,
+            target_digest,
+            max_distance=max_distance,
+            time_budget=time_budget,
+        )
+
+    def find_seed(self, enrolled_seed: bytes, client_digest: bytes) -> SearchResult:
+        """Search via the primary when healthy, the fallback otherwise."""
+        if self.max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        return self.search(
             enrolled_seed,
             client_digest,
             max_distance=self.max_distance,

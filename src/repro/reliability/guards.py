@@ -1,0 +1,127 @@
+"""Reliability guards as composable engine wrappers.
+
+The retry policy and circuit breaker were born as free-standing
+machinery (the client loop drives :class:`RetryPolicy` by hand, the
+failover service drives :class:`CircuitBreaker`). These wrappers let the
+same machinery compose *around any engine* through the common
+:class:`~repro.engines.wrappers.EngineWrapper` surface::
+
+    engine = RetryingEngine(
+        BreakerGuardedEngine(build_engine("batch"), breaker),
+        policy=RetryPolicy(max_attempts=3),
+    )
+
+Geometry (batch size, hash name) still reports from the innermost
+engine, so session adapters and capacity planners see through the
+guard stack. No guard ever sleeps for real: backoff is charged to an
+injectable waiter (the chaos harness passes its virtual clock).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.engines.result import SearchResult
+from repro.engines.wrappers import EngineWrapper, describe_engine
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.retry import RetriesExhausted, RetryPolicy
+
+__all__ = ["BreakerGuardedEngine", "RetryingEngine"]
+
+
+class BreakerGuardedEngine(EngineWrapper):
+    """Route every search through a circuit breaker.
+
+    A failing backend trips the breaker after its consecutive-failure
+    threshold; while open, searches are refused instantly with
+    :class:`~repro.reliability.breaker.CircuitOpenError` instead of
+    hammering a dead device.
+    """
+
+    wrapper_name = "breaker"
+
+    def __init__(self, inner, breaker: CircuitBreaker | None = None):
+        super().__init__(inner)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Run the inner search if the breaker admits the request."""
+        return self.breaker.call(
+            lambda: self.inner.search(
+                base_seed, target_digest, max_distance, time_budget=time_budget
+            )
+        )
+
+
+class RetryingEngine(EngineWrapper):
+    """Retry a failing search under a bounded :class:`RetryPolicy`.
+
+    Backoff between attempts is never slept: it is handed to ``waiter``
+    (e.g. a virtual clock's ``advance``) or silently accounted when no
+    waiter is given, so tests and the chaos harness stay instant.
+    """
+
+    wrapper_name = "retry"
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        waiter: Callable[[float], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(inner)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rng = rng
+        self.waiter = waiter
+        self._clock = clock
+        self.attempts_made = 0
+        self.retries_used = 0
+        self.backoff_charged_seconds = 0.0
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Attempt the inner search up to ``policy.max_attempts`` times."""
+        start = self._clock()
+        last_error: Exception | None = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.attempts_made += 1
+            try:
+                return self.inner.search(
+                    base_seed, target_digest, max_distance,
+                    time_budget=time_budget,
+                )
+            except Exception as exc:  # noqa: BLE001 - any backend fault retries
+                last_error = exc
+                if attempt == self.policy.max_attempts:
+                    break
+                self.retries_used += 1
+                backoff = self.policy.backoff_seconds(attempt, self.rng)
+                self.backoff_charged_seconds += backoff
+                if self.waiter is not None:
+                    self.waiter(backoff)
+        assert last_error is not None
+        raise RetriesExhausted(
+            self.policy.max_attempts, self._clock() - start, last_error
+        )
+
+    def describe(self) -> str:
+        return (
+            f"retry[{self.policy.max_attempts}]"
+            f"({describe_engine(self.inner)})"
+        )

@@ -12,13 +12,18 @@ Where :mod:`repro.devices` *models* the paper's accelerators, this package
 
 Reduced-scale runs of these engines validate the device models' control
 flow in the test suite.
+
+All engines here are registered with :mod:`repro.engines` — prefer
+``build_engine("batch:sha3-256,bs=16384")`` over direct construction.
+``SearchResult`` / ``ShellStats`` now live in
+:mod:`repro.engines.result` and are re-exported for compatibility.
 """
 
 from repro.runtime.executor import BatchSearchExecutor, SearchResult, ShellStats
 from repro.runtime.parallel import ParallelSearchExecutor
 from repro.runtime.partition import partition_ranks, thread_rank_ranges
 from repro.runtime.original_batch import BatchOriginalRBCSearch
-from repro.runtime.cluster import ClusterSearchExecutor, Interconnect
+from repro.runtime.cluster import ClusterSearchExecutor, ClusterSearchResult, Interconnect
 
 __all__ = [
     "BatchSearchExecutor",
@@ -29,5 +34,6 @@ __all__ = [
     "thread_rank_ranges",
     "BatchOriginalRBCSearch",
     "ClusterSearchExecutor",
+    "ClusterSearchResult",
     "Interconnect",
 ]

@@ -23,19 +23,32 @@ outright or slow them down. A dead rank's shell slices are *recovered* —
 re-partitioned onto the survivors and searched in a second pass — and
 the extra wall time (failure detection, the recovery compute, one more
 fabric round) is accounted honestly in the result.
+
+The engine returns the unified
+:class:`~repro.engines.result.SearchResult`; the per-rank accounting
+that used to live in a separate ``ClusterSearchResult`` type now rides
+in the result's :class:`~repro.engines.result.ClusterStats` extension
+(and the legacy field names keep working as properties).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._bitutils import SEED_BITS
 from repro.combinatorics.binomial import binomial
-from repro.runtime.executor import BatchSearchExecutor, SearchResult
+from repro.engines.hooks import EngineHooks
+from repro.engines.registry import build_engine
+from repro.engines.result import ClusterStats, SearchResult, merge_shells
 from repro.runtime.partition import partition_ranks
 
 __all__ = ["Interconnect", "ClusterSearchResult", "ClusterSearchExecutor"]
+
+#: Legacy alias — the distributed result type was merged into the
+#: unified SearchResult; its fields live on as the ClusterStats
+#: extension plus compatibility properties.
+ClusterSearchResult = SearchResult
 
 
 @dataclass(frozen=True)
@@ -60,34 +73,6 @@ class Interconnect:
         return self.broadcast_seconds + self.allreduce_seconds + self.gather_seconds
 
 
-@dataclass(frozen=True)
-class ClusterSearchResult:
-    """Outcome of one distributed search."""
-
-    found: bool
-    seed: bytes | None
-    distance: int | None
-    finder_rank: int | None
-    seeds_hashed_total: int
-    #: Modeled concurrent wall time: slowest relevant rank + fabric costs
-    #: (+ detection and recovery when ranks died).
-    wall_seconds: float
-    #: Actual serial execution time of the simulation (for reference).
-    simulation_seconds: float
-    per_rank_seconds: tuple[float, ...] = field(default=())
-    per_rank_hashed: tuple[int, ...] = field(default=())
-    #: Ranks that died before the search and whose slices were recovered.
-    dead_ranks: tuple[int, ...] = ()
-    #: Ranks that ran at a slowdown factor (reflected in wall time).
-    straggler_ranks: tuple[int, ...] = ()
-    #: Wall time of the recovery pass alone (0.0 when no rank died or a
-    #: survivor found the seed before recovery was needed).
-    recovery_seconds: float = 0.0
-
-    def __bool__(self) -> bool:
-        return self.found
-
-
 class ClusterSearchExecutor:
     """SALTED search distributed over ``ranks`` single-node engines."""
 
@@ -98,6 +83,7 @@ class ClusterSearchExecutor:
         batch_size: int = 16384,
         interconnect: Interconnect | None = None,
         fault_injector=None,
+        hooks: EngineHooks | None = None,
     ):
         if ranks < 1:
             raise ValueError("ranks must be positive")
@@ -108,6 +94,15 @@ class ClusterSearchExecutor:
         #: Optional rank-fault source: anything exposing ``dead_ranks``
         #: (a set of ints) and ``straggle_factor(rank) -> float``.
         self.fault_injector = fault_injector
+        #: Telemetry tap forwarded to every per-rank engine, so hooks
+        #: observe each rank's batches and shells.
+        self.hooks = hooks
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        return (
+            f"cluster:{self.ranks},hash={self.hash_name},bs={self.batch_size}"
+        )
 
     def _rank_slices(self, max_distance: int, rank: int) -> dict[int, tuple[int, int]]:
         slices = {}
@@ -116,8 +111,13 @@ class ClusterSearchExecutor:
             slices[distance] = ranges[rank]
         return slices
 
-    def _make_executor(self) -> BatchSearchExecutor:
-        return BatchSearchExecutor(self.hash_name, batch_size=self.batch_size)
+    def _make_executor(self):
+        return build_engine(
+            "batch",
+            hash_name=self.hash_name,
+            batch_size=self.batch_size,
+            hooks=self.hooks,
+        )
 
     def _run_slices(
         self,
@@ -143,7 +143,8 @@ class ClusterSearchExecutor:
         )
         if result.distance == 0 and not owns_distance_zero:
             result = SearchResult(
-                False, None, None, result.seeds_hashed, result.elapsed_seconds
+                False, None, None, result.seeds_hashed, result.elapsed_seconds,
+                shells=result.shells,
             )
         return result
 
@@ -153,7 +154,7 @@ class ClusterSearchExecutor:
         target_digest: bytes,
         max_distance: int,
         time_budget: float | None = None,
-    ) -> ClusterSearchResult:
+    ) -> SearchResult:
         """Run the distributed search (each rank's slice really executes)."""
         simulation_start = time.perf_counter()
         faults = self.fault_injector
@@ -188,19 +189,50 @@ class ClusterSearchExecutor:
             per_rank_results[rank].seeds_hashed if rank in per_rank_results else 0
             for rank in range(self.ranks)
         )
+        any_rank_timed_out = any(
+            res.timed_out for res in per_rank_results.values()
+        )
+        shells = merge_shells([res.shells for res in per_rank_results.values()])
         fabric = self.interconnect.round_cost(self.ranks)
         stragglers = (
             tuple(r for r in faults.straggler_ranks if r in per_rank_results)
             if faults is not None and hasattr(faults, "straggler_ranks")
             else ()
         )
-        common = dict(
-            simulation_seconds=0.0,  # patched below
-            per_rank_seconds=per_rank_seconds,
-            per_rank_hashed=per_rank_hashed,
-            dead_ranks=tuple(sorted(dead)),
-            straggler_ranks=stragglers,
-        )
+
+        def finish(
+            *,
+            found: bool,
+            seed: bytes | None,
+            distance: int | None,
+            finder_rank: int | None,
+            seeds_hashed: int,
+            wall: float,
+            recovery_seconds: float = 0.0,
+        ) -> SearchResult:
+            timed_out = not found and (
+                any_rank_timed_out
+                or (time_budget is not None and wall > time_budget)
+            )
+            return SearchResult(
+                found=found,
+                seed=seed,
+                distance=distance,
+                seeds_hashed=seeds_hashed,
+                elapsed_seconds=wall,
+                timed_out=timed_out,
+                shells=shells,
+                engine=self.describe(),
+                cluster=ClusterStats(
+                    finder_rank=finder_rank,
+                    per_rank_seconds=per_rank_seconds,
+                    per_rank_hashed=per_rank_hashed,
+                    dead_ranks=tuple(sorted(dead)),
+                    straggler_ranks=stragglers,
+                    recovery_seconds=recovery_seconds,
+                    simulation_seconds=time.perf_counter() - simulation_start,
+                ),
+            )
 
         finders = [
             (rank, res) for rank, res in sorted(per_rank_results.items()) if res.found
@@ -218,15 +250,13 @@ class ClusterSearchExecutor:
                 + (self.interconnect.exit_propagation_seconds if self.ranks > 1 else 0.0)
                 + fabric
             )
-            common["simulation_seconds"] = time.perf_counter() - simulation_start
-            return ClusterSearchResult(
+            return finish(
                 found=True,
                 seed=res.seed,
                 distance=res.distance,
                 finder_rank=finder_rank,
-                seeds_hashed_total=sum(per_rank_hashed),
-                wall_seconds=wall,
-                **common,
+                seeds_hashed=sum(per_rank_hashed),
+                wall=wall,
             )
 
         # First pass exhausted. If ranks died, their slices have not been
@@ -237,6 +267,7 @@ class ClusterSearchExecutor:
         recovery_hashed = 0
         recovery_finder: tuple[int, SearchResult] | None = None
         if dead:
+            recovery_shells: list[tuple] = []
             per_survivor_recovery = [0.0] * len(survivors)
             for dead_rank in sorted(dead):
                 dead_slices = self._rank_slices(max_distance, dead_rank)
@@ -256,6 +287,7 @@ class ClusterSearchExecutor:
                         owns_distance_zero=(dead_rank == 0 and position == 0),
                     )
                     recovery_hashed += result.seeds_hashed
+                    recovery_shells.append(result.shells)
                     per_survivor_recovery[position] += effective(
                         survivor, result.elapsed_seconds
                     )
@@ -266,26 +298,25 @@ class ClusterSearchExecutor:
                 + max(per_survivor_recovery)
                 + fabric
             )
+            shells = merge_shells([shells, *recovery_shells])
 
-        common["simulation_seconds"] = time.perf_counter() - simulation_start
-        common["recovery_seconds"] = recovery_seconds
         if recovery_finder is not None:
             finder_rank, res = recovery_finder
-            return ClusterSearchResult(
+            return finish(
                 found=True,
                 seed=res.seed,
                 distance=res.distance,
                 finder_rank=finder_rank,
-                seeds_hashed_total=sum(per_rank_hashed) + recovery_hashed,
-                wall_seconds=first_pass_wall + recovery_seconds,
-                **common,
+                seeds_hashed=sum(per_rank_hashed) + recovery_hashed,
+                wall=first_pass_wall + recovery_seconds,
+                recovery_seconds=recovery_seconds,
             )
-        return ClusterSearchResult(
+        return finish(
             found=False,
             seed=None,
             distance=None,
             finder_rank=None,
-            seeds_hashed_total=sum(per_rank_hashed) + recovery_hashed,
-            wall_seconds=first_pass_wall + recovery_seconds,
-            **common,
+            seeds_hashed=sum(per_rank_hashed) + recovery_hashed,
+            wall=first_pass_wall + recovery_seconds,
+            recovery_seconds=recovery_seconds,
         )

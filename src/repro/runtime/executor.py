@@ -18,7 +18,6 @@ Two combination sources are supported, mirroring the paper's Table 4:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,8 +34,13 @@ from repro.combinatorics.binomial import binomial
 from repro.combinatorics.chase382 import Chase382Iterator
 from repro.combinatorics.gosper import GosperIterator
 from repro.combinatorics.ranking import unrank_lexicographic_batch
+from repro.engines.hooks import EngineHooks
+from repro.engines.result import SearchResult, ShellStats
 from repro.hashes.registry import HashAlgorithm, get_hash
 
+# SearchResult / ShellStats live in repro.engines.result now; re-exported
+# here because half the codebase historically imported them from this
+# module.
 __all__ = ["SearchResult", "ShellStats", "BatchSearchExecutor", "ITERATOR_CHOICES"]
 
 ITERATOR_CHOICES = (
@@ -50,37 +54,6 @@ _SCALAR_ITERATORS = {
     "lex": Algorithm154Iterator,
     "unrank-scalar": Algorithm515Iterator,
 }
-
-
-@dataclass(frozen=True)
-class ShellStats:
-    """Per-Hamming-distance breakdown of one search."""
-
-    distance: int
-    seeds_hashed: int
-    seconds: float
-
-    @property
-    def throughput(self) -> float:
-        """Seeds hashed per second within this shell."""
-        return self.seeds_hashed / self.seconds if self.seconds > 0 else 0.0
-
-
-@dataclass(frozen=True)
-class SearchResult:
-    """Outcome of one RBC search."""
-
-    found: bool
-    seed: bytes | None
-    distance: int | None
-    seeds_hashed: int
-    elapsed_seconds: float
-    timed_out: bool = False
-    #: Optional per-shell breakdown (engines that track it populate this).
-    shells: tuple[ShellStats, ...] = ()
-
-    def __bool__(self) -> bool:
-        return self.found
 
 
 class BatchSearchExecutor:
@@ -97,6 +70,8 @@ class BatchSearchExecutor:
         Combination source; see module docstring.
     fixed_padding:
         Use the fixed-pad fast path (paper Section 3.2.2).
+    hooks:
+        Optional :class:`~repro.engines.hooks.EngineHooks` telemetry tap.
     """
 
     def __init__(
@@ -105,6 +80,7 @@ class BatchSearchExecutor:
         batch_size: int = 16384,
         iterator: str = "unrank",
         fixed_padding: bool = True,
+        hooks: EngineHooks | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -116,6 +92,19 @@ class BatchSearchExecutor:
         self.batch_size = batch_size
         self.iterator = iterator
         self.fixed_padding = fixed_padding
+        self.hooks = hooks
+
+    @property
+    def hash_name(self) -> str:
+        """Canonical name of the hash this engine searches with."""
+        return self.algo.name
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        spec = f"batch:{self.algo.name},bs={self.batch_size}"
+        if self.iterator != "unrank":
+            spec += f",it={self.iterator}"
+        return spec
 
     # -- combination batches -------------------------------------------
 
@@ -163,14 +152,22 @@ class BatchSearchExecutor:
         seeds_hashed = 0
         shells: list[ShellStats] = []
 
+        def shell_done(shell: ShellStats) -> None:
+            shells.append(shell)
+            if self.hooks is not None:
+                self.hooks.on_shell_complete(shell)
+
         # Distance 0: thread r=0 checks S_init itself (Algorithm 1 l.4-8).
         digest0 = self.algo.hash_seed(base_seed)
         seeds_hashed += 1
-        shells.append(ShellStats(0, 1, time.perf_counter() - start_time))
+        if self.hooks is not None:
+            self.hooks.on_batch(0, 1)
+        shell_done(ShellStats(0, 1, time.perf_counter() - start_time))
         if digest0 == target_digest:
             return SearchResult(
                 True, base_seed, 0, seeds_hashed,
                 time.perf_counter() - start_time, shells=tuple(shells),
+                engine=self.describe(),
             )
 
         for distance in range(1, max_distance + 1):
@@ -190,11 +187,13 @@ class BatchSearchExecutor:
                 )
                 seeds_hashed += candidate_words.shape[0]
                 shell_hashed += candidate_words.shape[0]
+                if self.hooks is not None:
+                    self.hooks.on_batch(distance, candidate_words.shape[0])
                 matches = np.flatnonzero((digests == target_words).all(axis=1))
                 if matches.size:
                     index = int(matches[0])
                     found = words_to_seed(candidate_words[index])
-                    shells.append(
+                    shell_done(
                         ShellStats(
                             distance, shell_hashed,
                             time.perf_counter() - shell_start,
@@ -203,12 +202,13 @@ class BatchSearchExecutor:
                     return SearchResult(
                         True, found, distance, seeds_hashed,
                         time.perf_counter() - start_time, shells=tuple(shells),
+                        engine=self.describe(),
                     )
                 if (
                     time_budget is not None
                     and time.perf_counter() - start_time > time_budget
                 ):
-                    shells.append(
+                    shell_done(
                         ShellStats(
                             distance, shell_hashed,
                             time.perf_counter() - shell_start,
@@ -217,14 +217,14 @@ class BatchSearchExecutor:
                     return SearchResult(
                         False, None, None, seeds_hashed,
                         time.perf_counter() - start_time, timed_out=True,
-                        shells=tuple(shells),
+                        shells=tuple(shells), engine=self.describe(),
                     )
-            shells.append(
+            shell_done(
                 ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
             )
         return SearchResult(
             False, None, None, seeds_hashed, time.perf_counter() - start_time,
-            shells=tuple(shells),
+            shells=tuple(shells), engine=self.describe(),
         )
 
     def throughput_probe(self, num_seeds: int = 50000, rng_seed: int = 0) -> float:

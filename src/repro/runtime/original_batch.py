@@ -23,9 +23,10 @@ from repro.combinatorics.binomial import binomial
 from repro.combinatorics.ranking import unrank_lexicographic_batch
 from repro.keygen.batch_aes import aes128_encrypt_batch
 from repro.keygen.batch_chacha20 import chacha20_block_batch
+from repro.engines.hooks import EngineHooks
+from repro.engines.result import SearchResult, ShellStats
 from repro.keygen.batch_speck import speck128_encrypt_batch
 from repro.keygen.interface import _FIXED_PLAINTEXT
-from repro.runtime.executor import SearchResult
 
 __all__ = ["BatchOriginalRBCSearch", "BATCH_KEYGEN_CHOICES"]
 
@@ -68,7 +69,12 @@ _RESPONSE_SIZES = {"aes-128": 16, "speck-128": 16, "chacha20": 32}
 class BatchOriginalRBCSearch:
     """Key-agile batched original-RBC engine (AES / SPECK / ChaCha20)."""
 
-    def __init__(self, keygen_name: str = "aes-128", batch_size: int = 8192):
+    def __init__(
+        self,
+        keygen_name: str = "aes-128",
+        batch_size: int = 8192,
+        hooks: EngineHooks | None = None,
+    ):
         if keygen_name not in _RESPONSE_KERNELS:
             raise ValueError(
                 f"no batch kernel for {keygen_name!r}; choices: {BATCH_KEYGEN_CHOICES}"
@@ -77,8 +83,13 @@ class BatchOriginalRBCSearch:
             raise ValueError("batch_size must be positive")
         self.keygen_name = keygen_name
         self.batch_size = batch_size
+        self.hooks = hooks
         self._kernel = _RESPONSE_KERNELS[keygen_name]
         self._response_size = _RESPONSE_SIZES[keygen_name]
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        return f"original:{self.keygen_name},bs={self.batch_size}"
 
     def response_batch(self, seed_words: np.ndarray) -> np.ndarray:
         """Public responses for a batch of candidate seeds (words form)."""
@@ -100,16 +111,32 @@ class BatchOriginalRBCSearch:
         target = np.frombuffer(target_response, dtype=np.uint8)
         base_words = seed_to_words(base_seed)
         generated = 0
+        shells: list[ShellStats] = []
+
+        def shell_done(shell: ShellStats) -> None:
+            shells.append(shell)
+            if self.hooks is not None:
+                self.hooks.on_shell_complete(shell)
 
         # Distance 0.
         generated += 1
-        if self.response_batch(base_words[None, :])[0].tobytes() == target_response:
+        if self.hooks is not None:
+            self.hooks.on_batch(0, 1)
+        match0 = (
+            self.response_batch(base_words[None, :])[0].tobytes()
+            == target_response
+        )
+        shell_done(ShellStats(0, 1, time.perf_counter() - start))
+        if match0:
             return SearchResult(
-                True, base_seed, 0, generated, time.perf_counter() - start
+                True, base_seed, 0, generated, time.perf_counter() - start,
+                shells=tuple(shells), engine=self.describe(),
             )
 
         for distance in range(1, max_distance + 1):
             total = binomial(SEED_BITS, distance)
+            shell_start = time.perf_counter()
+            shell_generated = 0
             for lo in range(0, total, self.batch_size):
                 hi = min(lo + self.batch_size, total)
                 ranks = np.arange(lo, hi, dtype=np.uint64)
@@ -118,23 +145,46 @@ class BatchOriginalRBCSearch:
                 candidates = base_words[None, :] ^ masks
                 responses = self.response_batch(candidates)
                 generated += candidates.shape[0]
+                shell_generated += candidates.shape[0]
+                if self.hooks is not None:
+                    self.hooks.on_batch(distance, candidates.shape[0])
                 matches = np.flatnonzero((responses == target).all(axis=1))
                 if matches.size:
                     found = words_to_seed(candidates[int(matches[0])])
+                    shell_done(
+                        ShellStats(
+                            distance, shell_generated,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
                     return SearchResult(
                         True, found, distance, generated,
                         time.perf_counter() - start,
+                        shells=tuple(shells), engine=self.describe(),
                     )
                 if (
                     time_budget is not None
                     and time.perf_counter() - start > time_budget
                 ):
+                    shell_done(
+                        ShellStats(
+                            distance, shell_generated,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
                     return SearchResult(
                         False, None, None, generated,
                         time.perf_counter() - start, timed_out=True,
+                        shells=tuple(shells), engine=self.describe(),
                     )
+            shell_done(
+                ShellStats(
+                    distance, shell_generated, time.perf_counter() - shell_start
+                )
+            )
         return SearchResult(
-            False, None, None, generated, time.perf_counter() - start
+            False, None, None, generated, time.perf_counter() - start,
+            shells=tuple(shells), engine=self.describe(),
         )
 
     def throughput_probe(self, num_seeds: int = 30000, rng_seed: int = 0) -> float:

@@ -9,6 +9,12 @@ as any worker finds the seed.
 Workers check the flag between kernel batches — the same granularity knob
 the paper studies in Section 4.4 (it found checking every iteration free
 on the GPU; between-batch checking is the vectorized equivalent).
+
+Telemetry: workers report per-shell statistics back to the parent, which
+merges them per distance (seed counts add, seconds take the slowest
+worker) so the unified :class:`~repro.engines.result.SearchResult` is as
+instrumented as the single-process engine's. Hooks do not cross process
+boundaries; the parent fires ``on_shell_complete`` for merged shells.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ from dataclasses import dataclass
 
 from repro._bitutils import SEED_BITS
 from repro.combinatorics.binomial import binomial
-from repro.runtime.executor import BatchSearchExecutor, SearchResult
+from repro.engines.hooks import EngineHooks
+from repro.engines.registry import build_engine
+from repro.engines.result import SearchResult, ShellStats, merge_shells
 from repro.runtime.partition import partition_ranks
 
 __all__ = ["ParallelSearchExecutor"]
@@ -39,9 +47,23 @@ class _WorkerTask:
     time_budget: float | None
 
 
+@dataclass
+class _WorkerReport:
+    """What one worker sends back on the result queue."""
+
+    worker_index: int
+    found: bool
+    seed: bytes | None
+    distance: int | None
+    seeds_hashed: int
+    timed_out: bool = False
+    shells: tuple[ShellStats, ...] = ()
+
+
 def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
     """Worker body: batch-search this worker's subspace, honor the flag."""
-    executor = BatchSearchExecutor(
+    executor = build_engine(
+        "batch",
         hash_name=task.hash_name,
         batch_size=task.batch_size,
         iterator=task.iterator,
@@ -56,14 +78,19 @@ def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
     target_words = algo.digest_to_words(task.target_digest)
     base_words = seed_to_words(task.base_seed)
     seeds_hashed = 0
+    shells: list[ShellStats] = []
 
     if task.worker_index == 0:
         # Thread r=0 checks distance 0 (Algorithm 1 lines 4-8).
         seeds_hashed += 1
+        shells.append(ShellStats(0, 1, time.perf_counter() - start_time))
         if algo.hash_seed(task.base_seed) == task.target_digest:
             flag.value = 1
             result_queue.put(
-                (task.worker_index, True, task.base_seed, 0, seeds_hashed)
+                _WorkerReport(
+                    task.worker_index, True, task.base_seed, 0, seeds_hashed,
+                    shells=tuple(shells),
+                )
             )
             return
 
@@ -71,10 +98,22 @@ def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
         lo, hi = task.rank_ranges.get(distance, (0, 0))
         if lo >= hi:
             continue
+        shell_start = time.perf_counter()
+        shell_hashed = 0
+
+        def close_shell() -> None:
+            shells.append(
+                ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
+            )
+
         for positions in executor._combination_batches(distance, lo, hi):
             if flag.value:
+                close_shell()
                 result_queue.put(
-                    (task.worker_index, False, None, None, seeds_hashed)
+                    _WorkerReport(
+                        task.worker_index, False, None, None, seeds_hashed,
+                        shells=tuple(shells),
+                    )
                 )
                 return
             masks = positions_to_mask_words(positions)
@@ -83,23 +122,38 @@ def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
                 candidate_words, fixed_padding=task.fixed_padding
             )
             seeds_hashed += candidate_words.shape[0]
+            shell_hashed += candidate_words.shape[0]
             matches = np.flatnonzero((digests == target_words).all(axis=1))
             if matches.size:
                 flag.value = 1
                 found = words_to_seed(candidate_words[int(matches[0])])
+                close_shell()
                 result_queue.put(
-                    (task.worker_index, True, found, distance, seeds_hashed)
+                    _WorkerReport(
+                        task.worker_index, True, found, distance, seeds_hashed,
+                        shells=tuple(shells),
+                    )
                 )
                 return
             if (
                 task.time_budget is not None
                 and time.perf_counter() - start_time > task.time_budget
             ):
+                close_shell()
                 result_queue.put(
-                    (task.worker_index, False, None, None, seeds_hashed)
+                    _WorkerReport(
+                        task.worker_index, False, None, None, seeds_hashed,
+                        timed_out=True, shells=tuple(shells),
+                    )
                 )
                 return
-    result_queue.put((task.worker_index, False, None, None, seeds_hashed))
+        close_shell()
+    result_queue.put(
+        _WorkerReport(
+            task.worker_index, False, None, None, seeds_hashed,
+            shells=tuple(shells),
+        )
+    )
 
 
 class ParallelSearchExecutor:
@@ -112,6 +166,7 @@ class ParallelSearchExecutor:
         batch_size: int = 8192,
         iterator: str = "unrank",
         fixed_padding: bool = True,
+        hooks: EngineHooks | None = None,
     ):
         self.hash_name = hash_name
         self.workers = workers if workers is not None else mp.cpu_count()
@@ -120,6 +175,14 @@ class ParallelSearchExecutor:
         self.batch_size = batch_size
         self.iterator = iterator
         self.fixed_padding = fixed_padding
+        self.hooks = hooks
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        return (
+            f"parallel:{self.hash_name},workers={self.workers},"
+            f"bs={self.batch_size}"
+        )
 
     def search(
         self,
@@ -161,18 +224,28 @@ class ParallelSearchExecutor:
         found_seed = None
         found_distance = None
         total_hashed = 0
-        timed_out = False
+        any_timed_out = False
+        shell_groups: list[tuple[ShellStats, ...]] = []
         for _ in range(self.workers):
-            worker_index, found, seed, distance, hashed = result_queue.get()
-            total_hashed += hashed
-            if found:
-                found_seed = seed
-                found_distance = distance
+            report: _WorkerReport = result_queue.get()
+            total_hashed += report.seeds_hashed
+            any_timed_out = any_timed_out or report.timed_out
+            shell_groups.append(report.shells)
+            if report.found:
+                found_seed = report.seed
+                found_distance = report.distance
         for proc in processes:
             proc.join()
         elapsed = time.perf_counter() - start_time
-        if found_seed is None and time_budget is not None and elapsed > time_budget:
-            timed_out = True
+        timed_out = found_seed is None and (
+            any_timed_out
+            or (time_budget is not None and elapsed > time_budget)
+        )
+        shells = merge_shells(shell_groups)
+        if self.hooks is not None:
+            for shell in shells:
+                self.hooks.on_batch(shell.distance, shell.seeds_hashed)
+                self.hooks.on_shell_complete(shell)
         return SearchResult(
             found=found_seed is not None,
             seed=found_seed,
@@ -180,4 +253,6 @@ class ParallelSearchExecutor:
             seeds_hashed=total_hashed,
             elapsed_seconds=elapsed,
             timed_out=timed_out,
+            shells=shells,
+            engine=self.describe(),
         )

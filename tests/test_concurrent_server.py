@@ -177,7 +177,7 @@ class TestServerMetricsRecord:
         metrics.record(submitted=2, completed=1, authenticated=1,
                        failed=1, search_seconds=0.5)
         metrics.record(rejected_busy=1, rejected_duplicate=2,
-                       rejected_open=3)
+                       rejected_open=3, seeds_hashed=257, shells_completed=2)
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -188,6 +188,8 @@ class TestServerMetricsRecord:
             "rejected_duplicate": 2,
             "rejected_open": 3,
             "total_search_seconds": 0.5,
+            "seeds_hashed": 257,
+            "shells_completed": 2,
         }
 
     def test_record_is_thread_safe(self):

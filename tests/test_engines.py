@@ -1,0 +1,395 @@
+"""The unified engine stack: registry, wrappers, one result type.
+
+Covers the spec grammar and option aliasing, wrapper geometry
+forwarding (including dynamic failover routing and nested stacks),
+telemetry hooks, the reliability guards, and — the heart of it — an
+engine-equivalence matrix: every registered engine must find the same
+planted seed at the same distance, and a zero time budget must yield
+``timed_out=True`` uniformly when the target is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits
+from repro.engines import (
+    DEFAULT_BATCH_SIZE,
+    EngineConfig,
+    EngineWrapper,
+    NullHooks,
+    SearchResult,
+    ShellStats,
+    TelemetryHooks,
+    build_engine,
+    describe_engine,
+    engine_entries,
+    engine_names,
+    engine_target,
+    merge_shells,
+    register_engine,
+)
+from repro.engines.registry import get_entry
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.guards import BreakerGuardedEngine, RetryingEngine
+from repro.reliability.retry import RetriesExhausted, RetryPolicy
+
+RNG = np.random.default_rng(20260805)
+BASE_SEED = RNG.bytes(32)
+
+#: One spec per engine family — every row must behave identically on
+#: the protocol surface. SHA-1 keeps the matrix fast.
+HASH_ENGINE_SPECS = [
+    "batch:sha1,bs=4096",
+    "batch:sha1,bs=4096,it=chase",
+    "parallel:sha1,w=2,bs=4096",
+    "cluster:2,hash=sha1,bs=4096",
+    "gpu-model:sha1,bs=4096",
+]
+ALL_ENGINE_SPECS = HASH_ENGINE_SPECS + ["original:aes-128,bs=4096"]
+
+
+class TestSpecGrammar:
+    def test_builtins_registered(self):
+        assert {
+            "batch", "parallel", "cluster", "original",
+            "gpu-model", "apu-model", "cpu-model",
+        } <= set(engine_names())
+
+    def test_parse_round_trip(self):
+        spec = "cluster:2,hash=sha1,bs=4096"
+        assert EngineConfig.parse(spec).spec_string() == spec
+
+    def test_positional_and_aliased_options(self):
+        engine = build_engine("batch:sha1,bs=1024")
+        assert engine.hash_name == "sha1"
+        assert engine.batch_size == 1024
+
+    def test_per_engine_alias(self):
+        assert build_engine("parallel:sha1,w=2").workers == 2
+        assert build_engine("cluster:r=3").ranks == 3
+
+    def test_keyword_overrides_accept_aliases(self):
+        engine = build_engine("batch", hash="sha1", bs=2048)
+        assert engine.hash_name == "sha1"
+        assert engine.batch_size == 2048
+
+    def test_bool_coercion(self):
+        assert build_engine("batch:sha1,fixed_padding=no").fixed_padding is False
+        assert build_engine("batch:sha1,fixed_padding=yes").fixed_padding is True
+
+    def test_dotted_spec_bypasses_registry(self):
+        engine = build_engine(
+            "repro.runtime.executor.BatchSearchExecutor:sha1,bs=512"
+        )
+        assert engine.batch_size == 512
+        assert engine.hash_name == "sha1"
+
+    def test_unknown_engine_lists_choices(self):
+        with pytest.raises(KeyError, match="registered:"):
+            build_engine("definitely-not-an-engine")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="no option"):
+            build_engine("batch:sha1,warp_factor=9")
+
+    def test_duplicate_option_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            build_engine("batch:sha1,hash=sha256")
+
+    def test_positional_after_keyword_rejected(self):
+        with pytest.raises(ValueError, match="positional"):
+            EngineConfig.parse("batch:bs=4096,sha1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            build_engine("")
+
+    def test_duplicate_registration_rejected(self):
+        @register_engine("test-unique-engine", description="test")
+        def _factory():  # pragma: no cover - never built
+            raise AssertionError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("test-unique-engine", description="dup")(_factory)
+
+    def test_schema_rows_present(self):
+        entry = get_entry("batch")
+        params = [row[0] for row in entry.schema]
+        assert "hash_name" in params and "batch_size" in params
+        assert all(len(row) == 3 for row in entry.schema)
+
+    def test_entries_sorted_and_described(self):
+        entries = engine_entries()
+        assert [e.name for e in entries] == sorted(e.name for e in entries)
+        assert all(e.description for e in entries)
+
+
+class TestEquivalenceMatrix:
+    """Same protocol answer from every engine, per Algorithm 1."""
+
+    @pytest.mark.parametrize("spec", ALL_ENGINE_SPECS)
+    @pytest.mark.parametrize("distance", [0, 1, 2])
+    def test_finds_planted_seed(self, spec, distance):
+        engine = build_engine(spec)
+        positions = sorted(
+            int(p) for p in RNG.choice(256, size=distance, replace=False)
+        )
+        client_seed = flip_bits(BASE_SEED, positions)
+        target = engine_target(engine, client_seed)
+        result = engine.search(BASE_SEED, target, 2)
+        assert result.found is True
+        assert result.distance == distance
+        assert result.seed == client_seed
+        assert result.timed_out is False
+        assert result.seeds_hashed >= 1
+        assert bool(result) is True
+
+    @pytest.mark.parametrize("spec", ALL_ENGINE_SPECS)
+    def test_zero_budget_times_out_uniformly(self, spec):
+        engine = build_engine(spec)
+        absent_target = engine_target(engine, RNG.bytes(32))
+        result = engine.search(BASE_SEED, absent_target, 2, time_budget=0)
+        assert result.found is False
+        assert result.timed_out is True
+        assert result.seed is None and result.distance is None
+        assert bool(result) is False
+
+    @pytest.mark.parametrize("spec", ALL_ENGINE_SPECS)
+    def test_results_are_tagged_and_shelled(self, spec):
+        engine = build_engine(spec)
+        client_seed = flip_bits(BASE_SEED, [5])
+        result = engine.search(
+            BASE_SEED, engine_target(engine, client_seed), 1
+        )
+        assert result.engine is not None and result.engine != ""
+        distances = [shell.distance for shell in result.shells]
+        assert 1 in distances
+        assert sum(s.seeds_hashed for s in result.shells) == result.seeds_hashed
+
+
+class TestUnifiedClusterResult:
+    def test_cluster_extension_and_legacy_properties(self):
+        engine = build_engine("cluster:2,hash=sha1,bs=4096")
+        client_seed = flip_bits(BASE_SEED, [3, 77])
+        result = engine.search(
+            BASE_SEED, engine_target(engine, client_seed), 2
+        )
+        assert isinstance(result, SearchResult)
+        assert result.cluster is not None
+        assert result.finder_rank in (0, 1)
+        assert len(result.per_rank_seconds) == 2
+        assert len(result.per_rank_hashed) == 2
+        assert result.seeds_hashed_total == result.seeds_hashed
+        assert result.wall_seconds == result.elapsed_seconds
+        assert result.dead_ranks == ()
+        assert result.recovery_seconds == 0.0
+        assert result.simulation_seconds > 0.0
+
+    def test_legacy_alias_is_the_same_type(self):
+        from repro.runtime.cluster import ClusterSearchResult
+
+        assert ClusterSearchResult is SearchResult
+
+    def test_single_process_result_has_no_cluster_stats(self):
+        engine = build_engine("batch:sha1,bs=4096")
+        result = engine.search(
+            BASE_SEED, engine_target(engine, BASE_SEED), 0
+        )
+        assert result.cluster is None
+        assert result.finder_rank is None
+        assert result.per_rank_seconds == ()
+
+
+class _NoFaults:
+    def next(self):
+        return None
+
+
+class TestWrapperGeometry:
+    def test_flaky_engine_forwards_geometry(self):
+        from repro.devices.flaky import FlakyEngine
+
+        inner = build_engine("batch:sha1,bs=1234")
+        flaky = FlakyEngine(inner, _NoFaults(), name="acc")
+        assert flaky.batch_size == 1234
+        assert flaky.hash_name == "sha1"
+        assert flaky.unwrap() is inner
+        assert "flaky[acc]" in flaky.describe()
+        assert "batch:sha1,bs=1234" in flaky.describe()
+
+    def test_nested_wrappers_see_innermost_geometry(self):
+        inner = build_engine("batch:sha1,bs=777")
+        stack = RetryingEngine(BreakerGuardedEngine(inner))
+        assert stack.batch_size == 777
+        assert stack.hash_name == "sha1"
+        assert stack.unwrap() is inner
+        assert "retry" in stack.describe()
+        assert "breaker" in stack.describe()
+
+    def test_default_batch_size_fallback(self):
+        class _Bare:
+            def search(self, *a, **k):  # pragma: no cover
+                raise AssertionError
+
+        assert EngineWrapper(_Bare()).batch_size == DEFAULT_BATCH_SIZE
+
+    def test_default_search_delegates(self):
+        inner = build_engine("batch:sha1,bs=4096")
+        wrapped = EngineWrapper(inner)
+        client_seed = flip_bits(BASE_SEED, [9])
+        result = wrapped.search(
+            BASE_SEED, engine_target(wrapped, client_seed), 1
+        )
+        assert result.found and result.seed == client_seed
+
+    def test_throughput_probe_delegates(self):
+        wrapped = EngineWrapper(build_engine("batch:sha1,bs=4096"))
+        assert wrapped.throughput_probe(2000) > 0
+
+    def test_describe_engine_falls_back_to_type_name(self):
+        class _Anon:
+            pass
+
+        assert describe_engine(_Anon()) == "_Anon"
+
+    def test_failover_geometry_follows_the_breaker(self):
+        from repro.reliability.failover import FailoverSearchService
+
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1000.0, clock=lambda: now[0]
+        )
+        service = FailoverSearchService(
+            build_engine("batch:sha1,bs=1111"),
+            build_engine("batch:sha1,bs=2222"),
+            breaker,
+        )
+        assert service.batch_size == 1111
+        breaker.record_failure()  # trips open at threshold 1
+        assert service.batch_size == 2222
+        assert "failover" in service.describe()
+
+    def test_nonce_binding_engine_is_a_wrapper(self):
+        from repro.net.session import _NonceBindingEngine
+
+        inner = build_engine("batch:sha3-256,bs=512")
+        bound = _NonceBindingEngine(inner, "sha3-256", b"\x01" * 16)
+        assert isinstance(bound, EngineWrapper)
+        assert bound.batch_size == 512
+        client_seed = flip_bits(BASE_SEED, [11])
+        from repro.hashes.registry import get_hash
+
+        target = get_hash("sha3-256").scalar(client_seed + b"\x01" * 16)
+        result = bound.search(BASE_SEED, target, 1)
+        assert result.found and result.seed == client_seed
+        assert result.engine is not None and "nonce-bound" in result.engine
+
+
+class _Exploding:
+    """Engine stub that fails a scripted number of times, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def search(self, base_seed, target_digest, max_distance, time_budget=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("backend died")
+        return SearchResult(True, base_seed, 0, 1, 0.0)
+
+
+class TestReliabilityGuards:
+    def test_breaker_guard_trips_and_refuses(self):
+        breaker = CircuitBreaker(failure_threshold=2, recovery_seconds=1000.0)
+        guarded = BreakerGuardedEngine(_Exploding(failures=99), breaker)
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="backend died"):
+                guarded.search(BASE_SEED, b"", 1)
+        with pytest.raises(CircuitOpenError):
+            guarded.search(BASE_SEED, b"", 1)
+        assert breaker.state == "open"
+
+    def test_retrying_engine_recovers_and_charges_backoff(self):
+        waits: list[float] = []
+        engine = RetryingEngine(
+            _Exploding(failures=2),
+            policy=RetryPolicy(max_attempts=4, jitter_fraction=0.0),
+            waiter=waits.append,
+        )
+        result = engine.search(BASE_SEED, b"", 1)
+        assert result.found
+        assert engine.retries_used == 2
+        assert waits == [0.25, 0.5]
+        assert engine.backoff_charged_seconds == pytest.approx(0.75)
+
+    def test_retrying_engine_exhausts(self):
+        engine = RetryingEngine(
+            _Exploding(failures=99),
+            policy=RetryPolicy(max_attempts=3, jitter_fraction=0.0),
+        )
+        with pytest.raises(RetriesExhausted):
+            engine.search(BASE_SEED, b"", 1)
+        assert engine.attempts_made == 3
+
+
+class TestHooks:
+    def test_telemetry_matches_result(self):
+        hooks = TelemetryHooks()
+        engine = build_engine("batch:sha1,bs=4096", hooks=hooks)
+        client_seed = flip_bits(BASE_SEED, [4, 200])
+        result = engine.search(
+            BASE_SEED, engine_target(engine, client_seed), 2
+        )
+        snap = hooks.snapshot()
+        assert snap["seeds_hashed"] == result.seeds_hashed
+        assert snap["shells_completed"] == len(result.shells)
+        assert snap["seeds_by_distance"][0] == 1
+        assert sum(snap["seeds_by_distance"].values()) == result.seeds_hashed
+
+    def test_hooks_fire_across_engines(self):
+        for spec in ("parallel:sha1,w=2,bs=4096", "cluster:2,hash=sha1,bs=4096"):
+            hooks = TelemetryHooks()
+            engine = build_engine(spec, hooks=hooks)
+            engine.search(BASE_SEED, engine_target(engine, BASE_SEED), 1)
+            assert hooks.snapshot()["shells_completed"] > 0
+
+    def test_null_hooks_are_inert(self):
+        hooks = NullHooks()
+        hooks.on_batch(1, 256)
+        hooks.on_shell_complete(ShellStats(1, 256, 0.1))
+
+
+class TestMergeShells:
+    def test_counts_add_seconds_take_max(self):
+        merged = merge_shells([
+            (ShellStats(1, 10, 0.5),),
+            (ShellStats(1, 20, 0.7), ShellStats(2, 5, 0.1)),
+        ])
+        assert [s.distance for s in merged] == [1, 2]
+        assert merged[0].seeds_hashed == 30
+        assert merged[0].seconds == 0.7
+        assert merged[1].seeds_hashed == 5
+
+    def test_empty_merge(self):
+        assert merge_shells([]) == ()
+
+
+class TestSummarizeSearchResults:
+    def test_aggregates_unified_results(self):
+        from repro.analysis.metrics import summarize_search_results
+
+        engine = build_engine("batch:sha1,bs=4096")
+        results = []
+        for distance in (0, 1):
+            planted = flip_bits(BASE_SEED, list(range(distance)))
+            results.append(
+                engine.search(BASE_SEED, engine_target(engine, planted), 1)
+            )
+        summary = summarize_search_results(results)
+        assert summary["searches"] == 2
+        assert summary["found"] == 2
+        assert summary["found_distances"] == {0: 1, 1: 1}
+        assert summary["seeds_hashed"] == sum(r.seeds_hashed for r in results)
+        assert summary["seeds_by_distance"][0] >= 2
+        assert set(summary["engines"]) == {"batch:sha1,bs=4096"}
