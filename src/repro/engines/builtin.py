@@ -15,6 +15,7 @@ from repro.runtime.cluster import ClusterSearchExecutor, Interconnect
 from repro.runtime.executor import BatchSearchExecutor
 from repro.runtime.original_batch import BatchOriginalRBCSearch
 from repro.runtime.parallel import ParallelSearchExecutor
+from repro.runtime.pool import PooledSearchExecutor
 
 __all__: list[str] = []
 
@@ -29,6 +30,8 @@ def _build_batch(
     iterator: str = "unrank",
     fixed_padding: bool = True,
     hooks: EngineHooks | None = None,
+    cache: bool = False,
+    warm: int = 0,
 ) -> BatchSearchExecutor:
     return BatchSearchExecutor(
         hash_name=hash_name,
@@ -36,6 +39,8 @@ def _build_batch(
         iterator=iterator,
         fixed_padding=fixed_padding,
         hooks=hooks,
+        cache=cache,
+        warm=warm,
     )
 
 
@@ -59,6 +64,33 @@ def _build_parallel(
         iterator=iterator,
         fixed_padding=fixed_padding,
         hooks=hooks,
+    )
+
+
+@register_engine(
+    "pool",
+    description="Warm persistent-pool SALTED search with shared mask plans",
+    aliases={"w": "workers"},
+)
+def _build_pool(
+    hash_name: str = "sha3-256",
+    workers: int | None = None,
+    batch_size: int = 16384,
+    iterator: str = "unrank",
+    fixed_padding: bool = True,
+    hooks: EngineHooks | None = None,
+    cache: bool = True,
+    warm: int = 0,
+) -> PooledSearchExecutor:
+    return PooledSearchExecutor(
+        hash_name=hash_name,
+        workers=workers,
+        batch_size=batch_size,
+        iterator=iterator,
+        fixed_padding=fixed_padding,
+        hooks=hooks,
+        cache=cache,
+        warm=warm,
     )
 
 

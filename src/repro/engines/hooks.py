@@ -6,6 +6,12 @@ finishes. The serving layer, the chaos harness, and the analysis code
 all observe searches through this one interface instead of each
 inventing its own counters.
 
+``on_amortization`` is an *optional* extension: amortized-pipeline
+engines (plan cache / warm pool) call it once per search with that
+search's :class:`~repro.engines.result.AmortizationStats`, discovered
+via ``getattr`` so third-party hook objects implementing only the two
+required methods keep working unchanged.
+
 Hook discipline:
 
 * hooks must be cheap — they run inside the search hot loop;
@@ -21,7 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Protocol, runtime_checkable
 
-from repro.engines.result import ShellStats
+from repro.engines.result import AmortizationStats, ShellStats
 
 __all__ = ["EngineHooks", "NullHooks", "TelemetryHooks"]
 
@@ -48,6 +54,9 @@ class NullHooks:
     def on_shell_complete(self, shell: ShellStats) -> None:
         return None
 
+    def on_amortization(self, stats: AmortizationStats) -> None:
+        return None
+
 
 class TelemetryHooks:
     """Thread-safe accumulating hooks — the standard telemetry consumer.
@@ -63,6 +72,9 @@ class TelemetryHooks:
         self.shells_completed = 0
         self.shell_seconds = 0.0
         self.seeds_by_distance: dict[int, int] = {}
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.pool_reuses = 0
 
     def on_batch(self, distance: int, seeds_hashed: int) -> None:
         with self._lock:
@@ -77,6 +89,13 @@ class TelemetryHooks:
             self.shells_completed += 1
             self.shell_seconds += shell.seconds
 
+    def on_amortization(self, stats: AmortizationStats) -> None:
+        with self._lock:
+            self.plan_hits += stats.plan_hits
+            self.plan_misses += stats.plan_misses
+            if stats.pool_reused:
+                self.pool_reuses += 1
+
     def snapshot(self) -> dict[str, object]:
         """A consistent copy of every counter."""
         with self._lock:
@@ -86,4 +105,7 @@ class TelemetryHooks:
                 "shells_completed": self.shells_completed,
                 "shell_seconds": self.shell_seconds,
                 "seeds_by_distance": dict(self.seeds_by_distance),
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "pool_reuses": self.pool_reuses,
             }

@@ -22,6 +22,7 @@ from typing import Protocol, runtime_checkable
 __all__ = [
     "ShellStats",
     "merge_shells",
+    "AmortizationStats",
     "ClusterStats",
     "SearchResult",
     "SearchEngine",
@@ -65,6 +66,30 @@ def merge_shells(
 
 
 @dataclass(frozen=True)
+class AmortizationStats:
+    """Amortized-pipeline extension: what this search reused vs. rebuilt.
+
+    Populated by engines that consult the mask-plan cache or run on the
+    persistent worker pool (``batch:...,cache=yes`` and ``pool:`` specs).
+    ``plan_hits``/``plan_misses`` count cache lookups for this search's
+    mask plans; ``pool_reused`` is True when the search ran on an
+    already-warm pool instead of paying a fork/join.
+    """
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    #: Bytes of mask plans currently resident in the process-wide cache.
+    plan_bytes: int = 0
+    #: Searches this pool has served since its workers were spawned
+    #: (including this one); 0 for engines without a pool.
+    pool_searches: int = 0
+    pool_reused: bool = False
+    #: Worker processes spawned over the pool's lifetime (a healthy warm
+    #: pool spawns exactly ``workers`` once, then never again).
+    workers_spawned: int = 0
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Distributed-search extension: per-rank accounting and recovery."""
 
@@ -104,6 +129,9 @@ class SearchResult:
     engine: str | None = None
     #: Distributed extension; ``None`` for single-node engines.
     cluster: ClusterStats | None = field(default=None)
+    #: Amortized-pipeline extension (plan cache / warm pool telemetry);
+    #: ``None`` for engines that pay full per-search costs.
+    amortized: AmortizationStats | None = field(default=None)
 
     def __bool__(self) -> bool:
         return self.found

@@ -7,14 +7,26 @@ memory (the batch equivalent of coalesced GPU accesses).
 The fixed-padding fast path (Section 3.2.2 of the paper) exploits that RBC
 only hashes 32-byte seeds: the padded sponge block is four message lanes
 plus two constant lanes, so absorption skips all length logic.
+
+The permutation itself is allocation-free in steady state: every theta /
+rho+pi / chi temporary lives in a per-batch-size scratch workspace
+(:class:`_KeccakScratch`) and all bitwise operations write through
+``out=`` parameters. Before this, one ``keccak_f1600_batch`` call
+allocated ~50 fresh arrays per round (~1200 per permutation); now the
+only steady-state allocation on the fixed-padding path is the ``(N, 4)``
+digest output. Scratch workspaces are cached per (thread, batch size),
+so concurrent server threads never share mutable state.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
 from repro._bitutils import SEED_WORDS64
-from repro.hashes.sha3 import ROUND_CONSTANTS, ROTATION_OFFSETS
+from repro.hashes.sha3 import ROTATION_OFFSETS, ROUND_CONSTANTS
 
 __all__ = [
     "keccak_f1600_batch",
@@ -35,6 +47,10 @@ _RHO_PI = tuple(
 
 _RC_ARRAYS = tuple(np.uint64(rc) for rc in ROUND_CONSTANTS)
 
+#: Scratch workspaces kept per batch size; a bigger cache would only help
+#: workloads that cycle through many distinct lane widths.
+_SCRATCH_CACHE_SIZE = 4
+
 
 def _rotl64(x: np.ndarray, s: int) -> np.ndarray:
     if s == 0:
@@ -42,55 +58,124 @@ def _rotl64(x: np.ndarray, s: int) -> np.ndarray:
     return (x << _U64(s)) | (x >> _U64(64 - s))
 
 
+class _KeccakScratch:
+    """Preallocated state + temporaries for one batch size ``n``.
+
+    ``a`` is the live sponge state, ``b`` the rho+pi staging plane,
+    ``c``/``d`` the theta columns, ``t`` a rotation temporary. All 57
+    arrays are allocated once and reused across permutations.
+    """
+
+    __slots__ = ("n", "a", "b", "c", "d", "t")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.a = [np.empty(n, dtype=_U64) for _ in range(25)]
+        self.b = [np.empty(n, dtype=_U64) for _ in range(25)]
+        self.c = [np.empty(n, dtype=_U64) for _ in range(5)]
+        self.d = [np.empty(n, dtype=_U64) for _ in range(5)]
+        self.t = np.empty(n, dtype=_U64)
+
+
+_scratch_local = threading.local()
+
+
+def _scratch_for(n: int) -> _KeccakScratch:
+    """The calling thread's scratch workspace for batch size ``n``."""
+    cache: OrderedDict[int, _KeccakScratch] | None
+    cache = getattr(_scratch_local, "cache", None)
+    if cache is None:
+        cache = OrderedDict()
+        _scratch_local.cache = cache
+    scratch = cache.get(n)
+    if scratch is None:
+        scratch = _KeccakScratch(n)
+        cache[n] = scratch
+        while len(cache) > _SCRATCH_CACHE_SIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(n)
+    return scratch
+
+
+def _rotl64_into(src: np.ndarray, s: int, out: np.ndarray, tmp: np.ndarray) -> None:
+    """``out = rotl64(src, s)`` with no allocation (``tmp`` is scratch)."""
+    np.left_shift(src, _U64(s), out=out)
+    np.right_shift(src, _U64(64 - s), out=tmp)
+    np.bitwise_or(out, tmp, out=out)
+
+
+def _permute_inplace(scratch: _KeccakScratch) -> None:
+    """Keccak-f[1600] on ``scratch.a``, in place, allocation-free."""
+    a, b, c, d, t = scratch.a, scratch.b, scratch.c, scratch.d, scratch.t
+    for rc in _RC_ARRAYS:
+        # Theta
+        for x in range(5):
+            cx = c[x]
+            np.bitwise_xor(a[x], a[x + 5], out=cx)
+            np.bitwise_xor(cx, a[x + 10], out=cx)
+            np.bitwise_xor(cx, a[x + 15], out=cx)
+            np.bitwise_xor(cx, a[x + 20], out=cx)
+        for x in range(5):
+            dx = d[x]
+            _rotl64_into(c[(x + 1) % 5], 1, dx, t)
+            np.bitwise_xor(dx, c[(x - 1) % 5], out=dx)
+        for x in range(5):
+            dx = d[x]
+            for y in range(5):
+                axy = a[x + 5 * y]
+                np.bitwise_xor(axy, dx, out=axy)
+        # Rho + Pi
+        for src, dst, rot in _RHO_PI:
+            if rot == 0:
+                np.copyto(b[dst], a[src])
+            else:
+                _rotl64_into(a[src], rot, b[dst], t)
+        # Chi
+        for y in range(5):
+            base = 5 * y
+            for x in range(5):
+                out = a[base + x]
+                np.bitwise_not(b[base + (x + 1) % 5], out=t)
+                np.bitwise_and(t, b[base + (x + 2) % 5], out=t)
+                np.bitwise_xor(b[base + x], t, out=out)
+        # Iota
+        np.bitwise_xor(a[0], rc, out=a[0])
+
+
 def keccak_f1600_batch(lanes: list[np.ndarray]) -> list[np.ndarray]:
     """Apply Keccak-f[1600] to N states at once.
 
     ``lanes`` is 25 arrays of shape ``(N,)`` uint64 (index = x + 5*y).
-    The input arrays are not modified.
+    The input arrays are not modified; fresh output arrays are returned.
+    Internally the permutation runs in the preallocated scratch
+    workspace, so the per-round temporaries cost nothing.
     """
     if len(lanes) != 25:
         raise ValueError("Keccak-f[1600] state is 25 lanes")
-    a = [lane.copy() for lane in lanes]
-    for rc in _RC_ARRAYS:
-        # Theta
-        c = [a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20] for x in range(5)]
-        d = [c[(x - 1) % 5] ^ _rotl64(c[(x + 1) % 5], 1) for x in range(5)]
-        for x in range(5):
-            dx = d[x]
-            for y in range(5):
-                a[x + 5 * y] ^= dx
-        # Rho + Pi
-        b = [None] * 25
-        for src, dst, rot in _RHO_PI:
-            b[dst] = _rotl64(a[src], rot)
-        # Chi
-        for y in range(5):
-            row = b[5 * y : 5 * y + 5]
-            for x in range(5):
-                a[x + 5 * y] = row[x] ^ (~row[(x + 1) % 5] & row[(x + 2) % 5])
-        # Iota
-        a[0] = a[0] ^ rc
-    return a
+    n = int(np.asarray(lanes[0]).shape[0])
+    scratch = _scratch_for(n)
+    for j in range(25):
+        np.copyto(scratch.a[j], np.asarray(lanes[j], dtype=_U64))
+    _permute_inplace(scratch)
+    return [lane.copy() for lane in scratch.a]
 
 
-def _absorb_seed_block_fixed(words: np.ndarray) -> list[np.ndarray]:
-    """Initial sponge state for a 32-byte message with the fixed pad."""
-    words = np.asarray(words, dtype=_U64)
-    if words.ndim != 2 or words.shape[1] != SEED_WORDS64:
-        raise ValueError(f"expected (N, {SEED_WORDS64}) seed words")
-    n = words.shape[0]
-    zero = np.zeros(n, dtype=_U64)
-    lanes: list[np.ndarray] = []
+def _absorb_seed_block_fixed(words: np.ndarray, scratch: _KeccakScratch) -> None:
+    """Write the fixed-pad sponge state for 32-byte messages into scratch."""
+    a = scratch.a
     # Seed bytes are big-endian; Keccak absorbs little-endian lanes, so
     # lane j is the byteswap of seed word (3 - j).
     for j in range(SEED_WORDS64):
-        lanes.append(words[:, SEED_WORDS64 - 1 - j].byteswap())
+        np.copyto(a[j], words[:, SEED_WORDS64 - 1 - j])
+        a[j].byteswap(inplace=True)
     # Fixed padding: byte 32 = 0x06 (lane 4 LSB), byte 135 = 0x80 (lane 16 MSB).
-    lanes.append(np.full(n, 0x06, dtype=_U64))
-    lanes.extend(zero for _ in range(5, 16))
-    lanes.append(np.full(n, 0x8000000000000000, dtype=_U64))
-    lanes.extend(zero for _ in range(17, 25))
-    return lanes
+    a[4].fill(_U64(0x06))
+    for j in range(5, 16):
+        a[j].fill(0)
+    a[16].fill(_U64(0x8000000000000000))
+    for j in range(17, 25):
+        a[j].fill(0)
 
 
 def _absorb_seed_block_generic(words: np.ndarray) -> list[np.ndarray]:
@@ -102,9 +187,6 @@ def _absorb_seed_block_generic(words: np.ndarray) -> list[np.ndarray]:
     The output is identical to the fixed template; the difference is the
     per-call work, which is what bench_s322 measures.
     """
-    words = np.asarray(words, dtype=_U64)
-    if words.ndim != 2 or words.shape[1] != SEED_WORDS64:
-        raise ValueError(f"expected (N, {SEED_WORDS64}) seed words")
     n = words.shape[0]
     rate = 136
     msg_bytes = 32
@@ -123,19 +205,38 @@ def _absorb_seed_block_generic(words: np.ndarray) -> list[np.ndarray]:
     return lanes
 
 
+def _checked_seed_words(words: np.ndarray) -> np.ndarray:
+    words = np.asarray(words, dtype=_U64)
+    if words.ndim != 2 or words.shape[1] != SEED_WORDS64:
+        raise ValueError(f"expected (N, {SEED_WORDS64}) seed words")
+    return words
+
+
+def _squeeze_digest_words(scratch: _KeccakScratch) -> np.ndarray:
+    """First four state lanes as the ``(N, 4)`` digest-word output."""
+    out = np.empty((scratch.n, 4), dtype=_U64)
+    for j in range(4):
+        out[:, j] = scratch.a[j]
+    return out
+
+
 def sha3_256_batch_seeds(words: np.ndarray, fixed_padding: bool = True) -> np.ndarray:
     """SHA3-256 digests of N seeds: ``(N, 4)`` uint64 -> ``(N, 4)`` uint64.
 
     Output columns are the first four state lanes (little-endian digest
     words), so equality against a target digest is a 4-column compare.
+    On the fixed-padding path the only allocation is the output array.
     """
-    absorb = _absorb_seed_block_fixed if fixed_padding else _absorb_seed_block_generic
-    lanes = keccak_f1600_batch(absorb(words))
-    n = lanes[0].shape[0]
-    out = np.empty((n, 4), dtype=_U64)
-    for j in range(4):
-        out[:, j] = lanes[j]
-    return out
+    words = _checked_seed_words(words)
+    scratch = _scratch_for(words.shape[0])
+    if fixed_padding:
+        _absorb_seed_block_fixed(words, scratch)
+    else:
+        lanes = _absorb_seed_block_generic(words)
+        for j in range(25):
+            np.copyto(scratch.a[j], lanes[j])
+    _permute_inplace(scratch)
+    return _squeeze_digest_words(scratch)
 
 
 def sha3_256_batch_seeds_suffixed(words: np.ndarray, suffix: bytes) -> np.ndarray:
@@ -148,10 +249,8 @@ def sha3_256_batch_seeds_suffixed(words: np.ndarray, suffix: bytes) -> np.ndarra
     """
     if len(suffix) > 136 - 32 - 1:
         raise ValueError("suffix must leave room for padding in one rate block")
-    words = np.asarray(words, dtype=_U64)
-    if words.ndim != 2 or words.shape[1] != SEED_WORDS64:
-        raise ValueError(f"expected (N, {SEED_WORDS64}) seed words")
-    n = words.shape[0]
+    words = _checked_seed_words(words)
+    scratch = _scratch_for(words.shape[0])
     # Constant tail: suffix bytes, domain bits, final pad bit.
     tail = bytearray(136 - 32)
     tail[: len(suffix)] = suffix
@@ -159,18 +258,16 @@ def sha3_256_batch_seeds_suffixed(words: np.ndarray, suffix: bytes) -> np.ndarra
     tail[-1] |= 0x80
     tail_lanes = np.frombuffer(bytes(tail), dtype="<u8")
 
-    lanes: list[np.ndarray] = []
+    a = scratch.a
     for j in range(SEED_WORDS64):
-        lanes.append(words[:, SEED_WORDS64 - 1 - j].byteswap())
-    for lane_value in tail_lanes:
-        lanes.append(np.full(n, lane_value, dtype=_U64))
-    zero = np.zeros(n, dtype=_U64)
-    lanes.extend(zero for _ in range(len(lanes), 25))
-    out_lanes = keccak_f1600_batch(lanes)
-    out = np.empty((n, 4), dtype=_U64)
-    for j in range(4):
-        out[:, j] = out_lanes[j]
-    return out
+        np.copyto(a[j], words[:, SEED_WORDS64 - 1 - j])
+        a[j].byteswap(inplace=True)
+    for j, lane_value in enumerate(tail_lanes, start=SEED_WORDS64):
+        a[j].fill(_U64(lane_value))
+    for j in range(SEED_WORDS64 + tail_lanes.shape[0], 25):
+        a[j].fill(0)
+    _permute_inplace(scratch)
+    return _squeeze_digest_words(scratch)
 
 
 def sha3_256_digest_to_words(digest: bytes) -> np.ndarray:

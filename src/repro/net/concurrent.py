@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.authentication import CertificateAuthority
 from repro.net.messages import AuthenticationResult
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.runtime.pool import PooledSearchExecutor
 
 __all__ = ["ServerMetrics", "ConcurrentCAServer"]
 
@@ -39,6 +40,11 @@ class ServerMetrics:
     #: candidate seeds hashed and Hamming shells completed.
     seeds_hashed: int = 0
     shells_completed: int = 0
+    #: Amortized-pipeline telemetry (searches served by engines with a
+    #: mask-plan cache and/or warm worker pool; zero otherwise).
+    plan_hits: int = 0
+    plan_misses: int = 0
+    pool_reuses: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -54,6 +60,9 @@ class ServerMetrics:
         search_seconds: float = 0.0,
         seeds_hashed: int = 0,
         shells_completed: int = 0,
+        plan_hits: int = 0,
+        plan_misses: int = 0,
+        pool_reuses: int = 0,
     ) -> None:
         """Atomically increment counters — the one write path callers use."""
         with self._lock:
@@ -67,6 +76,9 @@ class ServerMetrics:
             self.total_search_seconds += search_seconds
             self.seeds_hashed += seeds_hashed
             self.shells_completed += shells_completed
+            self.plan_hits += plan_hits
+            self.plan_misses += plan_misses
+            self.pool_reuses += pool_reuses
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
@@ -82,6 +94,9 @@ class ServerMetrics:
                 "total_search_seconds": self.total_search_seconds,
                 "seeds_hashed": self.seeds_hashed,
                 "shells_completed": self.shells_completed,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
+                "pool_reuses": self.pool_reuses,
             }
 
 
@@ -170,12 +185,18 @@ class ConcurrentCAServer:
         if result.found:
             assert result.seed is not None
             public_key = self.authority.issue_public_key(client_id, result.seed)
+        amortized = getattr(result, "amortized", None)
         self.metrics.record(
             completed=1,
             authenticated=1 if result.found else 0,
             search_seconds=time.perf_counter() - start,
             seeds_hashed=result.seeds_hashed,
             shells_completed=len(result.shells),
+            plan_hits=amortized.plan_hits if amortized is not None else 0,
+            plan_misses=amortized.plan_misses if amortized is not None else 0,
+            pool_reuses=(
+                1 if amortized is not None and amortized.pool_reused else 0
+            ),
         )
         return AuthenticationResult(
             client_id=client_id,
@@ -189,10 +210,20 @@ class ConcurrentCAServer:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work; optionally wait for in-flight searches."""
+        """Stop accepting work; optionally wait for in-flight searches.
+
+        If the authority's search backend is a persistent-pool engine,
+        its worker processes are released too — the server was the thing
+        keeping them warm. The engine re-spawns its pool transparently if
+        the authority is used again afterwards.
+        """
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait)
+        service = getattr(self.authority, "search_service", None)
+        engine = getattr(service, "engine", None)
+        if isinstance(engine, PooledSearchExecutor):
+            engine.close()
 
     def __enter__(self) -> "ConcurrentCAServer":
         return self

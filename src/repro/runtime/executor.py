@@ -13,11 +13,21 @@ Two combination sources are supported, mirroring the paper's Table 4:
   name (``"chase"``, ``"gosper"``, ``"lex"``, ``"unrank-scalar"``) —
   combinations are produced by stepping the scalar iterator; used to
   compare iterator costs on real hardware at reduced scale.
+
+The search body itself lives in :meth:`BatchSearchExecutor.search_subspace`
+— one implementation shared by :meth:`~BatchSearchExecutor.search`, the
+fork-per-call parallel engine, and the persistent worker pool, so the
+early-exit, timeout, and telemetry semantics cannot drift apart. With
+``cache=True`` the executor reads XOR masks from the process-wide
+:mod:`~repro.runtime.maskplan` cache instead of re-unranking every
+search, cutting steady-state per-candidate work to XOR + hash + compare.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,33 +37,51 @@ from repro._bitutils import (
     seed_to_words,
     words_to_seed,
 )
-from repro.combinatorics.algorithm154 import Algorithm154Iterator
-from repro.combinatorics.algorithm382 import Algorithm382Iterator
-from repro.combinatorics.algorithm515 import Algorithm515Iterator
 from repro.combinatorics.binomial import binomial
-from repro.combinatorics.chase382 import Chase382Iterator
-from repro.combinatorics.gosper import GosperIterator
 from repro.combinatorics.ranking import unrank_lexicographic_batch
 from repro.engines.hooks import EngineHooks
-from repro.engines.result import SearchResult, ShellStats
+from repro.engines.result import AmortizationStats, SearchResult, ShellStats
 from repro.hashes.registry import HashAlgorithm, get_hash
+from repro.runtime.maskplan import (
+    ITERATOR_CHOICES,
+    MaskPlan,
+    MaskPlanCache,
+    combination_batches,
+    global_plan_cache,
+)
 
 # SearchResult / ShellStats live in repro.engines.result now; re-exported
 # here because half the codebase historically imported them from this
 # module.
-__all__ = ["SearchResult", "ShellStats", "BatchSearchExecutor", "ITERATOR_CHOICES"]
+__all__ = [
+    "SearchResult",
+    "ShellStats",
+    "SubspaceReport",
+    "BatchSearchExecutor",
+    "ITERATOR_CHOICES",
+]
 
-ITERATOR_CHOICES = (
-    "unrank", "chase", "chase-382", "gosper", "lex", "unrank-scalar",
-)
 
-_SCALAR_ITERATORS = {
-    "chase": Algorithm382Iterator,      # revolving-door minimal change
-    "chase-382": Chase382Iterator,      # Chase's Algorithm 382 proper
-    "gosper": GosperIterator,
-    "lex": Algorithm154Iterator,
-    "unrank-scalar": Algorithm515Iterator,
-}
+@dataclass(frozen=True)
+class SubspaceReport:
+    """Outcome of one :meth:`BatchSearchExecutor.search_subspace` call.
+
+    The raw per-subspace shape the parallel and pooled engines merge;
+    :meth:`BatchSearchExecutor.search` wraps it into a full
+    :class:`~repro.engines.result.SearchResult`.
+    """
+
+    found: bool
+    seed: bytes | None
+    distance: int | None
+    seeds_hashed: int
+    elapsed_seconds: float
+    timed_out: bool = False
+    #: True when the shared early-exit flag stopped this subspace.
+    stopped: bool = False
+    shells: tuple[ShellStats, ...] = ()
+    plan_hits: int = 0
+    plan_misses: int = 0
 
 
 class BatchSearchExecutor:
@@ -72,6 +100,16 @@ class BatchSearchExecutor:
         Use the fixed-pad fast path (paper Section 3.2.2).
     hooks:
         Optional :class:`~repro.engines.hooks.EngineHooks` telemetry tap.
+    cache:
+        Read XOR masks from the process-wide mask-plan cache instead of
+        re-unranking per search (spec option ``cache=yes``). Results are
+        byte-identical either way; only the per-search cost changes.
+    warm:
+        Prebuild full-range plans for distances ``1..warm`` at
+        construction time (spec option ``warm=N``; implies ``cache``),
+        so even the first search runs on the amortized path.
+    plan_cache:
+        Cache instance to use; defaults to the global process-wide one.
     """
 
     def __init__(
@@ -81,6 +119,9 @@ class BatchSearchExecutor:
         iterator: str = "unrank",
         fixed_padding: bool = True,
         hooks: EngineHooks | None = None,
+        cache: bool = False,
+        warm: int = 0,
+        plan_cache: MaskPlanCache | None = None,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -88,48 +129,225 @@ class BatchSearchExecutor:
             raise ValueError(
                 f"unknown iterator {iterator!r}; choices: {ITERATOR_CHOICES}"
             )
+        if warm < 0:
+            raise ValueError("warm must be >= 0")
         self.algo: HashAlgorithm = get_hash(hash_name)
         self.batch_size = batch_size
         self.iterator = iterator
         self.fixed_padding = fixed_padding
         self.hooks = hooks
+        self.cache = cache or warm > 0 or plan_cache is not None
+        self.warm = warm
+        self._plan_cache: MaskPlanCache | None = None
+        if self.cache:
+            self._plan_cache = (
+                plan_cache if plan_cache is not None else global_plan_cache()
+            )
+            for distance in range(1, warm + 1):
+                self._plan_cache.get_or_build(
+                    distance, 0, binomial(SEED_BITS, distance),
+                    self.batch_size, self.iterator,
+                )
 
     @property
     def hash_name(self) -> str:
         """Canonical name of the hash this engine searches with."""
         return self.algo.name
 
+    @property
+    def plan_cache(self) -> MaskPlanCache | None:
+        """The mask-plan cache this engine reads, if caching is enabled."""
+        return self._plan_cache
+
     def describe(self) -> str:
         """Canonical spec string for this engine's configuration."""
         spec = f"batch:{self.algo.name},bs={self.batch_size}"
         if self.iterator != "unrank":
             spec += f",it={self.iterator}"
+        if self.cache:
+            spec += ",cache=yes"
+        if self.warm:
+            spec += f",warm={self.warm}"
         return spec
 
     # -- combination batches -------------------------------------------
 
-    def _combination_batches(self, distance: int, start: int, stop: int):
+    def _combination_batches(
+        self, distance: int, start: int, stop: int
+    ) -> Iterator[np.ndarray]:
         """Yield ``(N, distance)`` position arrays covering ranks [start, stop)."""
-        if self.iterator == "unrank":
-            for lo in range(start, stop, self.batch_size):
-                hi = min(lo + self.batch_size, stop)
-                ranks = np.arange(lo, hi, dtype=np.uint64)
-                yield unrank_lexicographic_batch(SEED_BITS, distance, ranks)
+        yield from combination_batches(
+            distance, start, stop, self.batch_size, self.iterator
+        )
+
+    def _mask_batches(
+        self,
+        distance: int,
+        lo: int,
+        hi: int,
+        counters: list[int],
+        plans: dict[tuple[int, int, int, int, str], MaskPlan] | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield ``(N, 4)`` mask-word batches for one shell slice.
+
+        Prefers, in order: a caller-supplied attached plan (pool workers
+        mapping the parent's shared memory), the plan cache, streaming
+        generation. ``counters`` is ``[hits, misses]`` for this search.
+        """
+        plan: MaskPlan | None = None
+        if plans is not None:
+            plan = plans.get((distance, lo, hi, self.batch_size, self.iterator))
+            if plan is not None:
+                counters[0] += 1
+        if plan is None and self._plan_cache is not None:
+            plan, hit = self._plan_cache.get_or_build(
+                distance, lo, hi, self.batch_size, self.iterator
+            )
+            counters[0 if hit else 1] += 1
+        if plan is not None:
+            yield from plan.batches()
             return
-        iterator = _SCALAR_ITERATORS[self.iterator](SEED_BITS, distance)
-        iterator.skip_to(start)
-        remaining = stop - start
-        while remaining > 0:
-            count = min(self.batch_size, remaining)
-            combos = iterator.take(count)
-            yield np.array(combos, dtype=np.int64)
-            remaining -= len(combos)
-            if len(combos) < count:
-                return  # sequence exhausted early (shouldn't happen)
-            if remaining > 0 and not iterator.advance():
-                return
+        for positions in self._combination_batches(distance, lo, hi):
+            yield positions_to_mask_words(positions)
 
     # -- search ---------------------------------------------------------
+
+    def search_subspace(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        rank_ranges: dict[int, tuple[int, int]],
+        *,
+        time_budget: float | None = None,
+        stop: Callable[[], bool] | None = None,
+        on_found: Callable[[], None] | None = None,
+        check_distance_zero: bool = True,
+        on_batch: Callable[[int, int], None] | None = None,
+        on_shell: Callable[[ShellStats], None] | None = None,
+        plans: dict[tuple[int, int, int, int, str], MaskPlan] | None = None,
+    ) -> SubspaceReport:
+        """Algorithm 1 over one rank-partitioned slice of the ball.
+
+        The shared search body: every engine (single-process, fork-based
+        parallel, persistent pool) runs this exact loop, so early-exit,
+        timeout, and found-seed semantics are identical across them.
+
+        ``rank_ranges`` maps distance -> ``[lo, hi)``; distances absent
+        from the map (or with empty ranges) are skipped. ``stop`` is the
+        shared early-exit flag, checked before every batch; ``on_found``
+        fires the moment a match is seen (workers raise the flag here,
+        before any reporting). ``check_distance_zero`` mirrors Algorithm
+        1 lines 4-8, where only thread r=0 checks S_init itself.
+        """
+        start_time = time.perf_counter()
+        target_words = self.algo.digest_to_words(target_digest)
+        base_words = seed_to_words(base_seed)
+        seeds_hashed = 0
+        shells: list[ShellStats] = []
+        counters = [0, 0]  # [plan hits, plan misses]
+
+        def shell_done(shell: ShellStats) -> None:
+            shells.append(shell)
+            if on_shell is not None:
+                on_shell(shell)
+
+        def report(
+            found: bool,
+            seed: bytes | None = None,
+            distance: int | None = None,
+            timed_out: bool = False,
+            stopped: bool = False,
+        ) -> SubspaceReport:
+            return SubspaceReport(
+                found=found,
+                seed=seed,
+                distance=distance,
+                seeds_hashed=seeds_hashed,
+                elapsed_seconds=time.perf_counter() - start_time,
+                timed_out=timed_out,
+                stopped=stopped,
+                shells=tuple(shells),
+                plan_hits=counters[0],
+                plan_misses=counters[1],
+            )
+
+        if check_distance_zero:
+            # Distance 0: thread r=0 checks S_init (Algorithm 1 l.4-8).
+            digest0 = self.algo.hash_seed(base_seed)
+            seeds_hashed += 1
+            if on_batch is not None:
+                on_batch(0, 1)
+            shell_done(ShellStats(0, 1, time.perf_counter() - start_time))
+            if digest0 == target_digest:
+                if on_found is not None:
+                    on_found()
+                return report(True, base_seed, 0)
+
+        for distance in range(1, max_distance + 1):
+            lo, hi = rank_ranges.get(distance, (0, 0))
+            if lo >= hi:
+                continue
+            shell_start = time.perf_counter()
+            shell_hashed = 0
+            for masks in self._mask_batches(distance, lo, hi, counters, plans):
+                if stop is not None and stop():
+                    shell_done(
+                        ShellStats(
+                            distance, shell_hashed,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
+                    return report(False, stopped=True)
+                candidate_words = base_words[None, :] ^ masks
+                digests = self.algo.hash_seeds_batch(
+                    candidate_words, fixed_padding=self.fixed_padding
+                )
+                seeds_hashed += candidate_words.shape[0]
+                shell_hashed += candidate_words.shape[0]
+                if on_batch is not None:
+                    on_batch(distance, candidate_words.shape[0])
+                matches = np.flatnonzero((digests == target_words).all(axis=1))
+                if matches.size:
+                    if on_found is not None:
+                        on_found()
+                    found = words_to_seed(candidate_words[int(matches[0])])
+                    shell_done(
+                        ShellStats(
+                            distance, shell_hashed,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
+                    return report(True, found, distance)
+                if (
+                    time_budget is not None
+                    and time.perf_counter() - start_time > time_budget
+                ):
+                    shell_done(
+                        ShellStats(
+                            distance, shell_hashed,
+                            time.perf_counter() - shell_start,
+                        )
+                    )
+                    return report(False, timed_out=True)
+            shell_done(
+                ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
+            )
+        return report(False)
+
+    def _amortization(self, plan_hits: int, plan_misses: int) -> AmortizationStats | None:
+        """Telemetry extension for this search; None when caching is off."""
+        if self._plan_cache is None:
+            return None
+        stats = AmortizationStats(
+            plan_hits=plan_hits,
+            plan_misses=plan_misses,
+            plan_bytes=self._plan_cache.bytes_in_use,
+        )
+        on_amortization = getattr(self.hooks, "on_amortization", None)
+        if on_amortization is not None:
+            on_amortization(stats)
+        return stats
 
     def search(
         self,
@@ -146,98 +364,92 @@ class BatchSearchExecutor:
         ``time_budget`` enforces the protocol's T threshold; on expiry the
         result has ``timed_out=True``.
         """
-        start_time = time.perf_counter()
-        target_words = self.algo.digest_to_words(target_digest)
-        base_words = seed_to_words(base_seed)
-        seeds_hashed = 0
-        shells: list[ShellStats] = []
-
-        def shell_done(shell: ShellStats) -> None:
-            shells.append(shell)
-            if self.hooks is not None:
-                self.hooks.on_shell_complete(shell)
-
-        # Distance 0: thread r=0 checks S_init itself (Algorithm 1 l.4-8).
-        digest0 = self.algo.hash_seed(base_seed)
-        seeds_hashed += 1
-        if self.hooks is not None:
-            self.hooks.on_batch(0, 1)
-        shell_done(ShellStats(0, 1, time.perf_counter() - start_time))
-        if digest0 == target_digest:
-            return SearchResult(
-                True, base_seed, 0, seeds_hashed,
-                time.perf_counter() - start_time, shells=tuple(shells),
-                engine=self.describe(),
-            )
-
+        rank_ranges: dict[int, tuple[int, int]] = {}
         for distance in range(1, max_distance + 1):
             total = binomial(SEED_BITS, distance)
             lo, hi = (0, total)
             if rank_range_by_distance and distance in rank_range_by_distance:
                 lo, hi = rank_range_by_distance[distance]
-            if lo >= hi:
-                continue
-            shell_start = time.perf_counter()
-            shell_hashed = 0
-            for positions in self._combination_batches(distance, lo, hi):
-                masks = positions_to_mask_words(positions)
-                candidate_words = base_words[None, :] ^ masks
-                digests = self.algo.hash_seeds_batch(
-                    candidate_words, fixed_padding=self.fixed_padding
-                )
-                seeds_hashed += candidate_words.shape[0]
-                shell_hashed += candidate_words.shape[0]
-                if self.hooks is not None:
-                    self.hooks.on_batch(distance, candidate_words.shape[0])
-                matches = np.flatnonzero((digests == target_words).all(axis=1))
-                if matches.size:
-                    index = int(matches[0])
-                    found = words_to_seed(candidate_words[index])
-                    shell_done(
-                        ShellStats(
-                            distance, shell_hashed,
-                            time.perf_counter() - shell_start,
-                        )
-                    )
-                    return SearchResult(
-                        True, found, distance, seeds_hashed,
-                        time.perf_counter() - start_time, shells=tuple(shells),
-                        engine=self.describe(),
-                    )
-                if (
-                    time_budget is not None
-                    and time.perf_counter() - start_time > time_budget
-                ):
-                    shell_done(
-                        ShellStats(
-                            distance, shell_hashed,
-                            time.perf_counter() - shell_start,
-                        )
-                    )
-                    return SearchResult(
-                        False, None, None, seeds_hashed,
-                        time.perf_counter() - start_time, timed_out=True,
-                        shells=tuple(shells), engine=self.describe(),
-                    )
-            shell_done(
-                ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
-            )
+            rank_ranges[distance] = (lo, hi)
+        hooks = self.hooks
+        subspace = self.search_subspace(
+            base_seed,
+            target_digest,
+            max_distance,
+            rank_ranges,
+            time_budget=time_budget,
+            on_batch=hooks.on_batch if hooks is not None else None,
+            on_shell=hooks.on_shell_complete if hooks is not None else None,
+        )
         return SearchResult(
-            False, None, None, seeds_hashed, time.perf_counter() - start_time,
-            shells=tuple(shells), engine=self.describe(),
+            found=subspace.found,
+            seed=subspace.seed,
+            distance=subspace.distance,
+            seeds_hashed=subspace.seeds_hashed,
+            elapsed_seconds=subspace.elapsed_seconds,
+            timed_out=subspace.timed_out,
+            shells=subspace.shells,
+            engine=self.describe(),
+            amortized=self._amortization(subspace.plan_hits, subspace.plan_misses),
         )
 
-    def throughput_probe(self, num_seeds: int = 50000, rng_seed: int = 0) -> float:
+    def throughput_probe(
+        self,
+        num_seeds: int = 50000,
+        rng_seed: int = 0,
+        breakdown: bool = False,
+        distance: int = 3,
+    ) -> float | dict[str, float]:
         """Measured hashes/second of this executor's kernel on this host.
 
         Feeds the device-model calibration cross-checks: the paper's
         throughput constants are scaled, but the *relative* costs between
         hash algorithms come out of probes like this one.
+
+        With ``breakdown=True`` the probe times each pipeline stage
+        separately — unrank, mask build, hash, compare — and returns a
+        dict of per-stage seeds/second plus the combined ``total``. The
+        stage rates attribute the amortization win: unrank + mask are
+        exactly what the plan cache removes from the steady-state path.
         """
         rng = np.random.default_rng(rng_seed)
         words = rng.integers(0, 1 << 63, size=(num_seeds, 4), dtype=np.int64)
         words = words.astype(np.uint64)
+        if not breakdown:
+            start = time.perf_counter()
+            self.algo.hash_seeds_batch(words, fixed_padding=self.fixed_padding)
+            elapsed = time.perf_counter() - start
+            return num_seeds / elapsed
+
+        count = min(num_seeds, binomial(SEED_BITS, distance))
+        ranks = np.arange(count, dtype=np.uint64)
+        timings: dict[str, float] = {}
+
         start = time.perf_counter()
-        self.algo.hash_seeds_batch(words, fixed_padding=self.fixed_padding)
-        elapsed = time.perf_counter() - start
-        return num_seeds / elapsed
+        positions = unrank_lexicographic_batch(SEED_BITS, distance, ranks)
+        timings["unrank"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        masks = positions_to_mask_words(positions)
+        timings["mask"] = time.perf_counter() - start
+
+        base_words = words[0]
+        start = time.perf_counter()
+        candidate_words = base_words[None, :] ^ masks
+        digests = self.algo.hash_seeds_batch(
+            candidate_words, fixed_padding=self.fixed_padding
+        )
+        timings["hash"] = time.perf_counter() - start
+
+        target_words = digests[0].copy()
+        start = time.perf_counter()
+        np.flatnonzero((digests == target_words).all(axis=1))
+        timings["compare"] = time.perf_counter() - start
+
+        tiny = 1e-12
+        rates = {
+            stage: count / max(elapsed, tiny)
+            for stage, elapsed in timings.items()
+        }
+        rates["total"] = count / max(sum(timings.values()), tiny)
+        return rates

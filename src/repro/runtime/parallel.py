@@ -10,6 +10,14 @@ Workers check the flag between kernel batches — the same granularity knob
 the paper studies in Section 4.4 (it found checking every iteration free
 on the GPU; between-batch checking is the vectorized equivalent).
 
+The search body itself is
+:meth:`~repro.runtime.executor.BatchSearchExecutor.search_subspace` —
+shared with the single-process and pooled engines, so flag, timeout, and
+telemetry semantics are identical across all three. This engine forks a
+fresh pool per call (simple, fully isolated); the serving path uses
+:class:`~repro.runtime.pool.PooledSearchExecutor`, which keeps workers
+warm across searches.
+
 Telemetry: workers report per-shell statistics back to the parent, which
 merges them per distance (seed counts add, seconds take the slowest
 worker) so the unified :class:`~repro.engines.result.SearchResult` is as
@@ -29,6 +37,7 @@ from repro.engines.hooks import EngineHooks
 from repro.engines.registry import build_engine
 from repro.engines.result import SearchResult, ShellStats, merge_shells
 from repro.runtime.partition import partition_ranks
+from repro.runtime.pool import default_worker_count
 
 __all__ = ["ParallelSearchExecutor"]
 
@@ -69,89 +78,29 @@ def _search_worker(task: _WorkerTask, flag, result_queue) -> None:
         iterator=task.iterator,
         fixed_padding=task.fixed_padding,
     )
-    import numpy as np
 
-    from repro._bitutils import positions_to_mask_words, seed_to_words, words_to_seed
+    def on_found() -> None:
+        flag.value = 1
 
-    start_time = time.perf_counter()
-    algo = executor.algo
-    target_words = algo.digest_to_words(task.target_digest)
-    base_words = seed_to_words(task.base_seed)
-    seeds_hashed = 0
-    shells: list[ShellStats] = []
-
-    if task.worker_index == 0:
-        # Thread r=0 checks distance 0 (Algorithm 1 lines 4-8).
-        seeds_hashed += 1
-        shells.append(ShellStats(0, 1, time.perf_counter() - start_time))
-        if algo.hash_seed(task.base_seed) == task.target_digest:
-            flag.value = 1
-            result_queue.put(
-                _WorkerReport(
-                    task.worker_index, True, task.base_seed, 0, seeds_hashed,
-                    shells=tuple(shells),
-                )
-            )
-            return
-
-    for distance in range(1, task.max_distance + 1):
-        lo, hi = task.rank_ranges.get(distance, (0, 0))
-        if lo >= hi:
-            continue
-        shell_start = time.perf_counter()
-        shell_hashed = 0
-
-        def close_shell() -> None:
-            shells.append(
-                ShellStats(distance, shell_hashed, time.perf_counter() - shell_start)
-            )
-
-        for positions in executor._combination_batches(distance, lo, hi):
-            if flag.value:
-                close_shell()
-                result_queue.put(
-                    _WorkerReport(
-                        task.worker_index, False, None, None, seeds_hashed,
-                        shells=tuple(shells),
-                    )
-                )
-                return
-            masks = positions_to_mask_words(positions)
-            candidate_words = base_words[None, :] ^ masks
-            digests = algo.hash_seeds_batch(
-                candidate_words, fixed_padding=task.fixed_padding
-            )
-            seeds_hashed += candidate_words.shape[0]
-            shell_hashed += candidate_words.shape[0]
-            matches = np.flatnonzero((digests == target_words).all(axis=1))
-            if matches.size:
-                flag.value = 1
-                found = words_to_seed(candidate_words[int(matches[0])])
-                close_shell()
-                result_queue.put(
-                    _WorkerReport(
-                        task.worker_index, True, found, distance, seeds_hashed,
-                        shells=tuple(shells),
-                    )
-                )
-                return
-            if (
-                task.time_budget is not None
-                and time.perf_counter() - start_time > task.time_budget
-            ):
-                close_shell()
-                result_queue.put(
-                    _WorkerReport(
-                        task.worker_index, False, None, None, seeds_hashed,
-                        timed_out=True, shells=tuple(shells),
-                    )
-                )
-                return
-        close_shell()
+    report = executor.search_subspace(
+        task.base_seed,
+        task.target_digest,
+        task.max_distance,
+        task.rank_ranges,
+        time_budget=task.time_budget,
+        stop=lambda: bool(flag.value),
+        on_found=on_found,
+        check_distance_zero=task.worker_index == 0,
+    )
     result_queue.put(
         _WorkerReport(
-            task.worker_index, False, None, None, seeds_hashed,
-            shells=tuple(shells),
+            worker_index=task.worker_index,
+            found=report.found,
+            seed=report.seed,
+            distance=report.distance,
+            seeds_hashed=report.seeds_hashed,
+            timed_out=report.timed_out,
+            shells=report.shells,
         )
     )
 
@@ -169,7 +118,7 @@ class ParallelSearchExecutor:
         hooks: EngineHooks | None = None,
     ):
         self.hash_name = hash_name
-        self.workers = workers if workers is not None else mp.cpu_count()
+        self.workers = workers if workers is not None else default_worker_count()
         if self.workers < 1:
             raise ValueError("workers must be positive")
         self.batch_size = batch_size
@@ -179,10 +128,13 @@ class ParallelSearchExecutor:
 
     def describe(self) -> str:
         """Canonical spec string for this engine's configuration."""
-        return (
+        spec = (
             f"parallel:{self.hash_name},workers={self.workers},"
             f"bs={self.batch_size}"
         )
+        if self.iterator != "unrank":
+            spec += f",it={self.iterator}"
+        return spec
 
     def search(
         self,

@@ -1,0 +1,632 @@
+"""Persistent worker pool: warm processes serving many searches.
+
+:class:`~repro.runtime.parallel.ParallelSearchExecutor` pays a full
+fork/join per search — acceptable for one-shot benchmarks, fatal for the
+serving path, where the ROADMAP's "millions of users" each cost a pool
+spin-up. This module keeps ``p`` worker processes alive across searches:
+
+* workers block on a shared task queue and run
+  :meth:`~repro.runtime.executor.BatchSearchExecutor.search_subspace`
+  (the same body as every other engine) over their rank slice;
+* each in-flight search owns a slot in a shared flag array — the
+  early-exit signal of Algorithm 1 line 7/15 — so concurrent searches on
+  one pool cannot stop each other;
+* a router thread in the parent dispatches worker reports to the
+  per-search waiter, so multiple serving threads can share one pool;
+* workers *attach* the parent's shared-memory mask plans
+  (:func:`repro.runtime.maskplan.attach_plan`) instead of re-unranking
+  their slice, and memoize attachments across searches.
+
+:class:`PooledSearchExecutor` is the engine-registry face
+(``pool:sha3-256,workers=4``): first search pays plan building and pool
+spawn (the cold path); every later search reuses both (the warm path the
+amortization benchmark measures).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro._bitutils import SEED_BITS
+from repro.combinatorics.binomial import binomial
+from repro.engines.hooks import EngineHooks
+from repro.engines.result import (
+    AmortizationStats,
+    SearchResult,
+    ShellStats,
+    merge_shells,
+)
+from repro.runtime.maskplan import (
+    MaskPlan,
+    MaskPlanCache,
+    PlanDescriptor,
+    attach_plan,
+    detach_plan,
+    global_plan_cache,
+)
+from repro.runtime.partition import partition_ranks
+
+__all__ = ["default_worker_count", "WorkerPool", "PooledSearchExecutor"]
+
+#: Concurrent searches one pool supports; slot allocation blocks beyond it.
+_FLAG_SLOTS = 64
+
+#: Shared-plan mappings each worker keeps across searches.
+_WORKER_ATTACH_CACHE = 64
+
+
+def default_worker_count() -> int:
+    """Worker count respecting the process's cpuset, not the machine.
+
+    ``mp.cpu_count()`` reports every core in the box; in containers and
+    CI with restricted cpusets that over-subscribes by the cgroup ratio.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class _PoolTask:
+    """One worker's share of one search, shipped over the task queue."""
+
+    search_id: int
+    worker_index: int
+    hash_name: str
+    batch_size: int
+    iterator: str
+    fixed_padding: bool
+    base_seed: bytes
+    target_digest: bytes
+    max_distance: int
+    rank_ranges: dict[int, tuple[int, int]]
+    time_budget: float | None
+    flag_slot: int
+    plan_descriptors: tuple[PlanDescriptor, ...] = ()
+
+
+@dataclass
+class _PoolReport:
+    """What one worker sends back for one task."""
+
+    search_id: int
+    worker_index: int
+    found: bool = False
+    seed: bytes | None = None
+    distance: int | None = None
+    seeds_hashed: int = 0
+    timed_out: bool = False
+    shells: tuple[ShellStats, ...] = ()
+    plan_hits: int = 0
+    plan_misses: int = 0
+    error: str | None = None
+
+
+def _pool_worker(task_queue: Any, result_queue: Any, flags: Any) -> None:
+    """Worker main loop: serve tasks until the ``None`` sentinel.
+
+    Engines are memoized per configuration and shared-plan attachments
+    per segment name, so a warm worker's steady-state cost is exactly
+    the search body — no construction, no re-unranking, no re-mapping.
+    """
+    from repro.runtime.executor import BatchSearchExecutor
+
+    engines: dict[tuple[str, int, str, bool], BatchSearchExecutor] = {}
+    attached: OrderedDict[str, MaskPlan] = OrderedDict()
+
+    while True:
+        task: _PoolTask | None = task_queue.get()
+        if task is None:
+            break
+        try:
+            config = (
+                task.hash_name, task.batch_size, task.iterator,
+                task.fixed_padding,
+            )
+            engine = engines.get(config)
+            if engine is None:
+                engine = BatchSearchExecutor(
+                    hash_name=task.hash_name,
+                    batch_size=task.batch_size,
+                    iterator=task.iterator,
+                    fixed_padding=task.fixed_padding,
+                )
+                engines[config] = engine
+
+            plans: dict[tuple[int, int, int, int, str], MaskPlan] = {}
+            for descriptor in task.plan_descriptors:
+                plan = attached.get(descriptor.shm_name)
+                if plan is None:
+                    plan = attach_plan(descriptor)
+                    if plan is None:
+                        continue  # evicted since dispatch; stream instead
+                    attached[descriptor.shm_name] = plan
+                    while len(attached) > _WORKER_ATTACH_CACHE:
+                        _name, stale = attached.popitem(last=False)
+                        detach_plan(stale)
+                else:
+                    attached.move_to_end(descriptor.shm_name)
+                plans[plan.key] = plan
+
+            slot = task.flag_slot
+
+            def stop() -> bool:
+                return flags[slot] != 0
+
+            def on_found() -> None:
+                flags[slot] = 1
+
+            report = engine.search_subspace(
+                task.base_seed,
+                task.target_digest,
+                task.max_distance,
+                task.rank_ranges,
+                time_budget=task.time_budget,
+                stop=stop,
+                on_found=on_found,
+                check_distance_zero=task.worker_index == 0,
+                plans=plans,
+            )
+            result_queue.put(
+                _PoolReport(
+                    search_id=task.search_id,
+                    worker_index=task.worker_index,
+                    found=report.found,
+                    seed=report.seed,
+                    distance=report.distance,
+                    seeds_hashed=report.seeds_hashed,
+                    timed_out=report.timed_out,
+                    shells=report.shells,
+                    plan_hits=report.plan_hits,
+                    plan_misses=report.plan_misses,
+                )
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            result_queue.put(
+                _PoolReport(
+                    search_id=task.search_id,
+                    worker_index=task.worker_index,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+
+class WorkerPool:
+    """``workers`` warm processes plus the parent-side dispatch machinery.
+
+    Thread-safe: multiple serving threads may call :meth:`run_search`
+    concurrently; a router thread demultiplexes worker reports to the
+    right caller by search id.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._flags = ctx.Array("i", _FLAG_SLOTS, lock=False)
+        self._slot_lock = threading.Condition()
+        self._free_slots = set(range(_FLAG_SLOTS))
+        self._waiters: dict[int, queue.Queue[_PoolReport]] = {}
+        self._waiters_lock = threading.Lock()
+        self._search_ids = itertools.count(1)
+        self._closed = False
+        self.searches_served = 0
+        self.workers_spawned = 0
+
+        self._processes = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(self._task_queue, self._result_queue, self._flags),
+                daemon=True,
+            )
+            for _ in range(self.workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self.workers_spawned = self.workers
+
+        self._router = threading.Thread(
+            target=self._route_results, name="pool-router", daemon=True
+        )
+        self._router.start()
+        self._finalizer = weakref.finalize(
+            self, WorkerPool._shutdown,
+            self._task_queue, self._result_queue, self._processes,
+            self._router,
+        )
+
+    # -- parent-side plumbing ------------------------------------------
+
+    def _route_results(self) -> None:
+        while True:
+            try:
+                report = self._result_queue.get()
+            # TypeError: a blocking read on a connection closed mid-get.
+            except (EOFError, OSError, TypeError):  # pragma: no cover
+                return
+            if report is None:
+                return
+            with self._waiters_lock:
+                waiter = self._waiters.get(report.search_id)
+            if waiter is not None:
+                waiter.put(report)
+
+    def _acquire_slot(self) -> int:
+        with self._slot_lock:
+            while not self._free_slots:
+                self._slot_lock.wait()
+            slot = self._free_slots.pop()
+        self._flags[slot] = 0
+        return slot
+
+    def _release_slot(self, slot: int) -> None:
+        with self._slot_lock:
+            self._free_slots.add(slot)
+            self._slot_lock.notify()
+
+    def alive_workers(self) -> int:
+        """How many pool processes are currently alive."""
+        return sum(1 for p in self._processes if p.is_alive())
+
+    # -- searches -------------------------------------------------------
+
+    def run_search(
+        self,
+        *,
+        hash_name: str,
+        batch_size: int,
+        iterator: str,
+        fixed_padding: bool,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        rank_ranges_by_worker: list[dict[int, tuple[int, int]]],
+        time_budget: float | None,
+        plan_descriptors_by_worker: list[tuple[PlanDescriptor, ...]] | None = None,
+    ) -> list[_PoolReport]:
+        """Dispatch one search across the pool; block for all reports.
+
+        ``rank_ranges_by_worker[w]`` is worker ``w``'s slice of every
+        shell. Raises ``RuntimeError`` if the pool is closed or a worker
+        dies mid-search.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        search_id = next(self._search_ids)
+        waiter: queue.Queue[_PoolReport] = queue.Queue()
+        with self._waiters_lock:
+            self._waiters[search_id] = waiter
+        slot = self._acquire_slot()
+        try:
+            for w in range(self.workers):
+                descriptors: tuple[PlanDescriptor, ...] = ()
+                if plan_descriptors_by_worker is not None:
+                    descriptors = plan_descriptors_by_worker[w]
+                self._task_queue.put(
+                    _PoolTask(
+                        search_id=search_id,
+                        worker_index=w,
+                        hash_name=hash_name,
+                        batch_size=batch_size,
+                        iterator=iterator,
+                        fixed_padding=fixed_padding,
+                        base_seed=base_seed,
+                        target_digest=target_digest,
+                        max_distance=max_distance,
+                        rank_ranges=rank_ranges_by_worker[w],
+                        time_budget=time_budget,
+                        flag_slot=slot,
+                        plan_descriptors=descriptors,
+                    )
+                )
+            reports: list[_PoolReport] = []
+            while len(reports) < self.workers:
+                try:
+                    report = waiter.get(timeout=1.0)
+                except queue.Empty:
+                    if self._closed:
+                        raise RuntimeError("worker pool closed mid-search") from None
+                    if self.alive_workers() < self.workers:
+                        self._flags[slot] = 1  # stop survivors promptly
+                        raise RuntimeError(
+                            "pool worker died mid-search"
+                        ) from None
+                    continue
+                if report.error is not None:
+                    self._flags[slot] = 1
+                    raise RuntimeError(
+                        f"pool worker {report.worker_index} failed: {report.error}"
+                    )
+                reports.append(report)
+            self.searches_served += 1
+            return reports
+        finally:
+            with self._waiters_lock:
+                self._waiters.pop(search_id, None)
+            self._release_slot(slot)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @staticmethod
+    def _shutdown(
+        task_queue: Any,
+        result_queue: Any,
+        processes: list[Any],
+        router: threading.Thread,
+    ) -> None:
+        """Idempotent teardown shared by close() and the GC finalizer."""
+        for _ in processes:
+            try:
+                task_queue.put_nowait(None)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                break
+        deadline = time.perf_counter() + 5.0
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.perf_counter()))
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        try:
+            result_queue.put_nowait(None)  # wake the router thread
+        except (OSError, ValueError):  # pragma: no cover - queue gone
+            pass
+        # The router must drain its sentinel before the queue's feeder
+        # machinery is torn down, or its blocking get() reads from a
+        # half-closed pipe.
+        router.join(timeout=2.0)
+        for q in (task_queue, result_queue):
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+
+    def close(self) -> None:
+        """Stop the workers and release queues; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class PooledSearchExecutor:
+    """Warm-pool search engine (``pool:`` specs) — SALTED serving mode.
+
+    Identical search semantics to
+    :class:`~repro.runtime.parallel.ParallelSearchExecutor` (same
+    partitioning, same merge), but the worker processes persist across
+    searches and mask plans come from the shared cache. The first search
+    pays plan building + pool spawn; steady state is XOR + hash +
+    compare per candidate.
+
+    Parameters mirror the parallel engine, plus ``cache``/``warm``/
+    ``plan_cache`` with the same meaning as on
+    :class:`~repro.runtime.executor.BatchSearchExecutor`, and ``pool``
+    to share one :class:`WorkerPool` between engines.
+    """
+
+    def __init__(
+        self,
+        hash_name: str = "sha3-256",
+        workers: int | None = None,
+        batch_size: int = 16384,
+        iterator: str = "unrank",
+        fixed_padding: bool = True,
+        hooks: EngineHooks | None = None,
+        cache: bool = True,
+        warm: int = 0,
+        plan_cache: MaskPlanCache | None = None,
+        pool: WorkerPool | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if warm < 0:
+            raise ValueError("warm must be >= 0")
+        self.hash_name = hash_name
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        self.batch_size = batch_size
+        self.iterator = iterator
+        self.fixed_padding = fixed_padding
+        self.hooks = hooks
+        self.cache = cache
+        self.warm = warm
+        self._plan_cache: MaskPlanCache | None = None
+        if cache:
+            self._plan_cache = (
+                plan_cache if plan_cache is not None else global_plan_cache()
+            )
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._pool_lock = threading.Lock()
+        if warm > 0:
+            self._ensure_pool()
+            for distance in range(1, warm + 1):
+                self._plan_slices(distance)
+
+    @property
+    def plan_cache(self) -> MaskPlanCache | None:
+        """The mask-plan cache this engine reads, if caching is enabled."""
+        return self._plan_cache
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The live worker pool, or None before the first search."""
+        return self._pool
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        spec = (
+            f"pool:{self.hash_name},workers={self.workers},"
+            f"bs={self.batch_size}"
+        )
+        if self.iterator != "unrank":
+            spec += f",it={self.iterator}"
+        if not self.cache:
+            spec += ",cache=no"
+        if self.warm:
+            spec += f",warm={self.warm}"
+        return spec
+
+    # -- plan / pool management ----------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._pool_lock:
+            if self._pool is None or (
+                self._owns_pool and self._pool._closed
+            ):
+                self._pool = WorkerPool(self.workers)
+                self._owns_pool = True
+            return self._pool
+
+    def _worker_ranges(self, max_distance: int) -> list[dict[int, tuple[int, int]]]:
+        ranges: list[dict[int, tuple[int, int]]] = [
+            {} for _ in range(self.workers)
+        ]
+        for distance in range(1, max_distance + 1):
+            slices = partition_ranks(binomial(SEED_BITS, distance), self.workers)
+            for w in range(self.workers):
+                ranges[w][distance] = slices[w]
+        return ranges
+
+    def _plan_slices(
+        self, max_distance: int
+    ) -> tuple[list[tuple[PlanDescriptor, ...]], int, int]:
+        """Build/look up every worker's shell-slice plans; count hits."""
+        descriptors: list[tuple[PlanDescriptor, ...]] = []
+        hits = misses = 0
+        if self._plan_cache is None:
+            return [() for _ in range(self.workers)], 0, 0
+        for worker_ranges in self._worker_ranges(max_distance):
+            worker_descriptors: list[PlanDescriptor] = []
+            for distance, (lo, hi) in worker_ranges.items():
+                if lo >= hi:
+                    continue
+                plan, hit = self._plan_cache.get_or_build(
+                    distance, lo, hi, self.batch_size, self.iterator
+                )
+                if hit:
+                    hits += 1
+                else:
+                    misses += 1
+                if plan is not None:
+                    descriptor = plan.descriptor()
+                    if descriptor is not None:
+                        worker_descriptors.append(descriptor)
+            descriptors.append(tuple(worker_descriptors))
+        return descriptors, hits, misses
+
+    # -- search ---------------------------------------------------------
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Run the pooled parallel search; merges worker outcomes."""
+        start_time = time.perf_counter()
+        pool = self._ensure_pool()
+        pool_was_warm = pool.searches_served > 0
+        plan_descriptors, plan_hits, plan_misses = self._plan_slices(max_distance)
+        reports = pool.run_search(
+            hash_name=self.hash_name,
+            batch_size=self.batch_size,
+            iterator=self.iterator,
+            fixed_padding=self.fixed_padding,
+            base_seed=base_seed,
+            target_digest=target_digest,
+            max_distance=max_distance,
+            rank_ranges_by_worker=self._worker_ranges(max_distance),
+            time_budget=time_budget,
+            plan_descriptors_by_worker=plan_descriptors,
+        )
+
+        found_seed = None
+        found_distance = None
+        total_hashed = 0
+        any_timed_out = False
+        shell_groups: list[tuple[ShellStats, ...]] = []
+        for report in reports:
+            total_hashed += report.seeds_hashed
+            any_timed_out = any_timed_out or report.timed_out
+            shell_groups.append(report.shells)
+            plan_hits += report.plan_hits
+            plan_misses += report.plan_misses
+            if report.found:
+                found_seed = report.seed
+                found_distance = report.distance
+        elapsed = time.perf_counter() - start_time
+        timed_out = found_seed is None and (
+            any_timed_out
+            or (time_budget is not None and elapsed > time_budget)
+        )
+        shells = merge_shells(shell_groups)
+        amortized = AmortizationStats(
+            plan_hits=plan_hits,
+            plan_misses=plan_misses,
+            plan_bytes=(
+                self._plan_cache.bytes_in_use
+                if self._plan_cache is not None
+                else 0
+            ),
+            pool_searches=pool.searches_served,
+            pool_reused=pool_was_warm,
+            workers_spawned=pool.workers_spawned,
+        )
+        if self.hooks is not None:
+            for shell in shells:
+                self.hooks.on_batch(shell.distance, shell.seeds_hashed)
+                self.hooks.on_shell_complete(shell)
+            on_amortization = getattr(self.hooks, "on_amortization", None)
+            if on_amortization is not None:
+                on_amortization(amortized)
+        return SearchResult(
+            found=found_seed is not None,
+            seed=found_seed,
+            distance=found_distance,
+            seeds_hashed=total_hashed,
+            elapsed_seconds=elapsed,
+            timed_out=timed_out,
+            shells=shells,
+            engine=self.describe(),
+            amortized=amortized,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the pool if this engine owns it; safe to call twice."""
+        with self._pool_lock:
+            if self._pool is not None and self._owns_pool:
+                self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PooledSearchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+

@@ -1,0 +1,340 @@
+"""Amortized search pipeline: mask-plan cache, warm pool, Keccak kernel.
+
+The contract under test is the one the benchmark relies on: caching and
+pooling change *where* the work happens (once, up front) but never *what*
+the search computes — cached and uncached searches are byte-identical,
+the cache honors its memory bound, and a warm pool serves hundreds of
+searches without spawning new processes or leaking descriptors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro._bitutils import flip_bits, positions_to_mask_words, words_to_seed
+from repro.engines import build_engine
+from repro.engines.hooks import TelemetryHooks
+from repro.engines.result import AmortizationStats
+from repro.hashes.batch_sha3 import sha3_256_batch_seeds
+from repro.runtime.executor import ITERATOR_CHOICES, BatchSearchExecutor
+from repro.runtime.maskplan import (
+    MaskPlanCache,
+    attach_plan,
+    combination_batches,
+    detach_plan,
+    global_plan_cache,
+)
+from repro.runtime.parallel import ParallelSearchExecutor
+from repro.runtime.pool import PooledSearchExecutor, WorkerPool, default_worker_count
+
+#: Restricting d=2 to this rank range keeps the scalar iterators fast.
+D2_RANGE = (0, 2048)
+
+
+def _result_fingerprint(result):
+    """The deterministic protocol surface of a SearchResult."""
+    return (
+        result.found,
+        result.seed,
+        result.distance,
+        result.seeds_hashed,
+        result.timed_out,
+        tuple((s.distance, s.seeds_hashed) for s in result.shells),
+    )
+
+
+class TestCachedSearchEquivalence:
+    @pytest.mark.parametrize("iterator", ITERATOR_CHOICES)
+    def test_cached_and_uncached_results_identical(self, base_seed, iterator):
+        """Same search, with and without the plan cache, across iterators."""
+        target = hashlib.sha1(b"no such seed").digest()
+        ranges = {2: D2_RANGE}
+        plain = BatchSearchExecutor("sha1", batch_size=512, iterator=iterator)
+        cached = BatchSearchExecutor(
+            "sha1", batch_size=512, iterator=iterator,
+            cache=True, plan_cache=MaskPlanCache(max_bytes=1 << 22),
+        )
+        reference = plain.search(base_seed, target, 2, rank_range_by_distance=ranges)
+        first = cached.search(base_seed, target, 2, rank_range_by_distance=ranges)
+        second = cached.search(base_seed, target, 2, rank_range_by_distance=ranges)
+        assert _result_fingerprint(first) == _result_fingerprint(reference)
+        assert _result_fingerprint(second) == _result_fingerprint(reference)
+        # First search built the plans; the second one reused every slice.
+        assert first.amortized is not None and first.amortized.plan_misses > 0
+        assert second.amortized is not None
+        assert second.amortized.plan_hits == len(ranges) + 1  # d=1 and d=2
+        assert second.amortized.plan_misses == 0
+        assert reference.amortized is None
+
+    @pytest.mark.parametrize("iterator", ITERATOR_CHOICES)
+    def test_plan_masks_match_streamed_masks(self, iterator):
+        """Cached plan arrays are byte-identical to streamed generation."""
+        cache = MaskPlanCache(max_bytes=1 << 22)
+        plan, hit = cache.get_or_build(2, *D2_RANGE, 512, iterator)
+        assert plan is not None and not hit
+        streamed = np.concatenate([
+            positions_to_mask_words(positions)
+            for positions in combination_batches(2, *D2_RANGE, 512, iterator)
+        ])
+        assert plan.masks.tobytes() == streamed.tobytes()
+        cache.clear()
+
+    def test_found_seed_identical_with_cache(self, planted_pair):
+        base_seed, client_seed, distance = planted_pair
+        target = hashlib.sha3_256(client_seed).digest()
+        plain = BatchSearchExecutor("sha3-256", batch_size=4096)
+        cached = BatchSearchExecutor(
+            "sha3-256", batch_size=4096,
+            cache=True, plan_cache=MaskPlanCache(),
+        )
+        reference = plain.search(base_seed, target, distance)
+        result = cached.search(base_seed, target, distance)
+        assert _result_fingerprint(result) == _result_fingerprint(reference)
+        assert result.found and result.seed == client_seed
+
+
+class TestMaskPlanCache:
+    def test_eviction_respects_memory_bound(self):
+        row_bytes = 32
+        cache = MaskPlanCache(max_bytes=256 * row_bytes, max_plan_bytes=256 * row_bytes)
+        for lo in range(0, 4096, 256):
+            cache.get_or_build(2, lo, lo + 256, 128)
+            assert cache.bytes_in_use <= cache.max_bytes
+        assert cache.evictions > 0
+        assert len(cache) >= 1
+        cache.clear()
+        assert cache.bytes_in_use == 0 and len(cache) == 0
+
+    def test_oversized_plans_bypass_the_cache(self):
+        cache = MaskPlanCache(max_bytes=1 << 20, max_plan_bytes=1 << 10)
+        plan, hit = cache.get_or_build(3, 0, 100_000, 4096)
+        assert plan is None and not hit
+        assert cache.bypasses == 1 and cache.bytes_in_use == 0
+        # The search still works without a plan — it streams.
+        executor = BatchSearchExecutor(
+            "sha1", batch_size=4096, cache=True, plan_cache=cache
+        )
+        result = executor.search(
+            b"\x00" * 32, hashlib.sha1(b"miss").digest(), 1
+        )
+        assert not result.found and result.seeds_hashed == 1 + 256
+
+    def test_clear_unlinks_shared_segments(self):
+        cache = MaskPlanCache(max_bytes=1 << 20)
+        plan, _ = cache.get_or_build(1, 0, 256, 128)
+        descriptor = plan.descriptor()
+        cache.clear()
+        if descriptor is not None:  # shared-memory backing available
+            assert attach_plan(descriptor) is None
+
+    def test_attach_detach_round_trip(self):
+        cache = MaskPlanCache(max_bytes=1 << 20)
+        plan, _ = cache.get_or_build(1, 0, 256, 128)
+        descriptor = plan.descriptor()
+        if descriptor is None:
+            pytest.skip("no shared-memory backing on this platform")
+        attached = attach_plan(descriptor)
+        assert attached is not None
+        assert attached.masks.tobytes() == plan.masks.tobytes()
+        detach_plan(attached)
+        assert attached.shm is None
+        cache.clear()
+
+    def test_global_cache_is_a_singleton(self):
+        assert global_plan_cache() is global_plan_cache()
+
+
+class TestWarmPool:
+    def test_pool_survives_100_searches_without_leaks(self, base_seed):
+        """One spawn, 100 searches, stable process and descriptor counts."""
+        hit_seed = flip_bits(base_seed, [7])
+        hit_target = hashlib.sha1(hit_seed).digest()
+        miss_target = hashlib.sha1(b"no such seed").digest()
+        engine = PooledSearchExecutor(
+            "sha1", workers=2, batch_size=1024,
+            plan_cache=MaskPlanCache(max_bytes=1 << 22),
+        )
+        try:
+            engine.search(base_seed, hit_target, 1)  # cold: spawn + plans
+            pool = engine.pool
+            assert pool is not None and pool.workers_spawned == 2
+            fd_baseline = len(os.listdir("/proc/self/fd"))
+            for i in range(99):
+                target = hit_target if i % 2 == 0 else miss_target
+                result = engine.search(base_seed, target, 1)
+                if i % 2 == 0:
+                    assert result.found and result.seed == hit_seed
+                else:
+                    assert not result.found
+                    assert result.seeds_hashed == 1 + 256
+                assert result.amortized is not None
+                assert result.amortized.pool_reused
+                assert result.amortized.workers_spawned == 2
+            assert engine.pool is pool
+            assert pool.searches_served == 100
+            assert pool.workers_spawned == 2
+            assert pool.alive_workers() == 2
+            assert len(os.listdir("/proc/self/fd")) <= fd_baseline + 2
+        finally:
+            engine.close()
+        assert engine.pool is None
+
+    def test_pool_close_terminates_workers(self):
+        pool = WorkerPool(workers=2)
+        assert pool.alive_workers() == 2
+        processes = list(pool._processes)
+        pool.close()
+        assert all(not p.is_alive() for p in processes)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_search(
+                hash_name="sha1", batch_size=1024, iterator="unrank",
+                fixed_padding=True, base_seed=b"\x00" * 32,
+                target_digest=hashlib.sha1(b"x").digest(), max_distance=1,
+                rank_ranges_by_worker=[{1: (0, 128)}, {1: (128, 256)}],
+                time_budget=None,
+            )
+        pool.close()  # idempotent
+
+    def test_concurrent_searches_share_one_pool(self, base_seed):
+        """Two threads, one pool: per-search flag slots keep them isolated."""
+        import threading
+
+        hit_seed = flip_bits(base_seed, [3])
+        hit_target = hashlib.sha1(hit_seed).digest()
+        miss_target = hashlib.sha1(b"no such seed").digest()
+        engine = PooledSearchExecutor(
+            "sha1", workers=2, batch_size=1024,
+            plan_cache=MaskPlanCache(max_bytes=1 << 22),
+        )
+        results: dict[str, object] = {}
+        try:
+            engine.search(base_seed, miss_target, 1)  # warm up
+
+            def run(name, target):
+                results[name] = engine.search(base_seed, target, 1)
+
+            threads = [
+                threading.Thread(target=run, args=("hit", hit_target)),
+                threading.Thread(target=run, args=("miss", miss_target)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results["hit"].found and results["hit"].seed == hit_seed
+            assert not results["miss"].found
+            # The miss search ran to exhaustion: the hit search's
+            # early-exit flag did not leak into its slot.
+            assert results["miss"].seeds_hashed == 1 + 256
+        finally:
+            engine.close()
+
+
+class TestServerReusesPool:
+    def test_server_metrics_and_pool_release(self, small_authority):
+        from repro.net.concurrent import ConcurrentCAServer
+
+        authority, client, mask = small_authority
+        engine = PooledSearchExecutor(
+            authority.hash_name, workers=2, batch_size=8192,
+            plan_cache=MaskPlanCache(),
+        )
+        authority.search_service.engine = engine
+        with ConcurrentCAServer(authority, workers=1) as server:
+            for _ in range(3):
+                challenge = authority.issue_challenge(client.client_id)
+                digest = client.respond(challenge, reference_mask=mask)
+                result = server.submit(client.client_id, digest).result(timeout=60)
+                assert result.authenticated
+            snapshot = server.metrics.snapshot()
+            pool = engine.pool
+            assert pool is not None and pool.searches_served == 3
+        # One pool served all three requests: two of them found it warm,
+        # and every request after the first hit cached plans.
+        assert snapshot["pool_reuses"] == 2
+        assert snapshot["plan_hits"] > 0
+        # Exiting the context called server.close(), which released the
+        # pooled backend.
+        assert engine.pool is None
+        assert pool.alive_workers() == 0
+
+
+class TestAffinityDefaults:
+    def test_default_worker_count_respects_cpuset(self):
+        expected = len(os.sched_getaffinity(0))
+        assert default_worker_count() == expected
+        assert ParallelSearchExecutor("sha1").workers == expected
+        pooled = PooledSearchExecutor("sha1")
+        assert pooled.workers == expected
+        pooled.close()
+
+
+class TestSatellites:
+    def test_parallel_describe_round_trips_iterator(self):
+        engine = ParallelSearchExecutor(
+            "sha1", workers=2, batch_size=1024, iterator="gosper"
+        )
+        spec = engine.describe()
+        assert "it=gosper" in spec
+        rebuilt = build_engine(spec)
+        assert rebuilt.describe() == spec
+        # Default iterator stays out of the spec, as before.
+        assert "it=" not in ParallelSearchExecutor("sha1", workers=2).describe()
+
+    def test_throughput_probe_breakdown(self):
+        probe = BatchSearchExecutor("sha3-256").throughput_probe(
+            2000, breakdown=True
+        )
+        assert set(probe) == {"unrank", "mask", "hash", "compare", "total"}
+        assert all(rate > 0 for rate in probe.values())
+        # The scalar probe still returns a plain float.
+        assert isinstance(
+            BatchSearchExecutor("sha1").throughput_probe(2000), float
+        )
+
+    def test_keccak_kernel_matches_hashlib_on_random_batches(self, rng):
+        for size in (1, 7, 64, 257):
+            words = rng.integers(
+                0, 1 << 63, size=(size, 4), dtype=np.int64
+            ).astype(np.uint64)
+            snapshot = words.copy()
+            digests = sha3_256_batch_seeds(words)
+            again = sha3_256_batch_seeds(words)
+            assert np.array_equal(words, snapshot)  # inputs untouched
+            assert np.array_equal(digests, again)  # scratch reuse is clean
+            for i in range(size):
+                seed = words_to_seed(words[i])
+                expected = hashlib.sha3_256(seed).digest()
+                assert digests[i].tobytes() == expected
+
+    def test_telemetry_hooks_accumulate_amortization(self, base_seed):
+        hooks = TelemetryHooks()
+        executor = BatchSearchExecutor(
+            "sha1", batch_size=1024, hooks=hooks,
+            cache=True, plan_cache=MaskPlanCache(),
+        )
+        target = hashlib.sha1(b"no such seed").digest()
+        executor.search(base_seed, target, 1)
+        executor.search(base_seed, target, 1)
+        snap = hooks.snapshot()
+        assert snap["plan_misses"] >= 1
+        assert snap["plan_hits"] >= 1
+        hooks.on_amortization(AmortizationStats(pool_reused=True))
+        assert hooks.snapshot()["pool_reuses"] == 1
+
+    def test_warm_option_prebuilds_plans(self, base_seed):
+        cache = MaskPlanCache()
+        executor = BatchSearchExecutor(
+            "sha1", batch_size=1024, warm=1, plan_cache=cache
+        )
+        assert executor.cache  # warm implies cache
+        assert cache.misses == 1  # the d=1 full-range plan
+        target = hashlib.sha1(b"no such seed").digest()
+        result = executor.search(base_seed, target, 1)
+        assert result.amortized is not None
+        assert result.amortized.plan_hits == 1
+        assert result.amortized.plan_misses == 0

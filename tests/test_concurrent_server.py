@@ -178,6 +178,7 @@ class TestServerMetricsRecord:
                        failed=1, search_seconds=0.5)
         metrics.record(rejected_busy=1, rejected_duplicate=2,
                        rejected_open=3, seeds_hashed=257, shells_completed=2)
+        metrics.record(plan_hits=4, plan_misses=1, pool_reuses=1)
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -190,6 +191,9 @@ class TestServerMetricsRecord:
             "total_search_seconds": 0.5,
             "seeds_hashed": 257,
             "shells_completed": 2,
+            "plan_hits": 4,
+            "plan_misses": 1,
+            "pool_reuses": 1,
         }
 
     def test_record_is_thread_safe(self):
