@@ -14,6 +14,9 @@ Commands:
 * ``complexity`` — print Table 1 and the tractability planner.
 * ``chaos``      — run a deterministic fault-injected authentication
                    storm and print the resilience report.
+* ``sched``      — serve a mixed shallow/deep request fleet through the
+                   deadline-aware scheduler and compare its tail
+                   latencies against the FIFO baseline.
 """
 
 from __future__ import annotations
@@ -256,6 +259,76 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.false_authentications == 0 else 1
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.engines import build_engine
+    from repro.hashes.registry import get_hash
+    from repro.sched.workload import (
+        mixed_workload,
+        run_fifo,
+        run_scheduled,
+        summarize_latencies,
+    )
+
+    algo = get_hash(args.hash)
+    depths = tuple(int(d) for d in args.depths.split(","))
+    workload = mixed_workload(
+        algo,
+        requests=args.requests,
+        depths=depths,
+        seed=args.seed,
+        deadline_seconds=args.deadline,
+    )
+
+    fifo_engine = build_engine(
+        "batch", hash_name=args.hash, batch_size=args.batch_size, cache=True
+    )
+    fifo = summarize_latencies(run_fifo(fifo_engine, workload, args.budget))
+
+    sched_engine = build_engine(
+        "sched", hash_name=args.hash, batch_size=args.batch_size
+    )
+    try:
+        sched = summarize_latencies(
+            run_scheduled(sched_engine, workload, args.budget)
+        )
+        snapshot = sched_engine.scheduler.snapshot()
+    finally:
+        sched_engine.close()
+
+    def row(label: str, stats: dict) -> str:
+        if stats["count"] == 0:
+            return f"  {label:<8} (no requests)"
+        return (
+            f"  {label:<8} n={stats['count']:<3} "
+            f"p50={stats['p50_seconds']:.3f}s "
+            f"p99={stats['p99_seconds']:.3f}s "
+            f"max={stats['max_seconds']:.3f}s "
+            f"found={stats['found']} timed_out={stats['timed_out']} "
+            f"shed={stats['shed']}"
+        )
+
+    print(f"workload: {args.requests} requests, depths {depths}, "
+          f"T={args.budget}s, hash={args.hash}")
+    print("FIFO (one device, submission order):")
+    for label in ("shallow", "deep", "all"):
+        print(row(label, fifo[label]))
+    print("scheduled (continuous batching, EDF lanes):")
+    for label in ("shallow", "deep", "all"):
+        print(row(label, sched[label]))
+    print(
+        f"scheduler: batches={snapshot['batches']} "
+        f"shared={snapshot['shared_batches']} shed={snapshot['shed']} "
+        f"preempted={snapshot['preempted']} "
+        f"peak_queue={snapshot['peak_queue_depth']}"
+    )
+    fifo_p99 = fifo["shallow"].get("p99_seconds")
+    sched_p99 = sched["shallow"].get("p99_seconds")
+    if fifo_p99 is not None and sched_p99 is not None:
+        print(f"shallow p99: FIFO {fifo_p99:.3f}s -> sched {sched_p99:.3f}s")
+        return 0 if sched_p99 <= fifo_p99 else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -328,6 +401,22 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--workers", type=int, default=None,
                        help="override the server worker count")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    sched = sub.add_parser(
+        "sched", help="scheduler vs FIFO tail latency on a mixed fleet"
+    )
+    sched.add_argument("--hash", default="sha1")
+    sched.add_argument("--requests", type=int, default=16)
+    sched.add_argument("--depths", default="1,2,3,4",
+                       help="comma-separated search depths, cycled")
+    sched.add_argument("--budget", type=float, default=5.0,
+                       help="per-request time budget (protocol T)")
+    sched.add_argument("--deadline", type=float, default=None,
+                       help="client deadline attached to shallow requests")
+    sched.add_argument("--batch-size", type=int, default=16384,
+                       dest="batch_size")
+    sched.add_argument("--seed", type=int, default=0)
+    sched.set_defaults(fn=_cmd_sched)
 
     args = parser.parse_args(argv)
     try:

@@ -107,10 +107,17 @@ class CertificateAuthority:
         bits = mask.reference_seed_bits(self.seed_bits)
         return np.packbits(bits).tobytes()
 
-    def run_search(self, client_id: str, client_digest: bytes) -> SearchResult:
+    def run_search(
+        self,
+        client_id: str,
+        client_digest: bytes,
+        deadline_seconds: float | None = None,
+    ) -> SearchResult:
         """Figure 1 steps 1-6: the RBC search proper."""
         result = self.search_service.find_seed(
-            self.enrolled_seed(client_id), client_digest
+            self.enrolled_seed(client_id),
+            client_digest,
+            deadline_seconds=deadline_seconds,
         )
         self._last_result = result
         return result

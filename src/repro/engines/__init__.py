@@ -35,7 +35,9 @@ from repro.engines.registry import (
     register_engine,
 )
 from repro.engines.result import (
+    AmortizationStats,
     ClusterStats,
+    SchedulingStats,
     SearchEngine,
     SearchResult,
     ShellStats,
@@ -53,7 +55,9 @@ __all__ = [
     "get_entry",
     "SearchResult",
     "ShellStats",
+    "AmortizationStats",
     "ClusterStats",
+    "SchedulingStats",
     "SearchEngine",
     "merge_shells",
     "EngineHooks",

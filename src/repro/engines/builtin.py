@@ -16,6 +16,7 @@ from repro.runtime.executor import BatchSearchExecutor
 from repro.runtime.original_batch import BatchOriginalRBCSearch
 from repro.runtime.parallel import ParallelSearchExecutor
 from repro.runtime.pool import PooledSearchExecutor
+from repro.sched.engine import ScheduledSearchEngine
 
 __all__: list[str] = []
 
@@ -91,6 +92,38 @@ def _build_pool(
         hooks=hooks,
         cache=cache,
         warm=warm,
+    )
+
+
+@register_engine(
+    "sched",
+    description="Deadline-aware continuous-batching scheduler over the vectorized kernel",
+)
+def _build_sched(
+    hash_name: str = "sha3-256",
+    batch_size: int = 16384,
+    iterator: str = "unrank",
+    fixed_padding: bool = True,
+    hooks: EngineHooks | None = None,
+    cache: bool = True,
+    warm: int = 0,
+    chunk_ranks: int = 131072,
+    max_queue: int = 256,
+    deep_distance: int = 3,
+    fairness_cap: float = 0.75,
+) -> ScheduledSearchEngine:
+    return ScheduledSearchEngine(
+        hash_name=hash_name,
+        batch_size=batch_size,
+        iterator=iterator,
+        fixed_padding=fixed_padding,
+        hooks=hooks,
+        cache=cache,
+        warm=warm,
+        chunk_ranks=chunk_ranks,
+        max_queue=max_queue,
+        deep_distance=deep_distance,
+        fairness_cap=fairness_cap,
     )
 
 

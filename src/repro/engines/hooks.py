@@ -6,9 +6,13 @@ finishes. The serving layer, the chaos harness, and the analysis code
 all observe searches through this one interface instead of each
 inventing its own counters.
 
-``on_amortization`` is an *optional* extension: amortized-pipeline
-engines (plan cache / warm pool) call it once per search with that
-search's :class:`~repro.engines.result.AmortizationStats`, discovered
+``on_amortization`` and ``on_schedule`` are *optional* extensions:
+amortized-pipeline engines (plan cache / warm pool) call
+``on_amortization`` once per search with that search's
+:class:`~repro.engines.result.AmortizationStats`, and the scheduler
+(:mod:`repro.sched`) calls ``on_schedule`` once per request — at
+retirement — with its
+:class:`~repro.engines.result.SchedulingStats`. Both are discovered
 via ``getattr`` so third-party hook objects implementing only the two
 required methods keep working unchanged.
 
@@ -27,7 +31,7 @@ from __future__ import annotations
 import threading
 from typing import Protocol, runtime_checkable
 
-from repro.engines.result import AmortizationStats, ShellStats
+from repro.engines.result import AmortizationStats, SchedulingStats, ShellStats
 
 __all__ = ["EngineHooks", "NullHooks", "TelemetryHooks"]
 
@@ -57,6 +61,9 @@ class NullHooks:
     def on_amortization(self, stats: AmortizationStats) -> None:
         return None
 
+    def on_schedule(self, stats: SchedulingStats) -> None:
+        return None
+
 
 class TelemetryHooks:
     """Thread-safe accumulating hooks — the standard telemetry consumer.
@@ -75,6 +82,10 @@ class TelemetryHooks:
         self.plan_hits = 0
         self.plan_misses = 0
         self.pool_reuses = 0
+        self.scheduled = 0
+        self.shared_batches = 0
+        self.preemptions = 0
+        self.queue_seconds = 0.0
 
     def on_batch(self, distance: int, seeds_hashed: int) -> None:
         with self._lock:
@@ -96,6 +107,13 @@ class TelemetryHooks:
             if stats.pool_reused:
                 self.pool_reuses += 1
 
+    def on_schedule(self, stats: SchedulingStats) -> None:
+        with self._lock:
+            self.scheduled += 1
+            self.shared_batches += stats.shared_batches
+            self.preemptions += stats.preemptions
+            self.queue_seconds += stats.queue_seconds
+
     def snapshot(self) -> dict[str, object]:
         """A consistent copy of every counter."""
         with self._lock:
@@ -108,4 +126,8 @@ class TelemetryHooks:
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
                 "pool_reuses": self.pool_reuses,
+                "scheduled": self.scheduled,
+                "shared_batches": self.shared_batches,
+                "preemptions": self.preemptions,
+                "queue_seconds": self.queue_seconds,
             }

@@ -24,6 +24,7 @@ __all__ = [
     "merge_shells",
     "AmortizationStats",
     "ClusterStats",
+    "SchedulingStats",
     "SearchResult",
     "SearchEngine",
 ]
@@ -90,6 +91,38 @@ class AmortizationStats:
 
 
 @dataclass(frozen=True)
+class SchedulingStats:
+    """Scheduler extension: how the continuous batcher served this search.
+
+    Populated by the ``sched:`` engine family (:mod:`repro.sched`). A
+    search that rode the shared work stream records which lane it ran
+    in, how long it queued before its first device batch, how many
+    device batches carried its candidates (and how many of those were
+    shared with other requests), and how often it was set aside so
+    another request could use the device.
+    """
+
+    lane: str = ""
+    #: Client-supplied deadline, if any (relative seconds at submit).
+    deadline_seconds: float | None = None
+    #: Admission -> first device batch.
+    queue_seconds: float = 0.0
+    #: First device batch -> final state.
+    service_seconds: float = 0.0
+    #: Device batches that carried at least one of this search's chunks.
+    batches: int = 0
+    #: Of those, batches shared with other requests' candidates.
+    shared_batches: int = 0
+    #: Times the device was handed to another request while this one
+    #: still had work pending.
+    preemptions: int = 0
+    #: Work units the decomposer produced / actually executed (early
+    #: exit retires the difference).
+    chunks_total: int = 0
+    chunks_run: int = 0
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Distributed-search extension: per-rank accounting and recovery."""
 
@@ -132,6 +165,9 @@ class SearchResult:
     #: Amortized-pipeline extension (plan cache / warm pool telemetry);
     #: ``None`` for engines that pay full per-search costs.
     amortized: AmortizationStats | None = field(default=None)
+    #: Scheduler extension (lane, queueing, batch sharing); ``None`` for
+    #: searches that ran outside the continuous batcher.
+    scheduling: SchedulingStats | None = field(default=None)
 
     def __bool__(self) -> bool:
         return self.found

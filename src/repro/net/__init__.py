@@ -13,6 +13,7 @@ from repro.net.errors import (
     MessageDropped,
     MessageCorrupted,
     ServerBusy,
+    ServerClosed,
 )
 from repro.net.messages import (
     HandshakeRequest,
@@ -30,6 +31,7 @@ __all__ = [
     "MessageDropped",
     "MessageCorrupted",
     "ServerBusy",
+    "ServerClosed",
     "HandshakeRequest",
     "HandshakeResponse",
     "DigestSubmission",

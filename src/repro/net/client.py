@@ -47,13 +47,20 @@ class NetworkClient:
         max_attempts: int = 3,
         retry_policy: RetryPolicy | None = None,
         rng: np.random.Generator | None = None,
+        deadline_seconds: float | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
+        if deadline_seconds is not None and deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative")
         self.device = device
         self.transport = transport
         self.reference_mask = reference_mask
         self.max_attempts = max_attempts
+        #: Client-side answer deadline, attached to every digest
+        #: submission (how long *this client* is willing to wait for the
+        #: search, independent of the protocol threshold T).
+        self.deadline_seconds = deadline_seconds
         # Without an explicit policy, reproduce the legacy behaviour:
         # up to max_attempts back-to-back rounds, no backoff, no deadline.
         self.retry_policy = (
@@ -164,7 +171,9 @@ class NetworkClient:
         digest = self.device.respond(challenge, reference_mask=self.reference_mask)
 
         submission = DigestSubmission(
-            client_id=self.device.client_id, digest=digest
+            client_id=self.device.client_id,
+            digest=digest,
+            deadline_seconds=self.deadline_seconds,
         )
         submission = DigestSubmission.from_bytes(
             self.transport.deliver("digest-submission", submission.to_bytes())

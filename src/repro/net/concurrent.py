@@ -7,6 +7,16 @@ serialization (two in-flight searches for the same identity make no
 sense — the second would race the RA update), admission control, an
 optional circuit breaker guarding the search backend, and service
 metrics the operator can read off.
+
+Two serving modes share the front door:
+
+* **FIFO mode** (default) — a bounded :class:`ThreadPoolExecutor`, one
+  worker per in-flight search, requests served in submission order.
+* **Scheduler mode** — pass a
+  :class:`~repro.sched.engine.ScheduledSearchEngine` and submissions
+  flow into its continuous-batching work stream instead: many requests
+  share one device, client deadlines are honored (EDF lanes, shedding),
+  and the queue-depth / shed / preemption counters below light up.
 """
 
 from __future__ import annotations
@@ -17,9 +27,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.authentication import CertificateAuthority
+from repro.net.errors import ServerClosed
 from repro.net.messages import AuthenticationResult
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
 from repro.runtime.pool import PooledSearchExecutor
+from repro.sched.engine import ScheduledSearchEngine
+from repro.sched.errors import RequestShed
+from repro.sched.scheduler import ScheduledSearch
 
 __all__ = ["ServerMetrics", "ConcurrentCAServer"]
 
@@ -45,6 +59,11 @@ class ServerMetrics:
     plan_hits: int = 0
     plan_misses: int = 0
     pool_reuses: int = 0
+    #: Scheduler-mode telemetry: requests shed (deadline or shutdown),
+    #: primary-request preemptions, and the deepest queue observed.
+    shed: int = 0
+    preempted: int = 0
+    queue_depth_peak: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -63,8 +82,16 @@ class ServerMetrics:
         plan_hits: int = 0,
         plan_misses: int = 0,
         pool_reuses: int = 0,
+        shed: int = 0,
+        preempted: int = 0,
+        queue_depth: int = 0,
     ) -> None:
-        """Atomically increment counters — the one write path callers use."""
+        """Atomically increment counters — the one write path callers use.
+
+        ``queue_depth`` is a gauge observation, not an increment: the
+        peak-so-far is kept (max-merge), so callers report the depth they
+        saw and the snapshot exposes the high-water mark.
+        """
         with self._lock:
             self.submitted += submitted
             self.completed += completed
@@ -79,6 +106,10 @@ class ServerMetrics:
             self.plan_hits += plan_hits
             self.plan_misses += plan_misses
             self.pool_reuses += pool_reuses
+            self.shed += shed
+            self.preempted += preempted
+            if queue_depth > self.queue_depth_peak:
+                self.queue_depth_peak = queue_depth
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
@@ -97,6 +128,9 @@ class ServerMetrics:
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
                 "pool_reuses": self.pool_reuses,
+                "shed": self.shed,
+                "preempted": self.preempted,
+                "queue_depth_peak": self.queue_depth_peak,
             }
 
 
@@ -109,6 +143,7 @@ class ConcurrentCAServer:
         workers: int = 4,
         max_queue: int = 64,
         breaker: CircuitBreaker | None = None,
+        scheduler: ScheduledSearchEngine | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -120,6 +155,9 @@ class ConcurrentCAServer:
         #: searches are refused instantly instead of queued onto a
         #: backend that is known to be failing.
         self.breaker = breaker
+        #: Optional scheduler backend: submissions bypass the worker
+        #: pool and join the continuous-batching work stream instead.
+        self.scheduler = scheduler
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="rbc-search"
         )
@@ -131,15 +169,28 @@ class ConcurrentCAServer:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, client_id: str, digest: bytes) -> Future:
+    def submit(
+        self,
+        client_id: str,
+        digest: bytes,
+        deadline_seconds: float | None = None,
+    ) -> Future:
         """Queue one authentication; returns a Future[AuthenticationResult].
 
-        Raises ``RuntimeError`` on admission-control rejection: server
-        saturated, duplicate in-flight client, or server closed.
+        Raises :class:`~repro.net.errors.ServerClosed` once the server is
+        shut down, ``RuntimeError`` on admission-control rejection
+        (saturated queue, duplicate in-flight client), and — in scheduler
+        mode — :class:`~repro.sched.errors.RequestShed` when the
+        scheduler's admission controller refuses the request outright.
+
+        ``deadline_seconds`` is the client's own latency bound. In
+        scheduler mode it routes the request into the express lane and
+        arms deadline shedding; in FIFO mode it tightens the search's
+        time budget to ``min(T, deadline)``.
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("server is closed")
+                raise ServerClosed("server is closed")
             if self._pending >= self.max_queue:
                 self.metrics.record(rejected_busy=1)
                 raise RuntimeError("server saturated; retry later")
@@ -150,27 +201,131 @@ class ConcurrentCAServer:
                 )
             self._in_flight_clients.add(client_id)
             self._pending += 1
+        if self.scheduler is not None:
+            try:
+                return self._submit_scheduled(client_id, digest, deadline_seconds)
+            except BaseException:
+                self._release(client_id)
+                raise
         self.metrics.record(submitted=1)
-        future = self._pool.submit(self._run, client_id, digest)
+        future = self._pool.submit(self._run, client_id, digest, deadline_seconds)
         future.add_done_callback(lambda _f: self._release(client_id))
         return future
+
+    def _submit_scheduled(
+        self,
+        client_id: str,
+        digest: bytes,
+        deadline_seconds: float | None,
+    ) -> Future:
+        """Scheduler-mode admission: one ticket in the shared work stream."""
+        assert self.scheduler is not None
+        service = self.authority.search_service
+        start = time.perf_counter()
+        try:
+            ticket = self.scheduler.submit(
+                self.authority.enrolled_seed(client_id),
+                digest,
+                service.max_distance,
+                time_budget=service.time_threshold,
+                deadline_seconds=deadline_seconds,
+                client_id=client_id,
+            )
+        except RequestShed:
+            # Refused at the door (unmeetable deadline / saturated lanes):
+            # observable as a shed, not a pool rejection.
+            self.metrics.record(shed=1)
+            raise
+        self.metrics.record(
+            submitted=1,
+            queue_depth=int(self.scheduler.scheduler.snapshot()["queue_depth"]),
+        )
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        ticket.add_done_callback(
+            lambda t: self._on_ticket_done(t, client_id, start, future)
+        )
+        future.add_done_callback(lambda _f: self._release(client_id))
+        return future
+
+    def _on_ticket_done(
+        self,
+        ticket: ScheduledSearch,
+        client_id: str,
+        start: float,
+        future: Future,
+    ) -> None:
+        """Runs on the dispatcher thread when a scheduled request settles."""
+        elapsed = time.perf_counter() - start
+        try:
+            result = ticket.result(timeout=0.0)
+        except RequestShed as exc:
+            self.metrics.record(shed=1, failed=1, search_seconds=elapsed)
+            future.set_exception(exc)
+            return
+        except BaseException as exc:  # pragma: no cover - defensive
+            self.metrics.record(failed=1, search_seconds=elapsed)
+            future.set_exception(exc)
+            return
+        try:
+            public_key = None
+            if result.found:
+                assert result.seed is not None
+                public_key = self.authority.issue_public_key(
+                    client_id, result.seed
+                )
+            scheduling = result.scheduling
+            self.metrics.record(
+                completed=1,
+                authenticated=1 if result.found else 0,
+                search_seconds=elapsed,
+                seeds_hashed=result.seeds_hashed,
+                shells_completed=len(result.shells),
+                preempted=scheduling.preemptions if scheduling else 0,
+            )
+            future.set_result(
+                AuthenticationResult(
+                    client_id=client_id,
+                    authenticated=result.found,
+                    distance=result.distance,
+                    public_key=public_key,
+                    search_seconds=result.elapsed_seconds,
+                    timed_out=result.timed_out,
+                )
+            )
+        except BaseException as exc:  # pragma: no cover - defensive
+            future.set_exception(exc)
 
     def _release(self, client_id: str) -> None:
         with self._lock:
             self._in_flight_clients.discard(client_id)
             self._pending -= 1
 
-    def _search(self, client_id: str, digest: bytes):
+    def _search(
+        self, client_id: str, digest: bytes, deadline_seconds: float | None = None
+    ):
+        # Only pass the deadline when the client set one: authority
+        # doubles (tests, adapters) predating the parameter keep working.
+        kwargs = (
+            {"deadline_seconds": deadline_seconds}
+            if deadline_seconds is not None
+            else {}
+        )
         if self.breaker is not None:
             return self.breaker.call(
-                lambda: self.authority.run_search(client_id, digest)
+                lambda: self.authority.run_search(client_id, digest, **kwargs)
             )
-        return self.authority.run_search(client_id, digest)
+        return self.authority.run_search(client_id, digest, **kwargs)
 
-    def _run(self, client_id: str, digest: bytes) -> AuthenticationResult:
+    def _run(
+        self,
+        client_id: str,
+        digest: bytes,
+        deadline_seconds: float | None = None,
+    ) -> AuthenticationResult:
         start = time.perf_counter()
         try:
-            result = self._search(client_id, digest)
+            result = self._search(client_id, digest, deadline_seconds)
         except CircuitOpenError:
             self.metrics.record(rejected_open=1, failed=1)
             raise
@@ -210,7 +365,15 @@ class ConcurrentCAServer:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work; optionally wait for in-flight searches.
+        """Stop accepting work and settle every queued request.
+
+        Deterministic and idempotent. New submissions raise
+        :class:`~repro.net.errors.ServerClosed` from the moment the close
+        begins. With ``wait=True`` (default) queued and in-flight
+        searches drain to completion; with ``wait=False`` queued work is
+        cancelled (FIFO mode) or shed with reason ``"shutdown"``
+        (scheduler mode) — either way every outstanding future settles
+        before this method returns.
 
         If the authority's search backend is a persistent-pool engine,
         its worker processes are released too — the server was the thing
@@ -218,8 +381,15 @@ class ConcurrentCAServer:
         the authority is used again afterwards.
         """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
-        self._pool.shutdown(wait=wait)
+        # Always wait for *running* searches — a search thread mid-batch
+        # holds the executor; tearing the backend down under it would be
+        # nondeterministic. ``wait=False`` only cancels the queued tail.
+        self._pool.shutdown(wait=True, cancel_futures=not wait)
+        if self.scheduler is not None:
+            self.scheduler.close(drain=wait)
         service = getattr(self.authority, "search_service", None)
         engine = getattr(service, "engine", None)
         if isinstance(engine, PooledSearchExecutor):

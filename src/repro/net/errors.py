@@ -8,7 +8,13 @@ and propagates — only link-level faults are retryable.
 
 from __future__ import annotations
 
-__all__ = ["TransportError", "MessageDropped", "MessageCorrupted", "ServerBusy"]
+__all__ = [
+    "TransportError",
+    "MessageDropped",
+    "MessageCorrupted",
+    "ServerBusy",
+    "ServerClosed",
+]
 
 
 class TransportError(Exception):
@@ -30,3 +36,11 @@ class MessageCorrupted(TransportError):
 
 class ServerBusy(TransportError):
     """The CA refused admission (saturated queue or duplicate client)."""
+
+
+class ServerClosed(TransportError):
+    """The CA is shut down; submissions are refused deterministically.
+
+    Unlike :class:`ServerBusy` this is not worth an immediate retry
+    against the same endpoint — the server is gone, not overloaded.
+    """

@@ -140,16 +140,36 @@ class HandshakeResponse:
 
 @dataclass(frozen=True)
 class DigestSubmission:
-    """Client -> CA: the message digest M1 of the PUF-derived seed."""
+    """Client -> CA: the message digest M1 of the PUF-derived seed.
+
+    ``deadline_seconds`` is the client's own time-to-useful-answer: how
+    long the answer is worth waiting for, measured from CA admission. It
+    rides along as protocol metadata — a deadline-aware CA routes the
+    request into its express lane and may shed it; a plain CA clamps the
+    search budget to ``min(T, deadline)``. ``None`` (the default, and
+    what parsers infer from frames predating the field) means "protocol
+    threshold only".
+    """
 
     client_id: str
     digest: bytes
+    deadline_seconds: float | None = None
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
         return _encode(
             "digest_submission",
-            {"client_id": self.client_id, "digest": self.digest.hex()},
+            {
+                "client_id": self.client_id,
+                "digest": self.digest.hex(),
+                # Fixed-width for the same reason as search_seconds below:
+                # frame length must not depend on the deadline's digits.
+                "deadline": (
+                    f"{self.deadline_seconds:018.6f}"
+                    if self.deadline_seconds is not None
+                    else None
+                ),
+            },
         )
 
     @classmethod
@@ -157,9 +177,13 @@ class DigestSubmission:
         """Parse and integrity-check a wire frame."""
         body = _decode(raw, "digest_submission")
         try:
+            deadline = body.get("deadline")
             return cls(
                 client_id=body["client_id"],
                 digest=bytes.fromhex(body["digest"]),
+                deadline_seconds=(
+                    float(deadline) if deadline is not None else None
+                ),
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise MessageCorrupted(f"malformed digest_submission: {exc}") from exc

@@ -47,7 +47,9 @@ class CAServer:
         """Run the RBC search for a submitted digest."""
         self.searches_run += 1
         result = self.authority.run_search(
-            submission.client_id, submission.digest
+            submission.client_id,
+            submission.digest,
+            deadline_seconds=submission.deadline_seconds,
         )
         public_key = None
         if result.found:

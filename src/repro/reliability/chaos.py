@@ -55,6 +55,7 @@ from repro.reliability.retry import DeadlineExceeded, RetriesExhausted, RetryPol
 from repro.reliability.transport import FaultyTransport
 from repro.engines import TelemetryHooks, build_engine
 from repro.devices.flaky import DeviceFailure, FlakyEngine
+from repro.sched.errors import RequestShed
 
 __all__ = ["StormConfig", "NAMED_PLANS", "run_storm", "run_named_storm"]
 
@@ -66,6 +67,11 @@ class StormConfig:
     clients: int = 100
     workers: int = 4
     max_queue: int = 64
+    #: Serve the storm through the deadline-aware continuous-batching
+    #: scheduler instead of the FIFO worker pool. The transport-level
+    #: fault plan still applies in full; device-failure episodes do not
+    #: (the scheduler owns its device and has no failover behind it).
+    scheduler: bool = False
     hash_name: str = "sha1"
     max_distance: int = 1
     noise_target_distance: int = 1
@@ -141,17 +147,42 @@ class _VerifyingAuthority:
     def __init__(self, authority: CertificateAuthority):
         self._authority = authority
         self.false_authentications = 0
+        self._submitted_digests: dict[str, bytes] = {}
 
     def __getattr__(self, name):
         return getattr(self._authority, name)
 
-    def run_search(self, client_id: str, client_digest: bytes):
-        result = self._authority.run_search(client_id, client_digest)
+    def record_digest(self, client_id: str, client_digest: bytes) -> None:
+        """Remember the M1 a client submitted (scheduler-path tripwire)."""
+        self._submitted_digests[client_id] = client_digest
+
+    def run_search(
+        self,
+        client_id: str,
+        client_digest: bytes,
+        deadline_seconds: float | None = None,
+    ):
+        self.record_digest(client_id, client_digest)
+        result = self._authority.run_search(
+            client_id, client_digest, deadline_seconds=deadline_seconds
+        )
         if result.found:
             algo = get_hash(self._authority.hash_name)
             if algo.scalar(result.seed) != client_digest:
                 self.false_authentications += 1
         return result
+
+    def issue_public_key(self, client_id: str, found_seed: bytes) -> bytes:
+        # The scheduler-backed server bypasses run_search (it feeds the
+        # shared work stream directly), so the verification tripwire
+        # lives here too: every key issuance re-checks the found seed
+        # against the digest the client actually submitted.
+        expected = self._submitted_digests.get(client_id)
+        if expected is not None:
+            algo = get_hash(self._authority.hash_name)
+            if algo.scalar(found_seed) != expected:
+                self.false_authentications += 1
+        return self._authority.issue_public_key(client_id, found_seed)
 
 
 class _StormFrontend:
@@ -173,12 +204,30 @@ class _StormFrontend:
         )
 
     def handle_digest(self, submission: DigestSubmission) -> AuthenticationResult:
+        record = getattr(self.authority, "record_digest", None)
+        if record is not None:
+            record(submission.client_id, submission.digest)
         try:
-            future = self.concurrent.submit(submission.client_id, submission.digest)
-        except RuntimeError as exc:
+            future = self.concurrent.submit(
+                submission.client_id,
+                submission.digest,
+                deadline_seconds=submission.deadline_seconds,
+            )
+        except (RuntimeError, RequestShed) as exc:
             raise ServerBusy(str(exc)) from exc
         try:
             return future.result(timeout=300)
+        except RequestShed:
+            # The scheduler gave up on the request at runtime (deadline
+            # or shutdown): a clean, observable rejection.
+            return AuthenticationResult(
+                client_id=submission.client_id,
+                authenticated=False,
+                distance=None,
+                public_key=None,
+                search_seconds=0.0,
+                timed_out=True,
+            )
         except DeviceFailure:
             # The backend died with no failover in place: report a clean
             # rejection; the client's retry policy decides what's next.
@@ -263,6 +312,17 @@ def run_storm(
     authority.search_service = service
     verifying = _VerifyingAuthority(authority)
 
+    scheduler_engine = None
+    if config.scheduler:
+        from repro.sched.engine import ScheduledSearchEngine
+
+        scheduler_engine = ScheduledSearchEngine(
+            hash_name=config.hash_name,
+            batch_size=16384,
+            hooks=telemetry,
+            max_queue=config.max_queue,
+        )
+
     outcomes: dict[str, int] = {}
     fault_counts: dict[str, int] = {}
     latencies: list[float] = []
@@ -270,7 +330,10 @@ def run_storm(
     max_attempts = 0
 
     with ConcurrentCAServer(
-        verifying, workers=config.workers, max_queue=config.max_queue
+        verifying,
+        workers=config.workers,
+        max_queue=config.max_queue,
+        scheduler=scheduler_engine,
     ) as server:
         frontend = _StormFrontend(verifying, server)
         for index, (client_id, device, mask) in enumerate(clients):

@@ -99,15 +99,29 @@ class FailoverSearchService(EngineWrapper):
             time_budget=time_budget,
         )
 
-    def find_seed(self, enrolled_seed: bytes, client_digest: bytes) -> SearchResult:
-        """Search via the primary when healthy, the fallback otherwise."""
+    def find_seed(
+        self,
+        enrolled_seed: bytes,
+        client_digest: bytes,
+        deadline_seconds: float | None = None,
+    ) -> SearchResult:
+        """Search via the primary when healthy, the fallback otherwise.
+
+        As in :class:`~repro.core.search.RBCSearchService`, a client
+        deadline tightens (never loosens) the protocol budget.
+        """
         if self.max_distance < 0:
             raise ValueError("max_distance must be non-negative")
+        budget = self.time_threshold
+        if deadline_seconds is not None:
+            if deadline_seconds < 0:
+                raise ValueError("deadline_seconds must be non-negative")
+            budget = min(budget, deadline_seconds)
         return self.search(
             enrolled_seed,
             client_digest,
             max_distance=self.max_distance,
-            time_budget=self.time_threshold,
+            time_budget=budget,
         )
 
     def plan_max_distance(self, throughput_hashes_per_second: float) -> int:

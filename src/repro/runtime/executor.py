@@ -210,6 +210,24 @@ class BatchSearchExecutor:
         for positions in self._combination_batches(distance, lo, hi):
             yield positions_to_mask_words(positions)
 
+    def mask_batches(
+        self,
+        distance: int,
+        lo: int,
+        hi: int,
+        counters: list[int] | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield ``(N, 4)`` mask-word batches covering ranks ``[lo, hi)``.
+
+        The public face of the mask pipeline for out-of-module harnesses
+        (the :mod:`repro.sched` work-unit cursors): plan-cache aware when
+        caching is enabled, streaming otherwise. ``counters`` is an
+        optional ``[hits, misses]`` pair this call increments.
+        """
+        yield from self._mask_batches(
+            distance, lo, hi, counters if counters is not None else [0, 0]
+        )
+
     # -- search ---------------------------------------------------------
 
     def search_subspace(

@@ -1,0 +1,175 @@
+"""Continuous batcher: many requests' candidates in one kernel call.
+
+The throughput devices the paper evaluates only pay off when their
+batches are full. A lone d<=1 request offers 257 candidates — a few
+percent of one device batch — so serving requests one at a time leaves
+the device idle. This module fuses chunks from *different* requests into
+one full-width batch: each request contributes a slice of candidate
+seeds (its base seed XOR its chunk's masks), the whole batch is hashed
+with a single kernel call, and each slice is compared against its own
+client's digest.
+
+Two pieces:
+
+* :class:`UnitCursor` — walks one request's remaining
+  :class:`~repro.sched.units.WorkUnit` chunks and serves mask-word
+  slices of any requested width, never mixing Hamming distances within
+  a slice (plan-cache aware via the executor's mask pipeline);
+* :class:`ContinuousBatcher` — takes the slices the dispatcher
+  assembled, runs the fused XOR + hash + compare, and reports per-slice
+  outcomes (first matching rank wins within a slice, preserving the
+  single-engine candidate order).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._bitutils import words_to_seed
+from repro.hashes.registry import HashAlgorithm
+from repro.runtime.executor import BatchSearchExecutor
+
+from repro.sched.units import WorkUnit
+
+__all__ = ["UnitCursor", "BatchSlice", "SliceOutcome", "ContinuousBatcher"]
+
+_ZERO_MASK = np.zeros((1, 4), dtype=np.uint64)
+
+
+class UnitCursor:
+    """Serves mask-word slices across one request's work units, in order."""
+
+    def __init__(self, executor: BatchSearchExecutor, units: list[WorkUnit]):
+        self._executor = executor
+        self._units: deque[WorkUnit] = deque(units)
+        self._batches: Iterator[np.ndarray] | None = None
+        self._pending: np.ndarray | None = None
+        self._distance = 0
+        #: ``[plan hits, plan misses]`` accumulated across all units.
+        self.counters = [0, 0]
+        #: Units whose first slice has been served (chunks_run telemetry).
+        self.units_started = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every unit has been fully served."""
+        return (
+            self._pending is None and self._batches is None and not self._units
+        )
+
+    def take(self, max_rows: int) -> tuple[int, np.ndarray] | None:
+        """Up to ``max_rows`` mask words from the current shell.
+
+        Returns ``(distance, masks)`` or ``None`` when exhausted. A
+        slice never spans two distances; the distance-0 unit serves the
+        all-zero mask (the enrolled seed itself).
+        """
+        if max_rows < 1:
+            raise ValueError("max_rows must be positive")
+        while True:
+            if self._pending is not None:
+                rows = self._pending
+                if rows.shape[0] > max_rows:
+                    self._pending = rows[max_rows:]
+                    return self._distance, rows[:max_rows]
+                self._pending = None
+                return self._distance, rows
+            if self._batches is None:
+                if not self._units:
+                    return None
+                unit = self._units.popleft()
+                self._distance = unit.distance
+                self.units_started += 1
+                if unit.distance == 0:
+                    self._pending = _ZERO_MASK
+                    continue
+                self._batches = self._executor.mask_batches(
+                    unit.distance, unit.lo, unit.hi, self.counters
+                )
+            batch = next(self._batches, None)
+            if batch is None:
+                self._batches = None
+                continue
+            self._pending = batch
+
+
+@dataclass(frozen=True)
+class BatchSlice:
+    """One request's contribution to a fused device batch."""
+
+    #: Opaque handle the dispatcher uses to route the outcome back.
+    key: object
+    distance: int
+    masks: np.ndarray  # (N, 4) uint64 XOR masks
+    base_words: np.ndarray  # (4,) uint64 enrolled seed
+    target_words: np.ndarray  # digest words this slice compares against
+
+
+@dataclass(frozen=True)
+class SliceOutcome:
+    """What one slice of a fused batch produced."""
+
+    key: object
+    distance: int
+    rows: int
+    #: Matching seed (bytes) at the lowest rank within the slice, if any.
+    seed: bytes | None
+    #: Wall-clock share of the fused batch attributed to this slice.
+    seconds: float
+
+
+class ContinuousBatcher:
+    """Fused XOR + hash + compare over slices from many requests."""
+
+    def __init__(self, algo: HashAlgorithm, fixed_padding: bool = True):
+        self.algo = algo
+        self.fixed_padding = fixed_padding
+        #: Fused batches run / batches carrying more than one request.
+        self.batches = 0
+        self.shared_batches = 0
+
+    def run(self, slices: list[BatchSlice]) -> list[SliceOutcome]:
+        """Hash every slice's candidates in one kernel call."""
+        if not slices:
+            return []
+        start = time.perf_counter()
+        candidates = [s.base_words[None, :] ^ s.masks for s in slices]
+        combined = candidates[0] if len(candidates) == 1 else np.concatenate(candidates)
+        digests = self.algo.hash_seeds_batch(
+            combined, fixed_padding=self.fixed_padding
+        )
+        elapsed = time.perf_counter() - start
+        total_rows = combined.shape[0]
+        self.batches += 1
+        if len(slices) > 1:
+            self.shared_batches += 1
+
+        outcomes: list[SliceOutcome] = []
+        offset = 0
+        for piece, candidate_words in zip(slices, candidates):
+            rows = candidate_words.shape[0]
+            slice_digests = digests[offset : offset + rows]
+            offset += rows
+            matches = np.flatnonzero(
+                (slice_digests == piece.target_words).all(axis=1)
+            )
+            seed = (
+                words_to_seed(candidate_words[int(matches[0])])
+                if matches.size
+                else None
+            )
+            outcomes.append(
+                SliceOutcome(
+                    key=piece.key,
+                    distance=piece.distance,
+                    rows=rows,
+                    seed=seed,
+                    seconds=elapsed * (rows / total_rows),
+                )
+            )
+        return outcomes

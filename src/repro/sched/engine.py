@@ -1,0 +1,133 @@
+"""``sched:`` engine: the scheduler behind the standard engine protocol.
+
+:class:`ScheduledSearchEngine` satisfies
+:class:`~repro.engines.result.SearchEngine`, so the registry, the
+wrappers, the serving layer, and the equivalence tests treat the
+scheduler like any other engine. A blocking :meth:`search` submits one
+request and waits for its ticket; the serving layer uses
+:meth:`submit` to keep many requests in flight on the shared device.
+"""
+
+from __future__ import annotations
+
+from repro.engines.hooks import EngineHooks
+from repro.engines.result import SearchResult
+
+from repro.sched.policy import PolicyConfig, SchedulingPolicy
+from repro.sched.scheduler import ScheduledSearch, SearchScheduler
+from repro.sched.units import DEFAULT_CHUNK_RANKS
+
+__all__ = ["ScheduledSearchEngine"]
+
+
+class ScheduledSearchEngine:
+    """Continuous-batching scheduled search as a drop-in engine."""
+
+    def __init__(
+        self,
+        hash_name: str = "sha3-256",
+        batch_size: int = 16384,
+        iterator: str = "unrank",
+        fixed_padding: bool = True,
+        hooks: EngineHooks | None = None,
+        cache: bool = True,
+        warm: int = 0,
+        chunk_ranks: int = DEFAULT_CHUNK_RANKS,
+        max_queue: int = 256,
+        deep_distance: int = 3,
+        fairness_cap: float = 0.75,
+        scheduler: SearchScheduler | None = None,
+    ):
+        if scheduler is not None:
+            self.scheduler = scheduler
+        else:
+            self.scheduler = SearchScheduler(
+                hash_name=hash_name,
+                batch_size=batch_size,
+                iterator=iterator,
+                fixed_padding=fixed_padding,
+                hooks=hooks,
+                cache=cache,
+                warm=warm,
+                chunk_ranks=max(chunk_ranks, batch_size),
+                max_queue=max_queue,
+                policy=SchedulingPolicy(
+                    PolicyConfig(
+                        deep_distance=deep_distance,
+                        fairness_cap=fairness_cap,
+                    )
+                ),
+            )
+
+    # -- engine geometry (what wrappers and engine_target read) ---------
+
+    @property
+    def algo(self):
+        """The hash algorithm the scheduled device searches with."""
+        return self.scheduler.executor.algo
+
+    @property
+    def hash_name(self) -> str:
+        return self.scheduler.hash_name
+
+    @property
+    def batch_size(self) -> int:
+        return self.scheduler.batch_size
+
+    def describe(self) -> str:
+        """Canonical spec string for this engine's configuration."""
+        return self.scheduler.describe()
+
+    def throughput_probe(self, num_seeds: int = 50000, **kwargs) -> object:
+        """Kernel throughput of the underlying device (see executor)."""
+        return self.scheduler.executor.throughput_probe(num_seeds, **kwargs)
+
+    # -- searching ------------------------------------------------------
+
+    def search(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """One blocking search through the shared work stream."""
+        ticket = self.scheduler.submit(
+            base_seed,
+            target_digest,
+            max_distance,
+            time_budget=time_budget,
+        )
+        return ticket.result()
+
+    def submit(
+        self,
+        base_seed: bytes,
+        target_digest: bytes,
+        max_distance: int,
+        *,
+        time_budget: float | None = None,
+        deadline_seconds: float | None = None,
+        client_id: str = "",
+    ) -> ScheduledSearch:
+        """Non-blocking admission; returns the scheduler's ticket."""
+        return self.scheduler.submit(
+            base_seed,
+            target_digest,
+            max_distance,
+            time_budget=time_budget,
+            deadline_seconds=deadline_seconds,
+            client_id=client_id,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Close the underlying scheduler (see ``SearchScheduler.close``)."""
+        self.scheduler.close(drain=drain)
+
+    def __enter__(self) -> "ScheduledSearchEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,49 @@
+"""Typed scheduler failures.
+
+The scheduler never loses a request silently: every submission either
+resolves to a :class:`~repro.engines.result.SearchResult` or fails with
+one of these types, carrying the reason the admission controller or the
+dispatcher gave up on it. The serving layer counts sheds off the
+``reason`` field, and the chaos harness treats them as typed outcomes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchedulerError",
+    "SchedulerClosed",
+    "RequestShed",
+    "SHED_SATURATED",
+    "SHED_DEADLINE_UNMEETABLE",
+    "SHED_DEADLINE_EXPIRED",
+    "SHED_SHUTDOWN",
+]
+
+#: A full admission queue refused the request outright.
+SHED_SATURATED = "saturated"
+#: The deadline cannot be met even by the cheapest useful search.
+SHED_DEADLINE_UNMEETABLE = "deadline_unmeetable"
+#: The deadline passed while the request was queued or in service.
+SHED_DEADLINE_EXPIRED = "deadline_expired"
+#: The scheduler was closed without draining.
+SHED_SHUTDOWN = "shutdown"
+
+
+class SchedulerError(Exception):
+    """Base class for scheduler-level failures."""
+
+
+class SchedulerClosed(SchedulerError):
+    """Submission after :meth:`SearchScheduler.close`."""
+
+
+class RequestShed(SchedulerError):
+    """The scheduler dropped this request; ``reason`` says why."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        message = f"request shed ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.reason = reason
+        self.detail = detail

@@ -1,0 +1,170 @@
+"""Admission control and lane ordering for the search scheduler.
+
+Three decisions live here, kept as pure functions of explicit state so
+they are unit-testable without threads or a device:
+
+* **Admission** — refuse a request outright when the queue is full
+  (``saturated``) or when, at the currently observed device throughput,
+  its deadline cannot cover even the cheapest useful search — the
+  distance<=1 shells (``deadline_unmeetable``). Admission is deliberately
+  conservative: it sheds only the provably hopeless; everything tighter
+  is caught at run time by deadline-expiry shedding in the dispatcher.
+* **Lane assignment** — requests with a client deadline ride the
+  ``express`` lane; the rest split into ``shallow`` / ``deep`` by
+  search depth. Lanes exist so one class of traffic can be ordered,
+  capped, and measured against the others.
+* **Picking** — between lanes, earliest-deadline-first (a lane's
+  deadline is its most urgent request's; lanes without deadlines rank
+  by their cheapest request, so shallow work naturally outranks deep
+  backlog). Within a lane, shortest-expected-remaining-work-first with
+  FIFO tie-break. A fairness cap bounds any lane's share of recent
+  device batches while other lanes have work waiting, so a burst of
+  urgent deep searches cannot monopolize the device and starve the
+  shallow lane (nor vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro._bitutils import SEED_BITS
+from repro.core.complexity import shell_size
+
+from repro.sched.errors import SHED_DEADLINE_UNMEETABLE, SHED_SATURATED
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sched.scheduler import ScheduledSearch
+
+__all__ = ["PolicyConfig", "SchedulingPolicy", "EXPRESS_LANE", "SHALLOW_LANE", "DEEP_LANE"]
+
+EXPRESS_LANE = "express"
+SHALLOW_LANE = "shallow"
+DEEP_LANE = "deep"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Tunables of the scheduling policy."""
+
+    #: Requests searching to at least this distance go to the deep lane.
+    deep_distance: int = 3
+    #: Maximum share of the recent device batches one lane may take
+    #: while another lane has runnable work.
+    fairness_cap: float = 0.75
+    #: Sliding window (in device batches) over which lane shares are
+    #: measured for the fairness cap.
+    fairness_window: int = 64
+    #: Safety factor on the admission deadline check; >1 sheds earlier.
+    shed_slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.deep_distance < 1:
+            raise ValueError("deep_distance must be positive")
+        if not 0.0 < self.fairness_cap <= 1.0:
+            raise ValueError("fairness_cap must be in (0, 1]")
+        if self.fairness_window < 1:
+            raise ValueError("fairness_window must be positive")
+        if self.shed_slack <= 0:
+            raise ValueError("shed_slack must be positive")
+
+
+class SchedulingPolicy:
+    """Deterministic admission + ordering rules the dispatcher consults."""
+
+    def __init__(self, config: PolicyConfig | None = None):
+        self.config = config if config is not None else PolicyConfig()
+        #: Cheapest useful search: the d=0 probe plus the d=1 shell.
+        self._min_cover_ranks = 1 + shell_size(1, SEED_BITS)
+
+    # -- lanes ----------------------------------------------------------
+
+    def lane_of(self, max_distance: int, deadline_seconds: float | None) -> str:
+        """Which lane a request rides."""
+        if deadline_seconds is not None:
+            return EXPRESS_LANE
+        if max_distance < self.config.deep_distance:
+            return SHALLOW_LANE
+        return DEEP_LANE
+
+    # -- admission ------------------------------------------------------
+
+    def admission_shed_reason(
+        self,
+        *,
+        queue_depth: int,
+        max_queue: int,
+        deadline_seconds: float | None,
+        throughput: float | None,
+    ) -> str | None:
+        """Why a new request must be shed, or ``None`` to admit.
+
+        The deadline check needs an observed device throughput; before
+        the first batches have been measured (and with no hint primed)
+        deadline requests are admitted and left to run-time expiry.
+        """
+        if queue_depth >= max_queue:
+            return SHED_SATURATED
+        if deadline_seconds is not None and throughput is not None and throughput > 0:
+            min_cover_seconds = self._min_cover_ranks / throughput
+            if min_cover_seconds * self.config.shed_slack > deadline_seconds:
+                return SHED_DEADLINE_UNMEETABLE
+        return None
+
+    # -- picking --------------------------------------------------------
+
+    @staticmethod
+    def _lane_key(requests: Sequence["ScheduledSearch"]) -> tuple:
+        deadlines = [r.deadline for r in requests if r.deadline is not None]
+        if deadlines:
+            return (0, min(deadlines))
+        return (1, min(r.remaining_work for r in requests))
+
+    def lane_order(
+        self, runnable: Sequence["ScheduledSearch"], recent_lanes: Iterable[str]
+    ) -> list[str]:
+        """Lanes with runnable work, most-preferred first (EDF + cap)."""
+        lanes: dict[str, list["ScheduledSearch"]] = {}
+        for request in runnable:
+            lanes.setdefault(request.lane, []).append(request)
+        order = sorted(lanes, key=lambda lane: self._lane_key(lanes[lane]))
+        if len(order) < 2:
+            return order
+        recent = list(recent_lanes)
+        if recent:
+            share = recent.count(order[0]) / len(recent)
+            if share >= self.config.fairness_cap:
+                # The preferred lane is over its share while others
+                # wait: rotate it to the back for this batch.
+                order = order[1:] + order[:1]
+        return order
+
+    def pick(
+        self, runnable: Sequence["ScheduledSearch"], recent_lanes: Iterable[str]
+    ) -> "ScheduledSearch":
+        """The request whose chunk the next device batch starts with."""
+        if not runnable:
+            raise ValueError("pick() needs at least one runnable request")
+        lane = self.lane_order(runnable, recent_lanes)[0]
+        pool = [r for r in runnable if r.lane == lane]
+        return min(pool, key=lambda r: (r.remaining_work, r.seq))
+
+    def fill_order(
+        self, runnable: Sequence["ScheduledSearch"], primary: "ScheduledSearch"
+    ) -> list["ScheduledSearch"]:
+        """Order in which requests may top up the rest of the batch.
+
+        The batch belongs to ``primary``; leftover lanes fill by urgency
+        (deadline first), then cheapest remaining work, then FIFO — the
+        continuous-batching path that lets many small shells ride one
+        device batch.
+        """
+        rest = [r for r in runnable if r is not primary]
+        rest.sort(
+            key=lambda r: (
+                r.deadline if r.deadline is not None else float("inf"),
+                r.remaining_work,
+                r.seq,
+            )
+        )
+        return [primary] + rest

@@ -122,6 +122,51 @@ class TestNamedPlans:
             StormConfig(clients=0)
 
 
+class TestSchedulerStorm:
+    """The smoke fault plan served through the continuous-batching
+    scheduler instead of the FIFO worker pool: link-level faults still
+    strike, every client still gets a typed outcome, and the false-
+    authentication tripwire (now on the key-issuance path) stays at 0.
+    """
+
+    @pytest.fixture(scope="class")
+    def scheduler_report(self) -> ResilienceReport:
+        from repro.reliability.chaos import run_storm
+
+        spec, config = NAMED_PLANS["smoke"]
+        config = StormConfig(
+            clients=8,
+            scheduler=True,
+            breaker_recovery_seconds=config.breaker_recovery_seconds,
+        )
+        # Transport faults only: the scheduler owns its device, so the
+        # device-failure episodes of the FIFO plan do not apply.
+        from dataclasses import replace as dc_replace
+
+        spec = dc_replace(spec, device_failure_episodes=0)
+        return run_storm(spec, seed=3, config=config)
+
+    def test_zero_false_authentications(self, scheduler_report):
+        assert scheduler_report.false_authentications == 0
+
+    def test_every_client_has_a_clean_typed_outcome(self, scheduler_report):
+        assert set(dict(scheduler_report.outcomes)) <= TYPED_OUTCOMES
+        assert (
+            sum(dict(scheduler_report.outcomes).values())
+            == scheduler_report.clients
+        )
+
+    def test_most_clients_authenticate_through_the_scheduler(
+        self, scheduler_report
+    ):
+        assert scheduler_report.succeeded >= scheduler_report.clients // 2
+
+    def test_scheduler_really_ran_the_searches(self, scheduler_report):
+        # The telemetry tap hangs off the scheduler's executor in this
+        # mode; batches were really hashed there.
+        assert scheduler_report.engine_seeds_hashed > 0
+
+
 class TestPercentile:
     def test_interpolates(self):
         values = [1.0, 2.0, 3.0, 4.0]

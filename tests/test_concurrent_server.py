@@ -12,6 +12,7 @@ from repro.core.protocol import ClientDevice
 from repro.core.salting import HashChainSalt
 from repro.keygen.interface import get_keygen
 from repro.net.concurrent import ConcurrentCAServer, ServerMetrics
+from repro.net.errors import ServerClosed
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.model import SRAMPuf
 from repro.puf.ternary import enroll_with_masking
@@ -126,8 +127,9 @@ class TestConcurrentServer:
         authority, clients = fleet_authority
         server = ConcurrentCAServer(authority, workers=1)
         server.close()
+        server.close()  # idempotent
         client_id, device, mask = clients[0]
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(ServerClosed, match="closed"):
             server.submit(client_id, b"\x00" * 20)
 
     def test_failed_auth_counted_but_not_authenticated(self, fleet_authority):
@@ -179,6 +181,8 @@ class TestServerMetricsRecord:
         metrics.record(rejected_busy=1, rejected_duplicate=2,
                        rejected_open=3, seeds_hashed=257, shells_completed=2)
         metrics.record(plan_hits=4, plan_misses=1, pool_reuses=1)
+        metrics.record(shed=2, preempted=1, queue_depth=5)
+        metrics.record(queue_depth=3)  # gauge: peak is kept, not summed
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -194,6 +198,9 @@ class TestServerMetricsRecord:
             "plan_hits": 4,
             "plan_misses": 1,
             "pool_reuses": 1,
+            "shed": 2,
+            "preempted": 1,
+            "queue_depth_peak": 5,
         }
 
     def test_record_is_thread_safe(self):

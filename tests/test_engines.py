@@ -44,6 +44,7 @@ HASH_ENGINE_SPECS = [
     "batch:sha1,bs=4096,cache=yes",
     "parallel:sha1,w=2,bs=4096",
     "pool:sha1,w=2,bs=4096",
+    "sched:sha1,bs=4096",
     "cluster:2,hash=sha1,bs=4096",
     "gpu-model:sha1,bs=4096",
 ]
@@ -53,7 +54,7 @@ ALL_ENGINE_SPECS = HASH_ENGINE_SPECS + ["original:aes-128,bs=4096"]
 class TestSpecGrammar:
     def test_builtins_registered(self):
         assert {
-            "batch", "parallel", "pool", "cluster", "original",
+            "batch", "parallel", "pool", "sched", "cluster", "original",
             "gpu-model", "apu-model", "cpu-model",
         } <= set(engine_names())
 
