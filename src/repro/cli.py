@@ -329,6 +329,87 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.storm import run_device_loss_storm
+
+    devices = tuple(t.strip() for t in args.devices.split(",") if t.strip())
+    depths = tuple(int(d) for d in args.depths.split(","))
+
+    if args.storm:
+        report = run_device_loss_storm(
+            seed=args.seed,
+            requests=args.requests,
+            depths=depths,
+            hash_name=args.hash,
+            batch_size=args.batch_size,
+            devices=devices,
+            kill_fraction=args.kill_fraction,
+            revive_fraction=args.revive_fraction,
+        )
+        print(report.render())
+        return 0 if report.passed else 1
+
+    from repro.fleet.engine import FleetSearchEngine
+    from repro.hashes.registry import get_hash
+    from repro.sched.errors import RequestShed
+    from repro.sched.workload import mixed_workload
+
+    algo = get_hash(args.hash)
+    workload = mixed_workload(
+        algo, requests=args.requests, depths=depths, seed=args.seed
+    )
+    engine = FleetSearchEngine(
+        *devices, hash_name=args.hash, batch_size=args.batch_size
+    )
+    found = shed = 0
+    try:
+        tickets = [
+            (
+                request,
+                engine.submit(
+                    request.base_seed,
+                    request.target_digest,
+                    request.max_distance,
+                    time_budget=args.budget,
+                    client_id=request.client_id,
+                ),
+            )
+            for request in workload
+        ]
+        for request, ticket in tickets:
+            try:
+                result = ticket.result(timeout=300.0)
+            except RequestShed as exc:
+                shed += 1
+                print(f"  {request.client_id}: shed ({exc.reason})")
+                continue
+            found += 1 if result.found else 0
+            stats = result.fleet
+            device = stats.finder_device if stats else "?"
+            print(
+                f"  {request.client_id}: found={result.found} "
+                f"d={result.distance} device={device} "
+                f"elapsed={result.elapsed_seconds:.3f}s"
+            )
+        snapshot = engine.scheduler.snapshot()
+    finally:
+        engine.close()
+    print(
+        f"fleet {engine.describe()}: {found} found, {shed} shed; "
+        f"batches={snapshot['batches']} "
+        f"redispatched={snapshot['redispatched_chunks']} "
+        f"hedges={snapshot['hedges_launched']} "
+        f"quarantines={snapshot['quarantines']}"
+    )
+    for name, dev in sorted(snapshot["devices"].items()):
+        print(
+            f"  device {name}: health={dev['health']} "
+            f"batches={dev['batches']} rows={dev['rows_hashed']} "
+            f"failures={dev['failures']} probes={dev['probes']}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -417,6 +498,31 @@ def main(argv: list[str] | None = None) -> int:
                        dest="batch_size")
     sched.add_argument("--seed", type=int, default=0)
     sched.set_defaults(fn=_cmd_sched)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-device dispatch demo / device-loss storm"
+    )
+    fleet.add_argument("--devices", default="host,host",
+                       help="comma-separated device tokens, e.g. "
+                            "host,flaky-apu or gpu,slow-host")
+    fleet.add_argument("--hash", default="sha1")
+    fleet.add_argument("--requests", type=int, default=8)
+    fleet.add_argument("--depths", default="1,2,2,3",
+                       help="comma-separated search depths, cycled")
+    fleet.add_argument("--budget", type=float, default=None,
+                       help="per-request time budget (protocol T)")
+    fleet.add_argument("--batch-size", type=int, default=4096,
+                       dest="batch_size")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--storm", action="store_true",
+                       help="run the device-loss chaos storm instead "
+                            "(kill a device mid-run; exit 1 on any lost "
+                            "request, false auth, or byte mismatch)")
+    fleet.add_argument("--kill-fraction", type=float, default=0.25,
+                       dest="kill_fraction")
+    fleet.add_argument("--revive-fraction", type=float, default=0.75,
+                       dest="revive_fraction")
+    fleet.set_defaults(fn=_cmd_fleet)
 
     args = parser.parse_args(argv)
     try:

@@ -66,6 +66,16 @@ class DeviceModel(ABC):
     ) -> SearchTiming:
         """Full timing record including seeds, kernels, and energy."""
 
+    def health_probe(self) -> bool:
+        """Whether the device would answer a heartbeat right now.
+
+        The base models are always healthy; fault-injecting wrappers
+        (:class:`~repro.devices.flaky.FlakyDeviceModel`) override this
+        to reflect their scheduled failure windows. The fleet's monitor
+        thread consults it between real probe hashes.
+        """
+        return True
+
     @staticmethod
     def _check_mode(mode: str) -> None:
         if mode not in ("exhaustive", "average"):

@@ -32,6 +32,35 @@ class DeviceFailure(RuntimeError):
         self.search_index = search_index
 
 
+#: Inner-model names ``from_token`` resolves (lazy factory per name).
+_MODEL_NAMES = ("gpu", "apu", "cpu", "host")
+
+
+def _resolve_model(name: str) -> DeviceModel:
+    if name == "gpu":
+        from repro.devices.gpu import GPUModel
+
+        return GPUModel()
+    if name == "apu":
+        from repro.devices.apu import APUModel
+
+        return APUModel()
+    if name == "cpu":
+        from repro.devices.cpu import CPUModel
+
+        return CPUModel()
+    if name == "host":
+        from repro.devices.host import HostDeviceModel
+
+        # Reduced probe scale: token resolution must be cheap, and the
+        # fleet only consults the wrapper's fault stream, not the model's
+        # calibrated throughput.
+        return HostDeviceModel(hash_names=("sha1",), probe_seeds=4096, batch_size=4096)
+    raise ValueError(
+        f"unknown device model {name!r}; known: {', '.join(_MODEL_NAMES)}"
+    )
+
+
 class FlakyDeviceModel(DeviceModel):
     """A simulated accelerator that can fail or throttle mid-search."""
 
@@ -42,6 +71,48 @@ class FlakyDeviceModel(DeviceModel):
         self.searches_attempted = 0
         self.failures_injected = 0
         self.slowdowns_injected = 0
+
+    @classmethod
+    def from_token(
+        cls,
+        token: str,
+        *,
+        seed: int = 0,
+        episodes: int = 1,
+        episode_length: int = 6,
+        slow_rate: float = 0.0,
+        slow_factor: float = 4.0,
+        horizon: int = 200,
+    ) -> "FlakyDeviceModel":
+        """Build a flaky model from a device token like ``"flaky-gpu"``.
+
+        This is what makes flaky devices composable in engine specs:
+        ``fleet:gpu,flaky-apu`` resolves each token independently, so a
+        fleet can mix healthy and fault-injected devices without the
+        caller wiring up a :class:`~repro.reliability.faults.FaultPlan`
+        by hand. A ``slow-`` prefix yields a permanently-throttled
+        device (no failures) instead of a failing one.
+        """
+        # Lazy: reliability.chaos imports this module, so the plan
+        # machinery cannot be a module-scope import here.
+        from repro.reliability.faults import FaultPlan, FaultSpec
+
+        name = token
+        slow_only = False
+        if name.startswith("flaky-"):
+            name = name[len("flaky-") :]
+        elif name.startswith("slow-"):
+            name = name[len("slow-") :]
+            slow_only = True
+        spec = FaultSpec(
+            name=f"token:{token}",
+            device_failure_episodes=0 if slow_only else episodes,
+            device_failure_length=episode_length,
+            device_slow_rate=1.0 if slow_only else slow_rate,
+            device_slow_factor=slow_factor,
+        )
+        injector = FaultPlan(spec, seed).device_injector(horizon)
+        return cls(_resolve_model(name), injector)
 
     def _fault(self) -> str | None:
         self.searches_attempted += 1
@@ -64,6 +135,17 @@ class FlakyDeviceModel(DeviceModel):
         return self.inner.search_time(hash_name, distance, mode, **kwargs) * (
             self._slow_factor(fault)
         )
+
+    def health_probe(self) -> bool:
+        """Healthy unless the *current* search index sits in an episode.
+
+        Peeks without consuming the fault stream: probes tell the fleet
+        whether the device would fail right now, they do not advance
+        which searches fail.
+        """
+        episodes = getattr(self.injector, "episodes", ())
+        index = getattr(self.injector, "calls", 0)
+        return not any(lo <= index < hi for lo, hi in episodes)
 
     def simulate_search(self, hash_name, distance, mode="exhaustive", **kwargs) -> SearchTiming:
         """Full timing record; a throttled search burns energy for longer."""

@@ -37,6 +37,7 @@ from repro.engines.registry import (
 from repro.engines.result import (
     AmortizationStats,
     ClusterStats,
+    FleetStats,
     SchedulingStats,
     SearchEngine,
     SearchResult,
@@ -58,6 +59,7 @@ __all__ = [
     "AmortizationStats",
     "ClusterStats",
     "SchedulingStats",
+    "FleetStats",
     "SearchEngine",
     "merge_shells",
     "EngineHooks",

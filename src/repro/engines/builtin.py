@@ -16,6 +16,7 @@ from repro.runtime.executor import BatchSearchExecutor
 from repro.runtime.original_batch import BatchOriginalRBCSearch
 from repro.runtime.parallel import ParallelSearchExecutor
 from repro.runtime.pool import PooledSearchExecutor
+from repro.fleet.engine import FleetSearchEngine
 from repro.sched.engine import ScheduledSearchEngine
 
 __all__: list[str] = []
@@ -111,6 +112,7 @@ def _build_sched(
     max_queue: int = 256,
     deep_distance: int = 3,
     fairness_cap: float = 0.75,
+    aging_seconds: float = 30.0,
 ) -> ScheduledSearchEngine:
     return ScheduledSearchEngine(
         hash_name=hash_name,
@@ -124,6 +126,59 @@ def _build_sched(
         max_queue=max_queue,
         deep_distance=deep_distance,
         fairness_cap=fairness_cap,
+        aging_seconds=aging_seconds if aging_seconds > 0 else None,
+    )
+
+
+@register_engine(
+    "fleet",
+    description="Health-checked multi-device dispatch with re-dispatch and hedging",
+)
+def _build_fleet(
+    *devices: str,
+    hash_name: str = "sha3-256",
+    batch_size: int = 8192,
+    iterator: str = "unrank",
+    fixed_padding: bool = True,
+    hooks: EngineHooks | None = None,
+    cache: bool = True,
+    warm: int = 0,
+    chunk_ranks: int = 131072,
+    max_queue: int = 256,
+    deep_distance: int = 3,
+    fairness_cap: float = 0.75,
+    aging_seconds: float = 30.0,
+    heartbeat_seconds: float = 0.02,
+    hedge_factor: float = 4.0,
+    hedge_min_seconds: float = 0.05,
+    no_device_grace: float = 2.0,
+    failure_threshold: int = 2,
+    recovery_seconds: float = 0.25,
+    fault_seed: int = 0,
+    slow_factor: float = 8.0,
+) -> FleetSearchEngine:
+    return FleetSearchEngine(
+        *devices,
+        hash_name=hash_name,
+        batch_size=batch_size,
+        iterator=iterator,
+        fixed_padding=fixed_padding,
+        hooks=hooks,
+        cache=cache,
+        warm=warm,
+        chunk_ranks=chunk_ranks,
+        max_queue=max_queue,
+        deep_distance=deep_distance,
+        fairness_cap=fairness_cap,
+        aging_seconds=aging_seconds,
+        heartbeat_seconds=heartbeat_seconds,
+        hedge_factor=hedge_factor,
+        hedge_min_seconds=hedge_min_seconds,
+        no_device_grace=no_device_grace,
+        failure_threshold=failure_threshold,
+        recovery_seconds=recovery_seconds,
+        fault_seed=fault_seed,
+        slow_factor=slow_factor,
     )
 
 

@@ -6,13 +6,15 @@ finishes. The serving layer, the chaos harness, and the analysis code
 all observe searches through this one interface instead of each
 inventing its own counters.
 
-``on_amortization`` and ``on_schedule`` are *optional* extensions:
-amortized-pipeline engines (plan cache / warm pool) call
+``on_amortization``, ``on_schedule``, and ``on_fleet`` are *optional*
+extensions: amortized-pipeline engines (plan cache / warm pool) call
 ``on_amortization`` once per search with that search's
-:class:`~repro.engines.result.AmortizationStats`, and the scheduler
+:class:`~repro.engines.result.AmortizationStats`, the scheduler
 (:mod:`repro.sched`) calls ``on_schedule`` once per request — at
 retirement — with its
-:class:`~repro.engines.result.SchedulingStats`. Both are discovered
+:class:`~repro.engines.result.SchedulingStats`, and the device fleet
+(:mod:`repro.fleet`) calls ``on_fleet`` once per request with its
+:class:`~repro.engines.result.FleetStats`. All three are discovered
 via ``getattr`` so third-party hook objects implementing only the two
 required methods keep working unchanged.
 
@@ -31,7 +33,12 @@ from __future__ import annotations
 import threading
 from typing import Protocol, runtime_checkable
 
-from repro.engines.result import AmortizationStats, SchedulingStats, ShellStats
+from repro.engines.result import (
+    AmortizationStats,
+    FleetStats,
+    SchedulingStats,
+    ShellStats,
+)
 
 __all__ = ["EngineHooks", "NullHooks", "TelemetryHooks"]
 
@@ -64,6 +71,9 @@ class NullHooks:
     def on_schedule(self, stats: SchedulingStats) -> None:
         return None
 
+    def on_fleet(self, stats: FleetStats) -> None:
+        return None
+
 
 class TelemetryHooks:
     """Thread-safe accumulating hooks — the standard telemetry consumer.
@@ -86,6 +96,9 @@ class TelemetryHooks:
         self.shared_batches = 0
         self.preemptions = 0
         self.queue_seconds = 0.0
+        self.fleet_requests = 0
+        self.redispatched_chunks = 0
+        self.hedged_batches = 0
 
     def on_batch(self, distance: int, seeds_hashed: int) -> None:
         with self._lock:
@@ -114,6 +127,12 @@ class TelemetryHooks:
             self.preemptions += stats.preemptions
             self.queue_seconds += stats.queue_seconds
 
+    def on_fleet(self, stats: FleetStats) -> None:
+        with self._lock:
+            self.fleet_requests += 1
+            self.redispatched_chunks += stats.redispatched_chunks
+            self.hedged_batches += stats.hedged_batches
+
     def snapshot(self) -> dict[str, object]:
         """A consistent copy of every counter."""
         with self._lock:
@@ -130,4 +149,7 @@ class TelemetryHooks:
                 "shared_batches": self.shared_batches,
                 "preemptions": self.preemptions,
                 "queue_seconds": self.queue_seconds,
+                "fleet_requests": self.fleet_requests,
+                "redispatched_chunks": self.redispatched_chunks,
+                "hedged_batches": self.hedged_batches,
             }

@@ -269,16 +269,30 @@ def _bind_config(
             inspect.Parameter.KEYWORD_ONLY,
         )
     ]
+    var_positional = next(
+        (
+            p
+            for p in signature.parameters.values()
+            if p.kind == inspect.Parameter.VAR_POSITIONAL
+        ),
+        None,
+    )
     kwargs: dict[str, Any] = {}
 
     positional = [
         p for p in parameters if p.kind != inspect.Parameter.KEYWORD_ONLY
     ]
+    varargs: tuple[str, ...] = ()
     if len(config.args) > len(positional):
-        raise ValueError(
-            f"engine {config.name!r} takes at most {len(positional)} "
-            f"positional values, got {len(config.args)}"
-        )
+        if var_positional is None:
+            raise ValueError(
+                f"engine {config.name!r} takes at most {len(positional)} "
+                f"positional values, got {len(config.args)}"
+            )
+        # Factories with a *args parameter (e.g. ``fleet:gpu,flaky-apu``)
+        # receive the overflow as raw strings; such factories should make
+        # every other parameter keyword-only.
+        varargs = config.args[len(positional) :]
     for parameter, value in zip(positional, config.args):
         kwargs[parameter.name] = _coerce(value, parameter.default)
 
@@ -304,6 +318,8 @@ def _bind_config(
                 f"known: {', '.join(sorted(by_name))}"
             )
         kwargs[canonical] = value
+    if varargs:
+        return factory(*varargs, **kwargs)
     return factory(**kwargs)
 
 

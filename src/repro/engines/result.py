@@ -25,6 +25,7 @@ __all__ = [
     "AmortizationStats",
     "ClusterStats",
     "SchedulingStats",
+    "FleetStats",
     "SearchResult",
     "SearchEngine",
 ]
@@ -123,6 +124,33 @@ class SchedulingStats:
 
 
 @dataclass(frozen=True)
+class FleetStats:
+    """Multi-device extension: how the device fleet served this search.
+
+    Populated by the ``fleet:`` engine family (:mod:`repro.fleet`). A
+    search placed on a health-checked device fleet records which devices
+    carried its batches, which device found the seed, and how often its
+    chunks had to be re-dispatched (device failure), duplicated (hedged
+    straggler batches), or moved to another device entirely.
+    """
+
+    #: Devices that served at least one batch for this request, sorted.
+    devices: tuple[str, ...] = ()
+    #: Device whose batch produced the matching seed (None if not found).
+    finder_device: str | None = None
+    #: ``(device, batches)`` pairs, sorted by device name.
+    batches_by_device: tuple[tuple[str, int], ...] = ()
+    #: Chunks returned to the queue after a device failed mid-flight
+    #: (plus pending chunks moved when the request changed devices).
+    redispatched_chunks: int = 0
+    #: Batches of this request duplicated onto a second device because
+    #: the first was past the straggler latency threshold.
+    hedged_batches: int = 0
+    #: Times this request's device affinity moved to another device.
+    reassignments: int = 0
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Distributed-search extension: per-rank accounting and recovery."""
 
@@ -168,6 +196,9 @@ class SearchResult:
     #: Scheduler extension (lane, queueing, batch sharing); ``None`` for
     #: searches that ran outside the continuous batcher.
     scheduling: SchedulingStats | None = field(default=None)
+    #: Multi-device extension (per-device batches, re-dispatch, hedging);
+    #: ``None`` for searches served by a single device.
+    fleet: FleetStats | None = field(default=None)
 
     def __bool__(self) -> bool:
         return self.found

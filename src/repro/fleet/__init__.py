@@ -1,0 +1,42 @@
+"""Fault-tolerant multi-device dispatch for the search scheduler.
+
+The fleet layer places :mod:`repro.sched` work units across several
+modeled device backends, health-checks them with heartbeat probes and
+per-device circuit breakers, re-dispatches chunks orphaned by a device
+failure onto survivors (preserving the byte-equivalence contract), and
+hedges straggler batches onto idle devices with first-result-wins
+settlement.
+
+Quick start::
+
+    from repro.engines import build_engine
+
+    engine = build_engine("fleet:host,host,hash=sha1,bs=8192")
+    ticket = engine.submit(seed, digest, 3)
+    result = ticket.result()
+    print(result.fleet.batches_by_device)
+
+Chaos harness::
+
+    from repro.fleet import run_device_loss_storm
+
+    report = run_device_loss_storm(seed=0)
+    assert report.passed, report.render()
+"""
+
+from __future__ import annotations
+
+from repro.fleet.device import FleetDevice
+from repro.fleet.dispatcher import FleetScheduler, FleetSearch
+from repro.fleet.engine import DEVICE_WEIGHTS, FleetSearchEngine
+from repro.fleet.storm import DeviceLossStormReport, run_device_loss_storm
+
+__all__ = [
+    "FleetDevice",
+    "FleetScheduler",
+    "FleetSearch",
+    "FleetSearchEngine",
+    "DEVICE_WEIGHTS",
+    "DeviceLossStormReport",
+    "run_device_loss_storm",
+]

@@ -16,7 +16,10 @@ Two serving modes share the front door:
   :class:`~repro.sched.engine.ScheduledSearchEngine` and submissions
   flow into its continuous-batching work stream instead: many requests
   share one device, client deadlines are honored (EDF lanes, shedding),
-  and the queue-depth / shed / preemption counters below light up.
+  and the queue-depth / shed / preemption counters below light up. A
+  :class:`~repro.fleet.engine.FleetSearchEngine` slots into the same
+  seat: the work stream then spans a health-checked device fleet, and
+  the ``redispatched`` / ``hedged`` counters record its recoveries.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.authentication import CertificateAuthority
 from repro.net.errors import ServerClosed
@@ -34,6 +38,9 @@ from repro.runtime.pool import PooledSearchExecutor
 from repro.sched.engine import ScheduledSearchEngine
 from repro.sched.errors import RequestShed
 from repro.sched.scheduler import ScheduledSearch
+
+if TYPE_CHECKING:
+    from repro.fleet.engine import FleetSearchEngine
 
 __all__ = ["ServerMetrics", "ConcurrentCAServer"]
 
@@ -64,6 +71,12 @@ class ServerMetrics:
     shed: int = 0
     preempted: int = 0
     queue_depth_peak: int = 0
+    #: Fleet-mode telemetry (zero unless the backend is a
+    #: :class:`~repro.fleet.engine.FleetSearchEngine`): chunks replayed
+    #: on a survivor after a device failure, and batches that were
+    #: hedge-duplicated onto an idle device.
+    redispatched: int = 0
+    hedged: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -85,6 +98,8 @@ class ServerMetrics:
         shed: int = 0,
         preempted: int = 0,
         queue_depth: int = 0,
+        redispatched: int = 0,
+        hedged: int = 0,
     ) -> None:
         """Atomically increment counters — the one write path callers use.
 
@@ -108,6 +123,8 @@ class ServerMetrics:
             self.pool_reuses += pool_reuses
             self.shed += shed
             self.preempted += preempted
+            self.redispatched += redispatched
+            self.hedged += hedged
             if queue_depth > self.queue_depth_peak:
                 self.queue_depth_peak = queue_depth
 
@@ -131,6 +148,8 @@ class ServerMetrics:
                 "shed": self.shed,
                 "preempted": self.preempted,
                 "queue_depth_peak": self.queue_depth_peak,
+                "redispatched": self.redispatched,
+                "hedged": self.hedged,
             }
 
 
@@ -143,7 +162,7 @@ class ConcurrentCAServer:
         workers: int = 4,
         max_queue: int = 64,
         breaker: CircuitBreaker | None = None,
-        scheduler: ScheduledSearchEngine | None = None,
+        scheduler: ScheduledSearchEngine | FleetSearchEngine | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -275,6 +294,7 @@ class ConcurrentCAServer:
                     client_id, result.seed
                 )
             scheduling = result.scheduling
+            fleet = getattr(result, "fleet", None)
             self.metrics.record(
                 completed=1,
                 authenticated=1 if result.found else 0,
@@ -282,6 +302,8 @@ class ConcurrentCAServer:
                 seeds_hashed=result.seeds_hashed,
                 shells_completed=len(result.shells),
                 preempted=scheduling.preemptions if scheduling else 0,
+                redispatched=fleet.redispatched_chunks if fleet else 0,
+                hedged=fleet.hedged_batches if fleet else 0,
             )
             future.set_result(
                 AuthenticationResult(

@@ -57,7 +57,13 @@ from repro.engines import TelemetryHooks, build_engine
 from repro.devices.flaky import DeviceFailure, FlakyEngine
 from repro.sched.errors import RequestShed
 
-__all__ = ["StormConfig", "NAMED_PLANS", "run_storm", "run_named_storm"]
+__all__ = [
+    "StormConfig",
+    "NAMED_PLANS",
+    "run_storm",
+    "run_named_storm",
+    "run_device_loss_storm",
+]
 
 
 @dataclass(frozen=True)
@@ -404,3 +410,18 @@ def run_named_storm(
     if workers is not None:
         config = replace(config, workers=workers)
     return run_storm(spec, seed, config)
+
+
+def run_device_loss_storm(*args, **kwargs):
+    """Device-loss storm over the multi-device fleet — see :mod:`repro.fleet.storm`.
+
+    A different chaos axis from :data:`NAMED_PLANS` (which stress one
+    engine behind a failover stack): here a whole *device* in a
+    :class:`~repro.fleet.engine.FleetSearchEngine` is killed mid-run and
+    the fleet must re-dispatch its orphaned chunks. Delegates so callers
+    have one chaos namespace; deliberately not a named plan because its
+    report type differs (:class:`~repro.fleet.storm.DeviceLossStormReport`).
+    """
+    from repro.fleet.storm import run_device_loss_storm as _run
+
+    return _run(*args, **kwargs)

@@ -25,6 +25,7 @@ from repro.sched.engine import ScheduledSearchEngine
 from repro.sched.errors import (
     SHED_DEADLINE_EXPIRED,
     SHED_DEADLINE_UNMEETABLE,
+    SHED_NO_DEVICES,
     SHED_SATURATED,
     SHED_SHUTDOWN,
     RequestShed,
@@ -70,4 +71,5 @@ __all__ = [
     "SHED_DEADLINE_UNMEETABLE",
     "SHED_DEADLINE_EXPIRED",
     "SHED_SHUTDOWN",
+    "SHED_NO_DEVICES",
 ]

@@ -50,6 +50,9 @@ class UnitCursor:
         self._batches: Iterator[np.ndarray] | None = None
         self._pending: np.ndarray | None = None
         self._distance = 0
+        #: Slices returned to the cursor after a device failed mid-batch;
+        #: served before anything else so candidate order is preserved.
+        self._replay: deque[tuple[int, np.ndarray]] = deque()
         #: ``[plan hits, plan misses]`` accumulated across all units.
         self.counters = [0, 0]
         #: Units whose first slice has been served (chunks_run telemetry).
@@ -59,8 +62,28 @@ class UnitCursor:
     def exhausted(self) -> bool:
         """True when every unit has been fully served."""
         return (
-            self._pending is None and self._batches is None and not self._units
+            not self._replay
+            and self._pending is None
+            and self._batches is None
+            and not self._units
         )
+
+    @property
+    def pending_chunks(self) -> int:
+        """Chunks not yet fully served (replayed slices + current + units)."""
+        current = 1 if self._pending is not None or self._batches is not None else 0
+        return len(self._replay) + current + len(self._units)
+
+    def push_back(self, distance: int, masks: np.ndarray) -> None:
+        """Return an unconsumed slice to the *front* of the cursor.
+
+        Used when a device dies mid-batch: the dispatcher pushes the
+        failed batch's slices back (in reverse order, so earlier slices
+        end up in front) and a surviving device replays them in the
+        original candidate order — the byte-equivalence contract holds
+        across re-dispatch.
+        """
+        self._replay.appendleft((distance, masks))
 
     def take(self, max_rows: int) -> tuple[int, np.ndarray] | None:
         """Up to ``max_rows`` mask words from the current shell.
@@ -72,6 +95,13 @@ class UnitCursor:
         if max_rows < 1:
             raise ValueError("max_rows must be positive")
         while True:
+            if self._replay:
+                distance, rows = self._replay[0]
+                if rows.shape[0] > max_rows:
+                    self._replay[0] = (distance, rows[max_rows:])
+                    return distance, rows[:max_rows]
+                self._replay.popleft()
+                return distance, rows
             if self._pending is not None:
                 rows = self._pending
                 if rows.shape[0] > max_rows:

@@ -36,6 +36,7 @@ class ScheduledSearchEngine:
         max_queue: int = 256,
         deep_distance: int = 3,
         fairness_cap: float = 0.75,
+        aging_seconds: float | None = 30.0,
         scheduler: SearchScheduler | None = None,
     ):
         if scheduler is not None:
@@ -55,6 +56,7 @@ class ScheduledSearchEngine:
                     PolicyConfig(
                         deep_distance=deep_distance,
                         fairness_cap=fairness_cap,
+                        aging_seconds=aging_seconds,
                     )
                 ),
             )

@@ -17,6 +17,7 @@ __all__ = [
     "SHED_DEADLINE_UNMEETABLE",
     "SHED_DEADLINE_EXPIRED",
     "SHED_SHUTDOWN",
+    "SHED_NO_DEVICES",
 ]
 
 #: A full admission queue refused the request outright.
@@ -27,6 +28,8 @@ SHED_DEADLINE_UNMEETABLE = "deadline_unmeetable"
 SHED_DEADLINE_EXPIRED = "deadline_expired"
 #: The scheduler was closed without draining.
 SHED_SHUTDOWN = "shutdown"
+#: Every device in the fleet stayed quarantined past the grace window.
+SHED_NO_DEVICES = "no_healthy_devices"
 
 
 class SchedulerError(Exception):

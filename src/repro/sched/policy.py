@@ -21,6 +21,13 @@ they are unit-testable without threads or a device:
   device batches while other lanes have work waiting, so a burst of
   urgent deep searches cannot monopolize the device and starve the
   shallow lane (nor vice versa).
+* **Aging** — the fairness cap bounds lane *share*, but a deep request
+  with pathological luck could still lose every pick inside its share
+  window. :meth:`SchedulingPolicy.apply_aging` promotes any request
+  queued longer than ``aging_seconds`` into the express lane and marks
+  it ``aged``; aged requests outrank every lane key and every
+  within-lane pick, so a starving request's wait is bounded by the
+  aging threshold plus one batch of each lane ahead of it.
 """
 
 from __future__ import annotations
@@ -57,6 +64,10 @@ class PolicyConfig:
     fairness_window: int = 64
     #: Safety factor on the admission deadline check; >1 sheds earlier.
     shed_slack: float = 1.0
+    #: Queue age (seconds) past which a request is promoted into the
+    #: express lane and picked ahead of everything else (starvation-free
+    #: aging). ``None`` disables aging.
+    aging_seconds: float | None = 30.0
 
     def __post_init__(self) -> None:
         if self.deep_distance < 1:
@@ -67,6 +78,8 @@ class PolicyConfig:
             raise ValueError("fairness_window must be positive")
         if self.shed_slack <= 0:
             raise ValueError("shed_slack must be positive")
+        if self.aging_seconds is not None and self.aging_seconds <= 0:
+            raise ValueError("aging_seconds must be positive (or None)")
 
 
 class SchedulingPolicy:
@@ -111,10 +124,42 @@ class SchedulingPolicy:
                 return SHED_DEADLINE_UNMEETABLE
         return None
 
+    # -- aging ----------------------------------------------------------
+
+    def apply_aging(
+        self, runnable: Sequence["ScheduledSearch"], now: float
+    ) -> int:
+        """Promote requests queued past ``aging_seconds`` into express.
+
+        Returns how many requests were promoted by this call. Promotion
+        is one-way: an aged request keeps its ``aged`` flag (and its
+        express-lane ride) until it retires, so one slow request cannot
+        oscillate between lanes.
+        """
+        threshold = self.config.aging_seconds
+        if threshold is None:
+            return 0
+        promoted = 0
+        for request in runnable:
+            if getattr(request, "aged", False):
+                continue
+            if now - request.submitted_at >= threshold:
+                request.aged = True
+                request.lane = EXPRESS_LANE
+                promoted += 1
+        return promoted
+
     # -- picking --------------------------------------------------------
 
     @staticmethod
     def _lane_key(requests: Sequence["ScheduledSearch"]) -> tuple:
+        aged = [
+            r.submitted_at for r in requests if getattr(r, "aged", False)
+        ]
+        if aged:
+            # A starving request outranks every deadline: its lane goes
+            # first, oldest promotion first.
+            return (-1, min(aged))
         deadlines = [r.deadline for r in requests if r.deadline is not None]
         if deadlines:
             return (0, min(deadlines))
@@ -147,7 +192,14 @@ class SchedulingPolicy:
             raise ValueError("pick() needs at least one runnable request")
         lane = self.lane_order(runnable, recent_lanes)[0]
         pool = [r for r in runnable if r.lane == lane]
-        return min(pool, key=lambda r: (r.remaining_work, r.seq))
+        return min(
+            pool,
+            key=lambda r: (
+                not getattr(r, "aged", False),
+                r.remaining_work,
+                r.seq,
+            ),
+        )
 
     def fill_order(
         self, runnable: Sequence["ScheduledSearch"], primary: "ScheduledSearch"
@@ -162,6 +214,7 @@ class SchedulingPolicy:
         rest = [r for r in runnable if r is not primary]
         rest.sort(
             key=lambda r: (
+                not getattr(r, "aged", False),
                 r.deadline if r.deadline is not None else float("inf"),
                 r.remaining_work,
                 r.seq,

@@ -96,6 +96,8 @@ class ScheduledSearch:
         self.cursor = cursor
         self.chunks_total = chunks_total
         self.remaining_work = expected_work(max_distance)
+        #: Promoted into the express lane by starvation-free aging.
+        self.aged = False
         # -- accounting, dispatcher-thread only --
         self.seeds_hashed = 0
         self.shell_hashed: dict[int, int] = {}
@@ -153,6 +155,22 @@ class ScheduledSearch:
         for callback in callbacks:
             callback(self)
 
+    def scheduling_stats(self, now: float) -> SchedulingStats:
+        """This request's :class:`SchedulingStats` as of ``now``."""
+        started = self.first_batch_at
+        return SchedulingStats(
+            lane=self.lane,
+            deadline_seconds=self.deadline_seconds,
+            queue_seconds=(started if started is not None else now)
+            - self.submitted_at,
+            service_seconds=0.0 if started is None else now - started,
+            batches=self.batches,
+            shared_batches=self.shared_batches,
+            preemptions=self.preemptions,
+            chunks_total=self.chunks_total,
+            chunks_run=self.cursor.units_started,
+        )
+
 
 class SearchScheduler:
     """Continuous-batching EDF scheduler over one vectorized device."""
@@ -209,6 +227,7 @@ class SearchScheduler:
         self._preempted = 0
         self._peak_depth = 0
         self._batches_by_lane: dict[str, int] = {}
+        self._aged_promotions = 0
 
     # -- public geometry ------------------------------------------------
 
@@ -382,6 +401,10 @@ class SearchScheduler:
         return runnable, expired
 
     def _run_one_batch(self, runnable: list[ScheduledSearch]) -> None:
+        promoted = self.policy.apply_aging(runnable, time.perf_counter())
+        if promoted:
+            with self._wake:
+                self._aged_promotions += promoted
         primary = self.policy.pick(runnable, self._recent_lanes)
         last = self._last_primary
         if (
@@ -481,23 +504,6 @@ class SearchScheduler:
 
     # -- finalization ---------------------------------------------------
 
-    def _scheduling_stats(
-        self, request: ScheduledSearch, now: float
-    ) -> SchedulingStats:
-        started = request.first_batch_at
-        return SchedulingStats(
-            lane=request.lane,
-            deadline_seconds=request.deadline_seconds,
-            queue_seconds=(started if started is not None else now)
-            - request.submitted_at,
-            service_seconds=0.0 if started is None else now - started,
-            batches=request.batches,
-            shared_batches=request.shared_batches,
-            preemptions=request.preemptions,
-            chunks_total=request.chunks_total,
-            chunks_run=request.cursor.units_started,
-        )
-
     def _emit_hooks(
         self,
         request: ScheduledSearch,
@@ -543,7 +549,7 @@ class SearchScheduler:
             ShellStats(d, request.shell_hashed[d], request.shell_seconds[d])
             for d in sorted(request.shell_hashed)
         )
-        scheduling = self._scheduling_stats(request, now)
+        scheduling = request.scheduling_stats(now)
         amortized = self._amortization(request)
         result = SearchResult(
             found=found,
@@ -568,7 +574,7 @@ class SearchScheduler:
 
     def _finalize_shed(self, request: ScheduledSearch, reason: str) -> None:
         now = time.perf_counter()
-        scheduling = self._scheduling_stats(request, now)
+        scheduling = request.scheduling_stats(now)
         with self._wake:
             self._shed[reason] = self._shed.get(reason, 0) + 1
         on_schedule = getattr(self.hooks, "on_schedule", None)
@@ -592,6 +598,7 @@ class SearchScheduler:
                 "shed": sum(shed_reasons.values()),
                 "shed_reasons": shed_reasons,
                 "preempted": self._preempted,
+                "aged_promotions": self._aged_promotions,
                 "queue_depth": len(self._active),
                 "peak_queue_depth": self._peak_depth,
                 "batches": self._batcher.batches,

@@ -183,6 +183,7 @@ class TestServerMetricsRecord:
         metrics.record(plan_hits=4, plan_misses=1, pool_reuses=1)
         metrics.record(shed=2, preempted=1, queue_depth=5)
         metrics.record(queue_depth=3)  # gauge: peak is kept, not summed
+        metrics.record(redispatched=3, hedged=2)
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -201,6 +202,8 @@ class TestServerMetricsRecord:
             "shed": 2,
             "preempted": 1,
             "queue_depth_peak": 5,
+            "redispatched": 3,
+            "hedged": 2,
         }
 
     def test_record_is_thread_safe(self):
@@ -335,3 +338,59 @@ class TestAdmissionControlUnderConcurrency:
         assert snapshot["rejected_open"] == 1
         assert snapshot["failed"] == 2
         assert breaker.state == "open"
+
+
+class TestFleetBackedServer:
+    """Satellite: close() drain-or-cancel while a fleet device is
+    quarantined mid-drain — no hang, typed ServerClosed afterwards."""
+
+    def test_close_drains_on_survivor_while_device_quarantined(
+        self, fleet_authority
+    ):
+        from repro.fleet import FleetSearchEngine
+
+        authority, clients = fleet_authority
+        fleet = FleetSearchEngine(
+            "host",
+            "host",
+            hash_name="sha1",
+            batch_size=8192,
+            heartbeat_seconds=0.01,
+        )
+        server = ConcurrentCAServer(authority, scheduler=fleet)
+        futures = []
+        for client_id, device, mask in clients[:4]:
+            digest = _digest_for(authority, client_id, device, mask)
+            futures.append(server.submit(client_id, digest))
+        # Kill one device while its share of the work is in flight; the
+        # drain must complete on the survivor without hanging.
+        victim = fleet.scheduler.devices[-1].name
+        fleet.scheduler.kill_device(victim)
+        server.close(wait=True)
+        results = [f.result(timeout=1.0) for f in futures]  # all settled
+        assert all(r.authenticated for r in results)
+        with pytest.raises(ServerClosed):
+            server.submit("late", b"\x00" * 20)
+        snapshot = server.metrics.snapshot()
+        assert snapshot["completed"] == len(results)
+        # The fleet counters are part of the server's metric surface.
+        assert "redispatched" in snapshot and "hedged" in snapshot
+        assert snapshot["redispatched"] >= 0
+
+    def test_fleet_backed_server_reports_redispatch(self, fleet_authority):
+        from repro.fleet import FleetSearchEngine
+
+        authority, clients = fleet_authority
+        fleet = FleetSearchEngine(
+            "host", "host", hash_name="sha1", batch_size=8192
+        )
+        with ConcurrentCAServer(authority, scheduler=fleet) as server:
+            futures = []
+            for client_id, device, mask in clients[:3]:
+                digest = _digest_for(authority, client_id, device, mask)
+                futures.append(server.submit(client_id, digest))
+            results = [f.result(timeout=120) for f in futures]
+        assert all(r.authenticated for r in results)
+        snapshot = server.metrics.snapshot()
+        assert snapshot["authenticated"] == len(results)
+        assert snapshot["queue_depth_peak"] >= 1

@@ -177,6 +177,115 @@ class TestPolicy:
             PolicyConfig(fairness_window=0)
         with pytest.raises(ValueError):
             PolicyConfig(shed_slack=0.0)
+        with pytest.raises(ValueError):
+            PolicyConfig(aging_seconds=0.0)
+        assert PolicyConfig(aging_seconds=None).aging_seconds is None
+
+
+def _aging_req(seq, lane, submitted_at, deadline=None, remaining=1000):
+    return SimpleNamespace(
+        seq=seq,
+        lane=lane,
+        deadline=deadline,
+        remaining_work=remaining,
+        submitted_at=submitted_at,
+        aged=False,
+    )
+
+
+class TestAging:
+    def test_promotion_past_threshold_is_one_way(self):
+        policy = SchedulingPolicy(PolicyConfig(aging_seconds=10.0))
+        old = _aging_req(0, DEEP_LANE, submitted_at=0.0)
+        fresh = _aging_req(1, SHALLOW_LANE, submitted_at=95.0)
+        assert policy.apply_aging([old, fresh], now=100.0) == 1
+        assert old.aged and old.lane == EXPRESS_LANE
+        assert not fresh.aged and fresh.lane == SHALLOW_LANE
+        # One-way: a promoted request is never re-promoted (or demoted).
+        assert policy.apply_aging([old, fresh], now=200.0) == 1
+        assert fresh.aged  # now past the threshold too
+        assert policy.apply_aging([old, fresh], now=300.0) == 0
+
+    def test_aging_disabled_with_none(self):
+        policy = SchedulingPolicy(PolicyConfig(aging_seconds=None))
+        old = _aging_req(0, DEEP_LANE, submitted_at=0.0)
+        assert policy.apply_aging([old], now=1e9) == 0
+        assert not old.aged
+
+    def test_aged_lane_outranks_deadlines(self):
+        policy = SchedulingPolicy(PolicyConfig(aging_seconds=1.0))
+        starving = _aging_req(
+            0, DEEP_LANE, submitted_at=0.0, remaining=10**9
+        )
+        policy.apply_aging([starving], now=5.0)
+        urgent = _aging_req(
+            1, EXPRESS_LANE, submitted_at=4.9, deadline=0.001
+        )
+        order = policy.lane_order([urgent, starving], recent_lanes=[])
+        # Both ride the express lane now; the aged key puts the lane
+        # first regardless of the rotation history.
+        assert order[0] == EXPRESS_LANE
+        picked = policy.pick([urgent, starving], recent_lanes=[])
+        assert picked is starving
+
+    def test_fill_order_prefers_aged_requests(self):
+        policy = SchedulingPolicy(PolicyConfig(aging_seconds=1.0))
+        starving = _aging_req(
+            0, DEEP_LANE, submitted_at=0.0, remaining=10**9
+        )
+        policy.apply_aging([starving], now=5.0)
+        cheap = _aging_req(1, SHALLOW_LANE, submitted_at=4.9, remaining=10)
+        primary = _aging_req(2, SHALLOW_LANE, submitted_at=4.9, remaining=50)
+        order = policy.fill_order([cheap, starving, primary], primary)
+        assert order == [primary, starving, cheap]
+
+    def test_starving_deep_request_bounded_waits_under_pressure(self):
+        """Satellite: with the fairness rotation disabled (cap=1.0), only
+        aging saves a deep request from starving under constant shallow
+        pressure — and it must get service within a bounded wait."""
+        engine = ScheduledSearchEngine(
+            "sha1",
+            batch_size=4096,
+            chunk_ranks=8192,
+            fairness_cap=1.0,
+            aging_seconds=0.3,
+        )
+        try:
+            absent = engine_target(engine, RNG.bytes(32))
+            # d=4 (~174M seeds) cannot be swept inside the 2 s budget
+            # even with every mask plan already warm from earlier tests,
+            # so the request always runs to its budget after promotion.
+            deep = engine.submit(
+                BASE_SEED, absent, 4, time_budget=2.0, client_id="starved"
+            )
+            rng = np.random.default_rng(31)
+            start = time.perf_counter()
+            # Constant shallow pressure until the promotion lands (the
+            # deep request would starve forever without it at cap=1.0).
+            while (
+                time.perf_counter() - start < 20.0
+                and engine.scheduler.snapshot()["aged_promotions"] == 0
+            ):
+                tickets = [
+                    engine.submit(
+                        BASE_SEED,
+                        engine_target(engine, _planted(1, rng)),
+                        1,
+                        client_id=f"pressure-{i}",
+                    )
+                    for i in range(3)
+                ]
+                for ticket in tickets:
+                    assert ticket.result(timeout=60).found
+            result = deep.result(timeout=60)
+            snapshot = engine.scheduler.snapshot()
+        finally:
+            engine.close(drain=False)
+        assert snapshot["aged_promotions"] >= 1
+        # Promoted into express and served to its budget: a bounded
+        # wait, not starvation.
+        assert result.scheduling.lane == EXPRESS_LANE
+        assert result.timed_out and not result.found
 
 
 @pytest.fixture
