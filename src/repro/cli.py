@@ -410,6 +410,87 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_directory(args: argparse.Namespace) -> int:
+    if args.storm:
+        from repro.directory.storm import run_shard_loss_storm
+
+        report = run_shard_loss_storm(
+            seed=args.seed,
+            clients=args.clients if args.clients is not None else 24,
+            shards=args.shards,
+            replication=args.replication,
+            shed_ceiling=args.shed_ceiling,
+        )
+        print(report.render())
+        return 0 if report.passed else 1
+
+    import numpy as np
+
+    from repro.core.protocol import ClientDevice
+    from repro.directory import ShardedEnrollmentDirectory
+    from repro.net.concurrent import ConcurrentCAServer
+    from repro.puf.model import SRAMPuf
+    from repro.puf.ternary import enroll_with_masking
+    from repro import quick_setup
+
+    authority, _client, _mask = quick_setup(seed=args.seed, max_distance=2)
+    directory = ShardedEnrollmentDirectory(
+        master_key=b"demo-master-key!",
+        shards=args.shards,
+        replication=args.replication,
+    )
+    authority.image_db = directory
+
+    print(f"directory: {args.shards} shards, replication {args.replication}")
+    fleet = {}
+    demo_clients = args.clients if args.clients is not None else 8
+    for index in range(demo_clients):
+        client_id = f"client-{index:02d}"
+        puf = SRAMPuf(num_cells=2048, stable_error=0.001,
+                      seed=args.seed * 1_000_003 + index)
+        mask = enroll_with_masking(puf, address=0, window=2048, reads=48,
+                                   instability_threshold=0.02)
+        authority.enroll(client_id, mask)
+        device = ClientDevice(client_id, puf, noise_target_distance=1,
+                              rng=np.random.default_rng((args.seed, index)))
+        fleet[client_id] = (device, authority.issue_challenge(client_id), mask)
+        replicas = ", ".join(directory.replicas_for(client_id))
+        print(f"  enrolled {client_id} -> [{replicas}]")
+
+    def authenticate_all(server):
+        for client_id, (device, challenge, mask) in fleet.items():
+            digest = device.respond(challenge, reference_mask=mask)
+            result = server.submit(client_id, digest).result(timeout=60.0)
+            stats = directory.snapshot()
+            print(f"  {client_id}: authenticated={result.authenticated} "
+                  f"hot_hits={stats['hot_hits']} "
+                  f"failovers={stats['failovers']}")
+
+    with ConcurrentCAServer(authority, workers=2) as server:
+        print("healthy pass (cold caches -> quorum reads):")
+        authenticate_all(server)
+        print("warm pass (hot-cache hits):")
+        authenticate_all(server)
+        primaries = [directory.replicas_for(c)[0] for c in fleet]
+        victim = max(set(primaries), key=primaries.count)
+        print(f"killing {victim}; replicas must carry its keys:")
+        directory.kill_shard(victim)
+        directory.drop_hot_caches()
+        authenticate_all(server)
+        metrics = server.metrics.snapshot()
+    snapshot = directory.snapshot()
+    print(f"directory: quorum_reads={snapshot['quorum_reads']} "
+          f"hot_hits={snapshot['hot_hits']} "
+          f"failovers={snapshot['failovers']} "
+          f"read_repairs={snapshot['read_repairs']} "
+          f"retries={snapshot['retries']}")
+    print(f"server: completed={metrics['completed']:.0f} "
+          f"directory_hot_hits={metrics['directory_hot_hits']:.0f} "
+          f"directory_failovers={metrics['directory_failovers']:.0f} "
+          f"shed_directory={metrics['shed_directory']:.0f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -523,6 +604,27 @@ def main(argv: list[str] | None = None) -> int:
     fleet.add_argument("--revive-fraction", type=float, default=0.75,
                        dest="revive_fraction")
     fleet.set_defaults(fn=_cmd_fleet)
+
+    directory = sub.add_parser(
+        "directory",
+        help="sharded enrollment directory demo / shard-loss storm",
+    )
+    directory.add_argument("--shards", type=int, default=8)
+    directory.add_argument("--replication", type=int, default=2)
+    directory.add_argument("--clients", type=int, default=None,
+                           help="fleet size (default: 8 for the demo, "
+                                "24 for the storm)")
+    directory.add_argument("--seed", type=int, default=0)
+    directory.add_argument("--storm", action="store_true",
+                           help="run the shard-loss chaos storm instead "
+                                "(kill one shard, then a whole replica "
+                                "set, then revive; exit 1 on any false "
+                                "auth, untyped shed, or unhealed replica)")
+    directory.add_argument("--shed-ceiling", type=float, default=0.5,
+                           dest="shed_ceiling",
+                           help="max tolerated overall shed rate across "
+                                "the storm's four waves")
+    directory.set_defaults(fn=_cmd_directory)
 
     args = parser.parse_args(argv)
     try:

@@ -8,20 +8,50 @@ stored anywhere in this flow — the defining property of RBC.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro._bitutils import SEED_BITS
 from repro.core.salting import SaltScheme
 from repro.core.search import RBCSearchService
+from repro.engines.result import DirectoryStats
 from repro.hashes.registry import HashAlgorithm, get_hash
 from repro.keygen.interface import KeyGenerator
-from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.ternary import TernaryMask
 from repro.runtime.executor import SearchResult
 
-__all__ = ["RegistrationAuthority", "CertificateAuthority", "Challenge"]
+__all__ = [
+    "RegistrationAuthority",
+    "CertificateAuthority",
+    "Challenge",
+    "EnrollmentStore",
+]
+
+
+@runtime_checkable
+class EnrollmentStore(Protocol):
+    """Anything the CA can keep enrolled PUF images in.
+
+    Satisfied by the plain in-memory
+    :class:`~repro.puf.image_db.EncryptedImageDatabase` and by the
+    sharded, replicated
+    :class:`~repro.directory.sharded.ShardedEnrollmentDirectory`. Stores
+    may additionally offer ``lookup_with_stats`` (per-lookup
+    :class:`~repro.engines.result.DirectoryStats` telemetry) and
+    ``prefetch`` (batched cache warming); the CA and the serving layer
+    use those when present.
+    """
+
+    def enroll(self, client_id: str, mask: TernaryMask) -> None: ...
+
+    def lookup(self, client_id: str) -> TernaryMask: ...
+
+    def __contains__(self, client_id: str) -> bool: ...
+
+    def __len__(self) -> int: ...
 
 
 @dataclass(frozen=True)
@@ -70,7 +100,7 @@ class CertificateAuthority:
     salt: SaltScheme
     keygen: KeyGenerator
     registration_authority: RegistrationAuthority
-    image_db: EncryptedImageDatabase
+    image_db: EnrollmentStore
     hash_name: str = "sha3-256"
     seed_bits: int = SEED_BITS
     _last_result: SearchResult | None = field(default=None, repr=False)
@@ -103,9 +133,22 @@ class CertificateAuthority:
 
     def enrolled_seed(self, client_id: str) -> bytes:
         """S_init — the seed from the enrolled (noise-free) PUF image."""
-        mask = self.image_db.lookup(client_id)
+        seed, _stats = self.enrolled_seed_with_stats(client_id)
+        return seed
+
+    def enrolled_seed_with_stats(
+        self, client_id: str
+    ) -> tuple[bytes, DirectoryStats | None]:
+        """S_init plus the directory's lookup telemetry (None for a
+        plain in-memory store)."""
+        lookup_with_stats = getattr(self.image_db, "lookup_with_stats", None)
+        stats: DirectoryStats | None = None
+        if lookup_with_stats is not None:
+            mask, stats = lookup_with_stats(client_id)
+        else:
+            mask = self.image_db.lookup(client_id)
         bits = mask.reference_seed_bits(self.seed_bits)
-        return np.packbits(bits).tobytes()
+        return np.packbits(bits).tobytes(), stats
 
     def run_search(
         self,
@@ -113,12 +156,21 @@ class CertificateAuthority:
         client_digest: bytes,
         deadline_seconds: float | None = None,
     ) -> SearchResult:
-        """Figure 1 steps 1-6: the RBC search proper."""
+        """Figure 1 steps 1-6: the RBC search proper.
+
+        When the image store is a sharded directory, the lookup's
+        telemetry rides along on ``result.directory`` — a search served
+        after a replica failover is distinguishable from one whose image
+        came from the hot cache.
+        """
+        seed, directory_stats = self.enrolled_seed_with_stats(client_id)
         result = self.search_service.find_seed(
-            self.enrolled_seed(client_id),
+            seed,
             client_digest,
             deadline_seconds=deadline_seconds,
         )
+        if directory_stats is not None:
+            result = dataclasses.replace(result, directory=directory_stats)
         self._last_result = result
         return result
 

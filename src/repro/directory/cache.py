@@ -1,0 +1,126 @@
+"""Per-shard LRU hot cache of decrypted enrollment images.
+
+Each shard's working set gets its own small cache inside the CA's trust
+boundary (the images are decrypted only here, same as any lookup). Two
+insert disciplines share the structure:
+
+* **demand inserts** (a lookup that just paid a quorum read) may evict
+  the least-recently-used entry — the requester proved the key is hot;
+* **prefetch inserts** (speculative, batched from the admission queue)
+  only fill *spare* capacity. A full cache drops the prefetch and counts
+  it, so speculation can never evict demonstrated-hot entries — the
+  "falls back cleanly" behavior: the later demand lookup simply pays the
+  quorum read it would have paid anyway.
+
+Entries carry the record's re-enrollment version; a write-through
+invalidation counts the entry as ``stale`` so the telemetry separates
+"cache too small" (miss) from "cache outdated by a write" (stale).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+__all__ = ["HotCache"]
+
+V = TypeVar("V")
+
+
+class HotCache(Generic[V]):
+    """Thread-safe LRU cache with versioned entries and full telemetry."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[V, int]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale_invalidations = 0
+        self.evictions = 0
+        self.prefetch_inserts = 0
+        self.prefetch_dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> tuple[V, int] | None:
+        """The cached ``(value, version)``, refreshing recency; None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str) -> tuple[V, int] | None:
+        """Like :meth:`get` but without touching recency or telemetry.
+
+        The prefetcher uses it to skip already-resident keys without
+        inflating the hit rate or promoting entries it never served.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value: V, version: int) -> None:
+        """Demand insert: may evict the LRU entry to make room."""
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (value, version)
+                self._entries.move_to_end(key)
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = (value, version)
+
+    def put_speculative(self, key: str, value: V, version: int) -> bool:
+        """Prefetch insert: fills spare capacity only; False when dropped."""
+        with self._lock:
+            if key in self._entries:
+                # Refresh in place but keep the entry's recency: a
+                # prefetch is not evidence of demand.
+                self._entries[key] = (value, version)
+                self.prefetch_inserts += 1
+                return True
+            if len(self._entries) >= self.capacity:
+                self.prefetch_dropped += 1
+                return False
+            self._entries[key] = (value, version)
+            self._entries.move_to_end(key, last=False)
+            self.prefetch_inserts += 1
+            return True
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` after a write made the cached copy stale."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stale_invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every entry (a cold restart of the serving tier)."""
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """Telemetry counters plus current occupancy."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_invalidations": self.stale_invalidations,
+                "evictions": self.evictions,
+                "prefetch_inserts": self.prefetch_inserts,
+                "prefetch_dropped": self.prefetch_dropped,
+            }

@@ -1,0 +1,71 @@
+"""Typed enrollment-directory failures.
+
+The directory never fails silently and never leaks a raw ``KeyError``
+or shard exception into the serving path: a lookup either returns the
+enrollment image, raises :class:`ClientNotEnrolled` (the key genuinely
+does not exist anywhere), or raises :class:`DirectoryUnavailable` (the
+key exists but every replica holding it is unreachable right now). The
+serving layer converts the latter into a typed shed
+(``SHED_DIRECTORY_UNAVAILABLE``) so a storm can tell "degraded but
+correct" apart from "broken".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DirectoryError",
+    "ClientNotEnrolled",
+    "ShardDown",
+    "ShardTimeout",
+    "DirectoryUnavailable",
+]
+
+
+class DirectoryError(Exception):
+    """Base class for enrollment-directory failures."""
+
+
+class ClientNotEnrolled(DirectoryError, KeyError):
+    """The identifier is not enrolled on any shard (a true miss)."""
+
+    def __init__(self, client_id: str):
+        super().__init__(f"client {client_id!r} not enrolled")
+        self.client_id = client_id
+
+
+class ShardDown(DirectoryError):
+    """The shard is administratively or catastrophically offline.
+
+    Not retryable against the same shard — the caller should fail over
+    to a replica.
+    """
+
+    def __init__(self, shard: str):
+        super().__init__(f"shard {shard!r} is down")
+        self.shard = shard
+
+
+class ShardTimeout(DirectoryError):
+    """A shard operation timed out (transient; retry with backoff)."""
+
+    def __init__(self, shard: str, operation: str):
+        super().__init__(f"shard {shard!r} timed out during {operation}")
+        self.shard = shard
+        self.operation = operation
+
+
+class DirectoryUnavailable(DirectoryError):
+    """Every replica holding this key is unreachable.
+
+    The degraded-mode signal: the serving layer sheds the request with
+    reason ``SHED_DIRECTORY_UNAVAILABLE`` instead of erroring, because
+    the failure is the directory's, not the client's.
+    """
+
+    def __init__(self, client_id: str, shards_tried: tuple[str, ...]):
+        super().__init__(
+            f"no live replica for client {client_id!r} "
+            f"(tried {', '.join(shards_tried) or 'no shards'})"
+        )
+        self.client_id = client_id
+        self.shards_tried = shards_tried

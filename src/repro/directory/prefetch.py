@@ -1,0 +1,117 @@
+"""Batched background prefetch of enrollment images for queued requests.
+
+Admission control should never stall on a cold directory lookup: while a
+request waits in the server's queue, its enrollment image can already be
+on its way into the per-shard hot cache. The prefetcher is a single
+daemon thread draining a queue of client identifiers; everything pending
+is coalesced into one :meth:`ShardedEnrollmentDirectory.prefetch` batch,
+so a burst of admissions costs one grouped sweep over the shards rather
+than one cold quorum read per request.
+
+Strictly best-effort: noting an identifier never blocks, a failed
+prefetch is only a counter, and closing the prefetcher never loses the
+serving path anything — the demand lookup falls back to the quorum read
+it would have done anyway.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["DirectoryPrefetcher"]
+
+# Sentinel posted to wake the worker for shutdown.
+_STOP = object()
+
+
+class DirectoryPrefetcher:
+    """Daemon thread coalescing queued client ids into prefetch batches."""
+
+    def __init__(self, directory, max_batch: int = 64):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.directory = directory
+        self.max_batch = max_batch
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self.batches = 0
+        self.ids_noted = 0
+        self.ids_prefetched = 0
+        self.ids_dropped = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="directory-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def note(self, client_id: str) -> None:
+        """Register one queued identifier for speculative warming."""
+        with self._lock:
+            if self._closed:
+                return
+            self.ids_noted += 1
+            # Same lock as the worker's idle check: either the put lands
+            # before the worker's emptiness test, or the clear lands
+            # after its set — flush() can never observe a false idle.
+            self._idle.clear()
+            self._queue.put(client_id)
+
+    def _drain_batch(self, first) -> list[str]:
+        """The first id plus everything else currently pending."""
+        batch = [first]
+        while len(batch) < self.max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                # Preserve the shutdown signal for the outer loop.
+                self._queue.put(_STOP)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._idle.set()
+                return
+            batch = self._drain_batch(item)
+            try:
+                report = self.directory.prefetch(batch)
+                with self._lock:
+                    self.batches += 1
+                    self.ids_prefetched += report.get("loaded", 0)
+                    self.ids_dropped += report.get("dropped", 0)
+            except Exception:
+                # Speculation must never take the serving path down.
+                pass
+            with self._lock:
+                if self._queue.empty():
+                    self._idle.set()
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until everything noted so far has been attempted."""
+        return self._idle.wait(timeout)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker; pending identifiers are abandoned."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "ids_noted": self.ids_noted,
+                "ids_prefetched": self.ids_prefetched,
+                "ids_dropped": self.ids_dropped,
+            }

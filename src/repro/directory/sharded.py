@@ -1,0 +1,466 @@
+"""The sharded, replicated enrollment directory.
+
+At the million-client scale the ROADMAP targets, "look up the client's
+enrolled PUF image" is its own distributed system, and this module makes
+its failure model explicit instead of assuming the image is at hand:
+
+* client identifiers are **consistent-hashed** across N
+  :class:`~repro.directory.shard.ShardStore` instances;
+* every record is written to **R distinct replicas** — the directory
+  assigns the record version and installs the identical ciphertext on
+  each replica, so replicas are byte-comparable;
+* reads are **quorum reads with retry/backoff**: transient shard
+  timeouts are retried, dead or breaker-open shards are skipped, and
+  the read **fails over** to replicas until it finds the *current*
+  version of the record (the directory is the version authority, so a
+  stale replica can never be served as fresh);
+* replicas observed stale or missing during a read are **read-repaired**
+  in place — this is how a shard that rejoined after downtime catches up
+  on the writes it missed;
+* each shard's working set has a **per-shard LRU hot cache** with
+  hit/miss/stale telemetry, plus a speculative **batched prefetch** path
+  that fills spare cache capacity for queued admission requests;
+* when a key's entire replica set is down, the lookup raises the typed
+  :class:`~repro.directory.errors.DirectoryUnavailable` — the serving
+  layer converts it into a ``SHED_DIRECTORY_UNAVAILABLE`` shed so the
+  CA degrades instead of erroring.
+
+The directory duck-types :class:`~repro.puf.image_db.EncryptedImageDatabase`
+(``enroll`` / ``lookup`` / ``__contains__`` / ``__len__``), so it drops
+into :class:`~repro.core.authentication.CertificateAuthority.image_db`
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.directory.cache import HotCache
+from repro.directory.errors import (
+    ClientNotEnrolled,
+    DirectoryUnavailable,
+    ShardDown,
+    ShardTimeout,
+)
+from repro.directory.hashring import ConsistentHashRing
+from repro.directory.shard import ShardStore
+from repro.engines.result import DirectoryStats
+from repro.puf.image_db import EncryptedImageDatabase
+from repro.puf.ternary import TernaryMask
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.faults import FaultPlan
+
+__all__ = ["ShardedEnrollmentDirectory"]
+
+
+class ShardedEnrollmentDirectory:
+    """N consistent-hash shards, R-way replication, quorum reads."""
+
+    def __init__(
+        self,
+        master_key: bytes,
+        shards: int = 8,
+        replication: int = 2,
+        read_quorum: int = 1,
+        cache_capacity: int = 256,
+        vnodes: int = 64,
+        fault_plan: FaultPlan | None = None,
+        retry_attempts: int = 3,
+        backoff_seconds: float = 0.002,
+        breaker_failure_threshold: int = 3,
+        breaker_recovery_seconds: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if not 1 <= replication <= shards:
+            raise ValueError(
+                f"replication {replication} impossible with {shards} shards"
+            )
+        if not 1 <= read_quorum <= replication:
+            raise ValueError("read_quorum must be in [1, replication]")
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be positive")
+        self.replication = replication
+        self.read_quorum = read_quorum
+        self.retry_attempts = retry_attempts
+        self.backoff_seconds = backoff_seconds
+        self._sleep = sleep
+        #: Stateless record codec (encrypt-once, install-everywhere).
+        self._codec = EncryptedImageDatabase(master_key)
+        names = [f"shard-{index:02d}" for index in range(shards)]
+        self.ring = ConsistentHashRing(names, vnodes=vnodes)
+        self._shards: dict[str, ShardStore] = {
+            name: ShardStore(
+                name,
+                master_key,
+                breaker=CircuitBreaker(
+                    failure_threshold=breaker_failure_threshold,
+                    recovery_seconds=breaker_recovery_seconds,
+                    clock=clock,
+                ),
+                injector=(
+                    fault_plan.shard_injector(index)
+                    if fault_plan is not None
+                    else None
+                ),
+                sleep=sleep,
+            )
+            for index, name in enumerate(names)
+        }
+        self._caches: dict[str, HotCache[TernaryMask]] = {
+            name: HotCache(cache_capacity) for name in names
+        }
+        #: The directory's authoritative key -> current-version map. This
+        #: is metadata (no plaintext, no ciphertext); it is what lets a
+        #: quorum read reject a stale replica outright.
+        self._known: dict[str, int] = {}
+        self._lock = threading.Lock()
+        # -- directory-level counters ------------------------------------
+        self.hot_hits = 0
+        self.hot_misses = 0
+        self.quorum_reads = 0
+        self.failovers = 0
+        self.read_repairs = 0
+        self.retries = 0
+        self.unavailable_lookups = 0
+        self.prefetch_batches = 0
+
+    # -- topology --------------------------------------------------------
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return self.ring.shard_names
+
+    def shard(self, name: str) -> ShardStore:
+        return self._shards[name]
+
+    def replicas_for(self, client_id: str) -> tuple[str, ...]:
+        """The key's replica set, primary first."""
+        return self.ring.replicas_for(client_id, self.replication)
+
+    def kill_shard(self, name: str) -> None:
+        """Model whole-shard loss (crash / partition); data survives."""
+        self._shards[name].kill()
+
+    def revive_shard(self, name: str) -> None:
+        """Bring a shard back; breaker probes re-admit it, reads repair it."""
+        self._shards[name].revive()
+
+    def drop_hot_caches(self) -> None:
+        """Cold-start the caching tier (entries only; telemetry survives)."""
+        for cache in self._caches.values():
+            cache.clear()
+
+    # -- EncryptedImageDatabase surface ----------------------------------
+
+    def __contains__(self, client_id: str) -> bool:
+        with self._lock:
+            return client_id in self._known
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._known)
+
+    def client_ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._known))
+
+    def version_of(self, client_id: str) -> int:
+        with self._lock:
+            if client_id not in self._known:
+                raise ClientNotEnrolled(client_id)
+            return self._known[client_id]
+
+    def enroll(self, client_id: str, mask: TernaryMask) -> None:
+        """Encrypt once, install on all R replicas, bump the version.
+
+        Tolerates partial replica outage: the write succeeds if at least
+        one replica accepts it (survivors re-seed the others through
+        read-repair once they rejoin). Raises
+        :class:`DirectoryUnavailable` only when *every* replica refuses.
+        """
+        replicas = self.replicas_for(client_id)
+        with self._lock:
+            version = self._known.get(client_id, -1) + 1
+        blob = self._codec.encrypt_record(client_id, mask, version)
+        accepted = 0
+        for name in replicas:
+            try:
+                self._install_replica(name, client_id, blob, version)
+                accepted += 1
+            except (ShardDown, ShardTimeout, CircuitOpenError):
+                continue
+        if accepted == 0:
+            raise DirectoryUnavailable(client_id, replicas)
+        with self._lock:
+            self._known[client_id] = version
+        # A write makes any cached copy stale — count it as such.
+        self._caches[replicas[0]].invalidate(client_id)
+
+    def _install_replica(
+        self, name: str, client_id: str, blob: bytes, version: int
+    ) -> None:
+        """One replica install with the same retry budget reads get.
+
+        A transient timeout must not demote a write to fewer replicas —
+        that would manufacture divergence read repair then has to clean
+        up — so installs retry/backoff exactly like ``_read_replica``.
+        """
+        last: Exception | None = None
+        for attempt in range(self.retry_attempts):
+            try:
+                self._shards[name].install(client_id, blob, version)
+                return
+            except ShardTimeout as exc:
+                last = exc
+                with self._lock:
+                    self.retries += 1
+                self._sleep(self.backoff_seconds * (2**attempt))
+            except (ShardDown, CircuitOpenError):
+                raise
+        assert last is not None
+        raise last
+
+    def lookup(self, client_id: str) -> TernaryMask:
+        """Decrypt and return the enrollment image for ``client_id``."""
+        mask, _stats = self.lookup_with_stats(client_id)
+        return mask
+
+    def lookup_with_stats(
+        self, client_id: str
+    ) -> tuple[TernaryMask, DirectoryStats]:
+        """Lookup plus the per-lookup telemetry the serving layer records."""
+        start = time.perf_counter()
+        with self._lock:
+            if client_id not in self._known:
+                raise ClientNotEnrolled(client_id)
+            current_version = self._known[client_id]
+        replicas = self.replicas_for(client_id)
+        primary = replicas[0]
+        cache = self._caches[primary]
+        entry = cache.get(client_id)
+        if entry is not None and entry[1] == current_version:
+            with self._lock:
+                self.hot_hits += 1
+            return entry[0], DirectoryStats(
+                source="hot-cache",
+                hot_hit=True,
+                lookup_seconds=time.perf_counter() - start,
+            )
+        if entry is not None:
+            # Version raced ahead of the cache (write-through invalidation
+            # lost the race with this read) — treat as stale, not hit.
+            cache.invalidate(client_id)
+        with self._lock:
+            self.hot_misses += 1
+        mask, stats = self._quorum_read(
+            client_id, replicas, current_version, start
+        )
+        cache.put(client_id, mask, current_version)
+        return mask, stats
+
+    # -- quorum read ------------------------------------------------------
+
+    def _read_replica(self, name: str, client_id: str) -> tuple[bytes, int] | None:
+        """One replica read with retry/backoff on transient timeouts.
+
+        Returns the replica's ``(record, version)`` (or None when the
+        replica does not hold the key); raises ``ShardDown`` /
+        ``CircuitOpenError`` / ``ShardTimeout`` when the replica stayed
+        unreachable through the retry budget.
+        """
+        last: Exception | None = None
+        for attempt in range(self.retry_attempts):
+            try:
+                return self._shards[name].read(client_id)
+            except ShardTimeout as exc:
+                last = exc
+                with self._lock:
+                    self.retries += 1
+                self._sleep(self.backoff_seconds * (2**attempt))
+            except (ShardDown, CircuitOpenError):
+                raise
+        assert last is not None
+        raise last
+
+    def _quorum_read(
+        self,
+        client_id: str,
+        replicas: tuple[str, ...],
+        current_version: int,
+        start: float,
+    ) -> tuple[TernaryMask, DirectoryStats]:
+        """Walk the replica set until the current record version is found."""
+        with self._lock:
+            self.quorum_reads += 1
+        responses: dict[str, tuple[bytes, int] | None] = {}
+        winner: tuple[str, bytes] | None = None
+        retries_before = self.retries
+        for name in replicas:
+            try:
+                response = self._read_replica(name, client_id)
+            except (ShardDown, ShardTimeout, CircuitOpenError):
+                continue
+            responses[name] = response
+            if (
+                winner is None
+                and response is not None
+                and response[1] == current_version
+            ):
+                winner = (name, response[0])
+            if winner is not None and len(responses) >= self.read_quorum:
+                break
+        if winner is None:
+            # Live replicas may have answered, but none held the current
+            # version — serving a stale enrollment image could fail an
+            # honest client, so degrade instead.
+            with self._lock:
+                self.unavailable_lookups += 1
+            raise DirectoryUnavailable(client_id, replicas)
+        winner_shard, blob = winner
+        observed: dict[str, int | None] = {
+            name: (response[1] if response is not None else None)
+            for name, response in responses.items()
+        }
+        # Replicas the quorum never consulted still get a cheap version
+        # probe: this is what lets a shard that rejoined after downtime
+        # catch up on the writes it missed, even though the primary
+        # satisfied the read. The probe doubles as the breaker's
+        # half-open test for a recovering shard.
+        for name in replicas:
+            if name in observed:
+                continue
+            try:
+                observed[name] = self._shards[name].version_of(client_id)
+            except (ShardDown, ShardTimeout, CircuitOpenError):
+                continue
+        repairs = self._read_repair(
+            client_id, blob, current_version, observed, winner_shard
+        )
+        if winner_shard != replicas[0]:
+            with self._lock:
+                self.failovers += 1
+        mask = self._codec.decrypt_record(client_id, blob, current_version)
+        with self._lock:
+            retries = self.retries - retries_before
+        return mask, DirectoryStats(
+            source="primary" if winner_shard == replicas[0] else "replica",
+            shard=winner_shard,
+            replicas_read=len(responses),
+            retries=retries,
+            read_repairs=repairs,
+            hot_hit=False,
+            lookup_seconds=time.perf_counter() - start,
+        )
+
+    def _read_repair(
+        self,
+        client_id: str,
+        blob: bytes,
+        version: int,
+        observed: dict[str, int | None],
+        winner_shard: str,
+    ) -> int:
+        """Install the winning record on observed stale/missing replicas."""
+        repaired = 0
+        for name, replica_version in observed.items():
+            if name == winner_shard:
+                continue
+            if replica_version is not None and replica_version >= version:
+                continue
+            try:
+                self._shards[name].repair(client_id, blob, version)
+                repaired += 1
+            except (ShardDown, ShardTimeout, CircuitOpenError):
+                continue
+        if repaired:
+            with self._lock:
+                self.read_repairs += repaired
+        return repaired
+
+    # -- batched prefetch --------------------------------------------------
+
+    def prefetch(self, client_ids: Iterable[str]) -> dict[str, int]:
+        """Warm the hot caches for a batch of queued identifiers.
+
+        Speculative and best-effort by design: already-cached keys are
+        skipped, unreachable keys are counted (never raised), and a full
+        cache drops the insert rather than evicting demonstrated-hot
+        entries — the later demand lookup falls back to the quorum read
+        it would have paid anyway.
+        """
+        report = {
+            "requested": 0,
+            "loaded": 0,
+            "already_cached": 0,
+            "dropped": 0,
+            "unavailable": 0,
+            "unknown": 0,
+        }
+        with self._lock:
+            self.prefetch_batches += 1
+        for client_id in client_ids:
+            report["requested"] += 1
+            with self._lock:
+                current_version = self._known.get(client_id)
+            if current_version is None:
+                report["unknown"] += 1
+                continue
+            replicas = self.replicas_for(client_id)
+            cache = self._caches[replicas[0]]
+            entry = cache.peek(client_id)
+            if entry is not None and entry[1] == current_version:
+                report["already_cached"] += 1
+                continue
+            try:
+                mask, _stats = self._quorum_read(
+                    client_id, replicas, current_version, time.perf_counter()
+                )
+            except DirectoryUnavailable:
+                report["unavailable"] += 1
+                continue
+            if cache.put_speculative(client_id, mask, current_version):
+                report["loaded"] += 1
+            else:
+                report["dropped"] += 1
+        return report
+
+    # -- introspection ----------------------------------------------------
+
+    def cache_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-shard hot-cache telemetry."""
+        return {name: cache.snapshot() for name, cache in self._caches.items()}
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent read of the directory's operational counters."""
+        with self._lock:
+            counters = {
+                "clients": len(self._known),
+                "shards": len(self._shards),
+                "replication": self.replication,
+                "read_quorum": self.read_quorum,
+                "hot_hits": self.hot_hits,
+                "hot_misses": self.hot_misses,
+                "quorum_reads": self.quorum_reads,
+                "failovers": self.failovers,
+                "read_repairs": self.read_repairs,
+                "retries": self.retries,
+                "unavailable_lookups": self.unavailable_lookups,
+                "prefetch_batches": self.prefetch_batches,
+            }
+        cache_totals = {"hits": 0, "misses": 0, "stale_invalidations": 0,
+                        "evictions": 0, "prefetch_inserts": 0,
+                        "prefetch_dropped": 0}
+        for cache in self._caches.values():
+            snap = cache.snapshot()
+            for key in cache_totals:
+                cache_totals[key] += snap[key]
+        counters["cache"] = cache_totals
+        counters["shards_detail"] = {
+            name: shard.snapshot() for name, shard in self._shards.items()
+        }
+        return counters

@@ -37,6 +37,7 @@ from repro.engines.registry import (
 from repro.engines.result import (
     AmortizationStats,
     ClusterStats,
+    DirectoryStats,
     FleetStats,
     SchedulingStats,
     SearchEngine,
@@ -60,6 +61,7 @@ __all__ = [
     "ClusterStats",
     "SchedulingStats",
     "FleetStats",
+    "DirectoryStats",
     "SearchEngine",
     "merge_shells",
     "EngineHooks",

@@ -26,6 +26,7 @@ __all__ = [
     "ClusterStats",
     "SchedulingStats",
     "FleetStats",
+    "DirectoryStats",
     "SearchResult",
     "SearchEngine",
 ]
@@ -151,6 +152,32 @@ class FleetStats:
 
 
 @dataclass(frozen=True)
+class DirectoryStats:
+    """Enrollment-directory extension: how this search's image was fetched.
+
+    Populated when the CA's image database is a sharded enrollment
+    directory (:mod:`repro.directory`). Records where the enrolled PUF
+    image came from — the per-shard hot cache, the key's primary shard,
+    or a replica after failover — and what the quorum read cost.
+    """
+
+    #: ``"hot-cache"``, ``"primary"``, or ``"replica"`` (failover read).
+    source: str = ""
+    #: Shard that served the read ("" for a pure cache hit).
+    shard: str = ""
+    #: Replicas consulted by the quorum read (0 for a cache hit).
+    replicas_read: int = 0
+    #: Transient shard timeouts retried during the read.
+    retries: int = 0
+    #: Stale or missing replica copies repaired by this read.
+    read_repairs: int = 0
+    #: Whether the per-shard hot cache answered without a shard read.
+    hot_hit: bool = False
+    #: Wall time of the directory lookup itself.
+    lookup_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Distributed-search extension: per-rank accounting and recovery."""
 
@@ -199,6 +226,10 @@ class SearchResult:
     #: Multi-device extension (per-device batches, re-dispatch, hedging);
     #: ``None`` for searches served by a single device.
     fleet: FleetStats | None = field(default=None)
+    #: Enrollment-directory extension (hot-cache/quorum/failover lookup
+    #: telemetry); ``None`` when the enrolled image came from a plain
+    #: in-memory database.
+    directory: DirectoryStats | None = field(default=None)
 
     def __bool__(self) -> bool:
         return self.found

@@ -31,12 +31,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.authentication import CertificateAuthority
+from repro.directory.errors import DirectoryUnavailable
+from repro.directory.prefetch import DirectoryPrefetcher
+from repro.engines.result import DirectoryStats
 from repro.net.errors import ServerClosed
 from repro.net.messages import AuthenticationResult
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
 from repro.runtime.pool import PooledSearchExecutor
 from repro.sched.engine import ScheduledSearchEngine
-from repro.sched.errors import RequestShed
+from repro.sched.errors import SHED_DIRECTORY_UNAVAILABLE, RequestShed
 from repro.sched.scheduler import ScheduledSearch
 
 if TYPE_CHECKING:
@@ -77,6 +80,16 @@ class ServerMetrics:
     #: hedge-duplicated onto an idle device.
     redispatched: int = 0
     hedged: int = 0
+    #: Enrollment-directory telemetry (zero unless the authority's image
+    #: store is a sharded directory): hot-cache hits/misses on the
+    #: serving path, reads served by a replica after the primary shard
+    #: was lost, stale/missing replica copies repaired in passing, and
+    #: requests shed because a key's whole replica set was down.
+    directory_hot_hits: int = 0
+    directory_hot_misses: int = 0
+    directory_failovers: int = 0
+    directory_read_repairs: int = 0
+    shed_directory: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -100,6 +113,11 @@ class ServerMetrics:
         queue_depth: int = 0,
         redispatched: int = 0,
         hedged: int = 0,
+        directory_hot_hits: int = 0,
+        directory_hot_misses: int = 0,
+        directory_failovers: int = 0,
+        directory_read_repairs: int = 0,
+        shed_directory: int = 0,
     ) -> None:
         """Atomically increment counters — the one write path callers use.
 
@@ -125,6 +143,11 @@ class ServerMetrics:
             self.preempted += preempted
             self.redispatched += redispatched
             self.hedged += hedged
+            self.directory_hot_hits += directory_hot_hits
+            self.directory_hot_misses += directory_hot_misses
+            self.directory_failovers += directory_failovers
+            self.directory_read_repairs += directory_read_repairs
+            self.shed_directory += shed_directory
             if queue_depth > self.queue_depth_peak:
                 self.queue_depth_peak = queue_depth
 
@@ -150,7 +173,24 @@ class ServerMetrics:
                 "queue_depth_peak": self.queue_depth_peak,
                 "redispatched": self.redispatched,
                 "hedged": self.hedged,
+                "directory_hot_hits": self.directory_hot_hits,
+                "directory_hot_misses": self.directory_hot_misses,
+                "directory_failovers": self.directory_failovers,
+                "directory_read_repairs": self.directory_read_repairs,
+                "shed_directory": self.shed_directory,
             }
+
+
+def _directory_record_kwargs(stats: DirectoryStats | None) -> dict[str, int]:
+    """ServerMetrics increments for one lookup's directory telemetry."""
+    if stats is None:
+        return {}
+    return {
+        "directory_hot_hits": 1 if stats.hot_hit else 0,
+        "directory_hot_misses": 0 if stats.hot_hit else 1,
+        "directory_failovers": 1 if stats.source == "replica" else 0,
+        "directory_read_repairs": stats.read_repairs,
+    }
 
 
 class ConcurrentCAServer:
@@ -163,6 +203,7 @@ class ConcurrentCAServer:
         max_queue: int = 64,
         breaker: CircuitBreaker | None = None,
         scheduler: ScheduledSearchEngine | FleetSearchEngine | None = None,
+        prefetch: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -185,6 +226,13 @@ class ConcurrentCAServer:
         self._pending = 0
         self.metrics = ServerMetrics()
         self._closed = False
+        #: When the authority's image store is a sharded directory,
+        #: admitted requests queue their client ids here so the hot cache
+        #: is warm by the time a worker picks the search up.
+        self.prefetcher: DirectoryPrefetcher | None = None
+        image_db = getattr(authority, "image_db", None)
+        if prefetch and hasattr(image_db, "prefetch"):
+            self.prefetcher = DirectoryPrefetcher(image_db)
 
     # -- submission ---------------------------------------------------------
 
@@ -220,6 +268,8 @@ class ConcurrentCAServer:
                 )
             self._in_flight_clients.add(client_id)
             self._pending += 1
+        if self.prefetcher is not None:
+            self.prefetcher.note(client_id)
         if self.scheduler is not None:
             try:
                 return self._submit_scheduled(client_id, digest, deadline_seconds)
@@ -242,8 +292,16 @@ class ConcurrentCAServer:
         service = self.authority.search_service
         start = time.perf_counter()
         try:
+            seed, directory_stats = self._enrolled_seed(client_id)
+        except DirectoryUnavailable as exc:
+            # The whole replica set for this key is down: degraded-mode
+            # serving sheds the request with a typed reason instead of
+            # surfacing the directory's internal error.
+            self.metrics.record(shed=1, shed_directory=1)
+            raise RequestShed(SHED_DIRECTORY_UNAVAILABLE, str(exc)) from exc
+        try:
             ticket = self.scheduler.submit(
-                self.authority.enrolled_seed(client_id),
+                seed,
                 digest,
                 service.max_distance,
                 time_budget=service.time_threshold,
@@ -258,6 +316,7 @@ class ConcurrentCAServer:
         self.metrics.record(
             submitted=1,
             queue_depth=int(self.scheduler.scheduler.snapshot()["queue_depth"]),
+            **_directory_record_kwargs(directory_stats),
         )
         future: Future = Future()
         future.set_running_or_notify_cancel()
@@ -323,6 +382,13 @@ class ConcurrentCAServer:
             self._in_flight_clients.discard(client_id)
             self._pending -= 1
 
+    def _enrolled_seed(self, client_id: str):
+        """S_init plus directory telemetry; tolerates minimal doubles."""
+        with_stats = getattr(self.authority, "enrolled_seed_with_stats", None)
+        if with_stats is not None:
+            return with_stats(client_id)
+        return self.authority.enrolled_seed(client_id), None
+
     def _search(
         self, client_id: str, digest: bytes, deadline_seconds: float | None = None
     ):
@@ -333,11 +399,26 @@ class ConcurrentCAServer:
             if deadline_seconds is not None
             else {}
         )
-        if self.breaker is not None:
-            return self.breaker.call(
-                lambda: self.authority.run_search(client_id, digest, **kwargs)
-            )
-        return self.authority.run_search(client_id, digest, **kwargs)
+        if self.breaker is None:
+            return self.authority.run_search(client_id, digest, **kwargs)
+        # A directory outage is the *directory's* failure, not the search
+        # backend's: it must not count against the breaker guarding the
+        # search engine (that would convert typed degraded-mode sheds
+        # into blanket CircuitOpenError refusals). Smuggle it past the
+        # breaker's failure accounting and re-raise outside.
+        smuggled: list[DirectoryUnavailable] = []
+
+        def guarded():
+            try:
+                return self.authority.run_search(client_id, digest, **kwargs)
+            except DirectoryUnavailable as exc:
+                smuggled.append(exc)
+                return None
+
+        result = self.breaker.call(guarded)
+        if smuggled:
+            raise smuggled[0]
+        return result
 
     def _run(
         self,
@@ -351,6 +432,18 @@ class ConcurrentCAServer:
         except CircuitOpenError:
             self.metrics.record(rejected_open=1, failed=1)
             raise
+        except DirectoryUnavailable as exc:
+            # Every replica of this client's enrollment record is down.
+            # Shed with a typed reason: the caller can tell "the
+            # directory is degraded, retry later" apart from "your
+            # authentication failed".
+            self.metrics.record(
+                shed=1,
+                shed_directory=1,
+                failed=1,
+                search_seconds=time.perf_counter() - start,
+            )
+            raise RequestShed(SHED_DIRECTORY_UNAVAILABLE, str(exc)) from exc
         except Exception:
             # A failed search is still a finished search: account for it
             # so `submitted == completed + failed + pending` stays true.
@@ -374,6 +467,7 @@ class ConcurrentCAServer:
             pool_reuses=(
                 1 if amortized is not None and amortized.pool_reused else 0
             ),
+            **_directory_record_kwargs(getattr(result, "directory", None)),
         )
         return AuthenticationResult(
             client_id=client_id,
@@ -406,6 +500,8 @@ class ConcurrentCAServer:
             if self._closed:
                 return
             self._closed = True
+        if self.prefetcher is not None:
+            self.prefetcher.close()
         # Always wait for *running* searches — a search thread mid-batch
         # holds the executor; tearing the backend down under it would be
         # nondeterministic. ``wait=False`` only cancels the queued tail.

@@ -4,7 +4,12 @@ The threat model stores every client's enrollment image (reference bits,
 ternary mask, instability estimates) in an encrypted database inside the
 secure CA. Records are serialized and encrypted with the from-scratch
 AES-128 in CTR mode under a database master key; each record uses a
-per-record nonce derived from the client identifier.
+per-record nonce derived from the client identifier *and a per-record
+version counter*, so re-enrolling a client never reuses a keystream
+(CTR nonce reuse would hand an attacker the XOR of the two plaintexts).
+
+Version 0 keeps the historical identifier-only nonce, so databases saved
+before versioning existed still decrypt.
 
 This is a reproduction-grade container — it demonstrates the protocol's
 data flow (enrollment writes, validation reads, nothing is ever decrypted
@@ -23,6 +28,10 @@ from repro.puf.ternary import TernaryMask
 
 __all__ = ["EncryptedImageDatabase"]
 
+#: On-disk / snapshot format tags. v1 predates record versioning.
+_FORMAT_V1 = "repro-image-db/1"
+_FORMAT_V2 = "repro-image-db/2"
+
 
 class EncryptedImageDatabase:
     """In-memory encrypted store of client PUF enrollment images."""
@@ -32,9 +41,16 @@ class EncryptedImageDatabase:
             raise ValueError("master key must be 16 bytes (AES-128)")
         self._cipher = AES128(master_key)
         self._records: dict[str, bytes] = {}
+        #: Per-record re-enrollment counter, mixed into the CTR nonce.
+        self._versions: dict[str, int] = {}
 
-    def _nonce(self, client_id: str) -> bytes:
-        return sha3_256(client_id.encode())[:8]
+    def _nonce(self, client_id: str, version: int = 0) -> bytes:
+        if version == 0:
+            # Legacy derivation: keeps pre-versioning saves decryptable.
+            return sha3_256(client_id.encode())[:8]
+        return sha3_256(
+            client_id.encode() + b"\x00" + version.to_bytes(8, "big")
+        )[:8]
 
     @staticmethod
     def _serialize(mask: TernaryMask) -> bytes:
@@ -57,20 +73,33 @@ class EncryptedImageDatabase:
         )
 
     def enroll(self, client_id: str, mask: TernaryMask) -> None:
-        """Store (encrypted) the enrollment image for ``client_id``."""
+        """Store (encrypted) the enrollment image for ``client_id``.
+
+        Re-enrolling bumps the record's version counter so the fresh
+        ciphertext is produced under a fresh keystream.
+        """
+        version = self._versions.get(client_id, -1) + 1
         plaintext = self._serialize(mask)
         self._records[client_id] = self._cipher.ctr_transform(
-            plaintext, self._nonce(client_id)
+            plaintext, self._nonce(client_id, version)
         )
+        self._versions[client_id] = version
 
     def lookup(self, client_id: str) -> TernaryMask:
         """Decrypt and return the enrollment image for ``client_id``."""
         if client_id not in self._records:
             raise KeyError(f"client {client_id!r} not enrolled")
         plaintext = self._cipher.ctr_transform(
-            self._records[client_id], self._nonce(client_id)
+            self._records[client_id],
+            self._nonce(client_id, self._versions.get(client_id, 0)),
         )
         return self._deserialize(plaintext)
+
+    def version_of(self, client_id: str) -> int:
+        """Current re-enrollment counter for ``client_id`` (0 = first)."""
+        if client_id not in self._records:
+            raise KeyError(f"client {client_id!r} not enrolled")
+        return self._versions.get(client_id, 0)
 
     def __contains__(self, client_id: str) -> bool:
         return client_id in self._records
@@ -78,37 +107,115 @@ class EncryptedImageDatabase:
     def __len__(self) -> int:
         return len(self._records)
 
+    def client_ids(self) -> tuple[str, ...]:
+        """All enrolled identifiers (sorted, no plaintext involved)."""
+        return tuple(sorted(self._records))
+
     def encrypted_record(self, client_id: str) -> bytes:
         """The raw ciphertext (what an attacker stealing the DB sees)."""
         return self._records[client_id]
 
+    # -- stateless record codec (for replicated stores) -------------------
+
+    def encrypt_record(
+        self, client_id: str, mask: TernaryMask, version: int
+    ) -> bytes:
+        """Ciphertext for ``(client_id, mask, version)`` — pure function.
+
+        Does not touch this store's contents. A replicated directory uses
+        it to encrypt once and install the identical ciphertext on every
+        replica under a directory-assigned version.
+        """
+        if version < 0:
+            raise ValueError("record version must be non-negative")
+        return self._cipher.ctr_transform(
+            self._serialize(mask), self._nonce(client_id, version)
+        )
+
+    def decrypt_record(
+        self, client_id: str, blob: bytes, version: int
+    ) -> TernaryMask:
+        """Decrypt one exported record — inverse of :meth:`encrypt_record`."""
+        if version < 0:
+            raise ValueError("record version must be non-negative")
+        return self._deserialize(
+            self._cipher.ctr_transform(blob, self._nonce(client_id, version))
+        )
+
+    # -- replica transfer (records stay encrypted) ------------------------
+
+    def export_record(self, client_id: str) -> tuple[bytes, int]:
+        """One record as ``(ciphertext, version)`` for replica transfer.
+
+        The nonce is a pure function of (client_id, version), so the
+        ciphertext is portable between stores sharing a master key.
+        """
+        if client_id not in self._records:
+            raise KeyError(f"client {client_id!r} not enrolled")
+        return self._records[client_id], self._versions.get(client_id, 0)
+
+    def import_record(self, client_id: str, blob: bytes, version: int) -> None:
+        """Install a still-encrypted record exported from a peer store."""
+        if version < 0:
+            raise ValueError("record version must be non-negative")
+        self._records[client_id] = blob
+        self._versions[client_id] = version
+
     # -- persistence (records stay encrypted at rest) --------------------
 
-    def save(self, path) -> None:
-        """Write the database to disk; records remain ciphertext."""
-        import json as _json
-        import pathlib
+    def snapshot(self) -> bytes:
+        """The whole store as one still-encrypted byte blob.
 
+        Shard replicas and the chaos storm clone stores from this — the
+        master key is *not* part of the snapshot and no record is
+        decrypted to produce it.
+        """
         payload = {
-            "format": "repro-image-db/1",
+            "format": _FORMAT_V2,
             "records": {
                 client_id: blob.hex() for client_id, blob in self._records.items()
             },
+            "versions": dict(self._versions),
         }
-        pathlib.Path(path).write_text(_json.dumps(payload))
+        return json.dumps(payload).encode()
+
+    def restore(self, snapshot: bytes) -> None:
+        """Replace this store's contents from a :meth:`snapshot` blob."""
+        payload = json.loads(snapshot.decode())
+        if payload.get("format") not in (_FORMAT_V1, _FORMAT_V2):
+            raise ValueError("unrecognized image-db snapshot format")
+        self._records = {
+            client_id: bytes.fromhex(blob)
+            for client_id, blob in payload["records"].items()
+        }
+        self._versions = {
+            client_id: int(version)
+            for client_id, version in payload.get("versions", {}).items()
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: bytes, master_key: bytes
+    ) -> "EncryptedImageDatabase":
+        """A new store cloned from a snapshot (the replica-spawn path)."""
+        db = cls(master_key)
+        db.restore(snapshot)
+        return db
+
+    def save(self, path) -> None:
+        """Write the database to disk; records remain ciphertext."""
+        import pathlib
+
+        pathlib.Path(path).write_text(self.snapshot().decode())
 
     @classmethod
     def load(cls, path, master_key: bytes) -> "EncryptedImageDatabase":
         """Load a saved database; the master key is needed to *use* it."""
-        import json as _json
         import pathlib
 
-        payload = _json.loads(pathlib.Path(path).read_text())
-        if payload.get("format") != "repro-image-db/1":
-            raise ValueError("unrecognized image-db file format")
-        db = cls(master_key)
-        db._records = {
-            client_id: bytes.fromhex(blob)
-            for client_id, blob in payload["records"].items()
-        }
+        raw = pathlib.Path(path).read_text().encode()
+        try:
+            db = cls.from_snapshot(raw, master_key)
+        except ValueError:
+            raise ValueError("unrecognized image-db file format") from None
         return db

@@ -23,6 +23,7 @@ from repro.reliability.faults import (
     ScriptedFaultInjector,
     DeviceFaultInjector,
     ClusterFaultInjector,
+    ShardFaultInjector,
     VirtualClock,
     MESSAGE_FAULTS,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ScriptedFaultInjector",
     "DeviceFaultInjector",
     "ClusterFaultInjector",
+    "ShardFaultInjector",
     "VirtualClock",
     "MESSAGE_FAULTS",
     "RetryPolicy",

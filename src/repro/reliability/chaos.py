@@ -63,6 +63,7 @@ __all__ = [
     "run_storm",
     "run_named_storm",
     "run_device_loss_storm",
+    "run_shard_loss_storm",
 ]
 
 
@@ -423,5 +424,23 @@ def run_device_loss_storm(*args, **kwargs):
     report type differs (:class:`~repro.fleet.storm.DeviceLossStormReport`).
     """
     from repro.fleet.storm import run_device_loss_storm as _run
+
+    return _run(*args, **kwargs)
+
+
+def run_shard_loss_storm(*args, **kwargs):
+    """Shard-loss storm over the enrollment directory — see
+    :mod:`repro.directory.storm`.
+
+    A third chaos axis: :data:`NAMED_PLANS` stress the search engine,
+    :func:`run_device_loss_storm` kills a compute device, and this one
+    kills whole *enrollment shards* — first one (replica failover must
+    carry every read), then a full replica set (exactly the doomed keys
+    must shed typed, nothing may error or falsely authenticate), then
+    both revive (read repair must heal the divergence planted while they
+    were dark). Delegates so callers have one chaos namespace; its
+    report type is :class:`~repro.directory.storm.ShardLossStormReport`.
+    """
+    from repro.directory.storm import run_shard_loss_storm as _run
 
     return _run(*args, **kwargs)

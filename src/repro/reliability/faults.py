@@ -28,6 +28,7 @@ __all__ = [
     "ScriptedFaultInjector",
     "DeviceFaultInjector",
     "ClusterFaultInjector",
+    "ShardFaultInjector",
     "VirtualClock",
     "MESSAGE_FAULTS",
 ]
@@ -40,6 +41,7 @@ _STREAM_TRANSPORT = 1
 _STREAM_CLIENT = 2
 _STREAM_DEVICE = 3
 _STREAM_CLUSTER = 4
+_STREAM_SHARD = 5
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,13 @@ class FaultSpec:
     dead_rank_count: int = 0
     straggler_rate: float = 0.0
     straggler_factor: float = 3.0
+    # -- directory-shard faults (per shard read/write) ------------------
+    #: Probability a shard operation times out (transient; the directory
+    #: retries with backoff before failing over to a replica).
+    shard_timeout_rate: float = 0.0
+    #: Probability a shard operation is slow-but-successful.
+    shard_slow_rate: float = 0.0
+    shard_slow_seconds: float = 0.05
 
     def __post_init__(self):
         for f in fields(self):
@@ -228,6 +237,41 @@ class DeviceFaultInjector:
             return None
 
 
+class ShardFaultInjector:
+    """Per-operation fault stream for one enrollment-directory shard.
+
+    Each read/write against the shard draws once: ``"timeout"`` (the
+    operation fails with a retryable timeout), ``"slow"`` (it succeeds
+    after a modeled delay), or ``None`` (clean). Keyed per shard index,
+    so shard 3's schedule is independent of whether shard 1 was ever
+    consulted.
+    """
+
+    def __init__(self, spec: FaultSpec, rng: np.random.Generator):
+        self.spec = spec
+        self._rng = rng
+        self._lock = threading.Lock()
+        self.operations_seen = 0
+        #: (operation_index, fault_kind) for every faulted operation.
+        self.schedule: list[tuple[int, str]] = []
+
+    def next(self) -> str | None:
+        """The fault (if any) to apply to the next shard operation."""
+        with self._lock:
+            index = self.operations_seen
+            self.operations_seen += 1
+            draw = self._rng.random()
+            threshold = self.spec.shard_timeout_rate
+            if draw < threshold:
+                self.schedule.append((index, "timeout"))
+                return "timeout"
+            threshold += self.spec.shard_slow_rate
+            if draw < threshold:
+                self.schedule.append((index, "slow"))
+                return "slow"
+            return None
+
+
 class ClusterFaultInjector:
     """Rank-level faults for one distributed search: deaths and stragglers."""
 
@@ -285,3 +329,7 @@ class FaultPlan:
     def cluster_injector(self, ranks: int) -> ClusterFaultInjector:
         """Rank death/straggler assignment for a ``ranks``-node search."""
         return ClusterFaultInjector(self.spec, self._rng(_STREAM_CLUSTER), ranks)
+
+    def shard_injector(self, index: int) -> ShardFaultInjector:
+        """The operation-fault stream for enrollment-directory shard ``index``."""
+        return ShardFaultInjector(self.spec, self._rng(_STREAM_SHARD, index))

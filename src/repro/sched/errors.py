@@ -18,6 +18,7 @@ __all__ = [
     "SHED_DEADLINE_EXPIRED",
     "SHED_SHUTDOWN",
     "SHED_NO_DEVICES",
+    "SHED_DIRECTORY_UNAVAILABLE",
 ]
 
 #: A full admission queue refused the request outright.
@@ -30,6 +31,11 @@ SHED_DEADLINE_EXPIRED = "deadline_expired"
 SHED_SHUTDOWN = "shutdown"
 #: Every device in the fleet stayed quarantined past the grace window.
 SHED_NO_DEVICES = "no_healthy_devices"
+#: Every replica of the client's enrollment record is unreachable: the
+#: CA cannot even fetch the image to search against. Degraded-mode
+#: serving sheds the request instead of erroring — the failure is the
+#: directory's, not the client's, and it clears when a replica rejoins.
+SHED_DIRECTORY_UNAVAILABLE = "directory_unavailable"
 
 
 class SchedulerError(Exception):

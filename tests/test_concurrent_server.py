@@ -184,6 +184,9 @@ class TestServerMetricsRecord:
         metrics.record(shed=2, preempted=1, queue_depth=5)
         metrics.record(queue_depth=3)  # gauge: peak is kept, not summed
         metrics.record(redispatched=3, hedged=2)
+        metrics.record(directory_hot_hits=4, directory_hot_misses=2,
+                       directory_failovers=1, directory_read_repairs=2,
+                       shed_directory=1)
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -204,6 +207,11 @@ class TestServerMetricsRecord:
             "queue_depth_peak": 5,
             "redispatched": 3,
             "hedged": 2,
+            "directory_hot_hits": 4,
+            "directory_hot_misses": 2,
+            "directory_failovers": 1,
+            "directory_read_repairs": 2,
+            "shed_directory": 1,
         }
 
     def test_record_is_thread_safe(self):

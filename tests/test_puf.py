@@ -189,3 +189,97 @@ class TestEncryptedImageDatabase:
         db2._records["alice"] = db1.encrypted_record("alice")
         with pytest.raises(Exception):
             db2.lookup("alice")
+
+
+class TestImageDatabaseVersionedNonces:
+    """CTR nonce-reuse regression: the nonce must rotate with re-enrollment."""
+
+    @pytest.fixture
+    def mask(self):
+        puf = SRAMPuf(num_cells=512, seed=8)
+        return enroll_with_masking(puf, 0, 512)
+
+    def test_re_enroll_rotates_the_keystream(self, mask):
+        # With a version-blind nonce, re-enrolling the same plaintext
+        # yields the identical ciphertext (and two different plaintexts
+        # leak their XOR). The versioned nonce makes both enrollments
+        # encrypt under distinct keystreams.
+        db = EncryptedImageDatabase(b"k" * 16)
+        db.enroll("alice", mask)
+        first = db.encrypted_record("alice")
+        db.enroll("alice", mask)
+        second = db.encrypted_record("alice")
+        assert first != second
+        assert db.version_of("alice") == 1
+        restored = db.lookup("alice")
+        assert (restored.reference == mask.reference).all()
+
+    def test_stateless_codec_is_pure_and_version_sensitive(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        v0 = db.encrypt_record("alice", mask, 0)
+        assert db.encrypt_record("alice", mask, 0) == v0  # deterministic
+        assert db.encrypt_record("alice", mask, 1) != v0  # nonce rotated
+        assert len(db) == 0  # the codec never touches the store
+        restored = db.decrypt_record("alice", v0, 0)
+        assert (restored.reference == mask.reference).all()
+
+    def test_codec_rejects_negative_versions(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        with pytest.raises(ValueError):
+            db.encrypt_record("alice", mask, -1)
+        with pytest.raises(ValueError):
+            db.decrypt_record("alice", b"\x00", -1)
+        with pytest.raises(ValueError):
+            db.import_record("alice", b"\x00", -1)
+
+    def test_export_import_is_portable_between_stores(self, mask):
+        source = EncryptedImageDatabase(b"k" * 16)
+        source.enroll("alice", mask)
+        source.enroll("alice", mask)  # bump to version 1
+        blob, version = source.export_record("alice")
+        peer = EncryptedImageDatabase(b"k" * 16)
+        peer.import_record("alice", blob, version)
+        assert peer.version_of("alice") == 1
+        restored = peer.lookup("alice")
+        assert (restored.usable == mask.usable).all()
+
+    def test_snapshot_restore_keeps_versions_and_ciphertext(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        db.enroll("alice", mask)
+        db.enroll("alice", mask)
+        clone = EncryptedImageDatabase.from_snapshot(db.snapshot(), b"k" * 16)
+        assert clone.version_of("alice") == 1
+        assert clone.encrypted_record("alice") == db.encrypted_record("alice")
+        restored = clone.lookup("alice")
+        assert (restored.reference == mask.reference).all()
+
+    def test_snapshot_stays_encrypted_and_keyless(self, mask):
+        db = EncryptedImageDatabase(b"k" * 16)
+        db.enroll("alice", mask)
+        snapshot = db.snapshot()
+        assert b"reference" not in snapshot
+        assert (b"k" * 16) not in snapshot
+
+    def test_legacy_v1_snapshot_loads_at_version_zero(self, mask):
+        import json
+
+        db = EncryptedImageDatabase(b"k" * 16)
+        legacy_blob = db.encrypt_record("alice", mask, 0)
+        legacy = json.dumps(
+            {
+                "format": "repro-image-db/1",
+                "records": {"alice": legacy_blob.hex()},
+            }
+        ).encode()
+        db.restore(legacy)
+        assert db.version_of("alice") == 0
+        restored = db.lookup("alice")
+        assert (restored.reference == mask.reference).all()
+
+    def test_unrecognized_snapshot_format_is_rejected(self):
+        import json
+
+        db = EncryptedImageDatabase(b"k" * 16)
+        bogus = json.dumps({"format": "repro-image-db/99", "records": {}})
+        with pytest.raises(ValueError):
+            db.restore(bogus.encode())
