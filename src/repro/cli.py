@@ -491,6 +491,76 @@ def _cmd_directory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.tenancy.workload import (
+        AGGRESSOR_TENANT,
+        VICTIM_TENANT,
+        evaluate_gates,
+        run_noisy_neighbor,
+    )
+
+    record = run_noisy_neighbor(
+        hash_name=args.hash,
+        victims=args.victims,
+        aggressors=args.aggressors,
+        aggressor_rate=args.aggressor_rate,
+        aggressor_burst=args.aggressor_burst,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    config = record["config"]
+
+    def row(phase: str, tenant: str) -> str:
+        stats = record[phase].get(tenant)
+        if stats is None:
+            return f"  {phase:<12} {tenant:<10} (absent)"
+        tail = (
+            f"p50={stats['p50_seconds']:.3f}s p99={stats['p99_seconds']:.3f}s"
+            if stats["served"]
+            else "(nothing served)"
+        )
+        return (
+            f"  {phase:<12} {tenant:<10} n={stats['count']:<3} "
+            f"served={stats['served']:<3} shed={stats['shed']:<3} {tail}"
+        )
+
+    print("tenants: noisy-neighbor storm under per-tenant quotas")
+    print(f"  {config['victims']} victim + {config['aggressors']} aggressor "
+          f"requests, aggressor bucket {config['aggressor_rate']}/s "
+          f"burst={config['aggressor_burst']}, workers={config['workers']}, "
+          f"hash={config['hash_name']}")
+    print(row("baseline", VICTIM_TENANT))
+    print(row("storm", VICTIM_TENANT))
+    print(row("storm", AGGRESSOR_TENANT))
+    print(row("unprotected", VICTIM_TENANT))
+    print(f"  aggressor: {record['aggressor_admitted']} admitted, "
+          f"{record['aggressor_shed']} shed {record['aggressor_shed_reasons']}")
+    print(f"  victim p99: baseline "
+          f"{record['victim_p99_baseline_seconds']:.3f}s -> storm "
+          f"{record['victim_p99_storm_seconds']:.3f}s"
+          + (f" ({record['victim_p99_ratio']:.2f}x)"
+             if record["victim_p99_ratio"] is not None else "")
+          + f"; unprotected "
+            f"{record['victim_p99_unprotected_seconds']:.3f}s")
+
+    print("per-tenant ledger (storm phase):")
+    for tenant_id, stats in sorted(record["server"]["storm_tenants"].items()):
+        line = (f"  {tenant_id:<10} "
+                f"submitted={stats['submitted']:.0f} "
+                f"completed={stats['completed']:.0f} "
+                f"authenticated={stats['authenticated']:.0f} "
+                f"shed={stats['shed']:.0f} "
+                f"quota_hits={stats['quota_hits']:.0f}")
+        if stats.get("p99_seconds") is not None:
+            line += f" p99={stats['p99_seconds']:.3f}s"
+        print(line)
+
+    failures = evaluate_gates(record, ratio_limit=args.ratio_limit)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -625,6 +695,32 @@ def main(argv: list[str] | None = None) -> int:
                            help="max tolerated overall shed rate across "
                                 "the storm's four waves")
     directory.set_defaults(fn=_cmd_directory)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="noisy-neighbor storm: per-tenant quotas vs an aggressor "
+             "burst (exit 1 if the victim's tail degrades or a shed "
+             "is mistyped)",
+    )
+    tenants.add_argument("--hash", default="sha1")
+    tenants.add_argument("--victims", type=int, default=6,
+                         help="victim fleet size (requests)")
+    tenants.add_argument("--aggressors", type=int, default=12,
+                         help="aggressor burst size (requests)")
+    tenants.add_argument("--aggressor-rate", type=float, default=1.0,
+                         dest="aggressor_rate",
+                         help="aggressor token-bucket refill "
+                              "(lookups/second)")
+    tenants.add_argument("--aggressor-burst", type=float, default=1.0,
+                         dest="aggressor_burst",
+                         help="aggressor token-bucket capacity")
+    tenants.add_argument("--workers", type=int, default=2)
+    tenants.add_argument("--seed", type=int, default=0)
+    tenants.add_argument("--ratio-limit", type=float, default=1.25,
+                         dest="ratio_limit",
+                         help="allowed victim p99 degradation under "
+                              "the storm")
+    tenants.set_defaults(fn=_cmd_tenants)
 
     args = parser.parse_args(argv)
     try:

@@ -22,6 +22,7 @@ from repro.hashes.registry import HashAlgorithm, get_hash
 from repro.keygen.interface import KeyGenerator
 from repro.puf.ternary import TernaryMask
 from repro.runtime.executor import SearchResult
+from repro.tenancy.context import namespaced_key
 
 __all__ = [
     "RegistrationAuthority",
@@ -110,18 +111,30 @@ class CertificateAuthority:
         """The registered hash algorithm this CA searches with."""
         return get_hash(self.hash_name)
 
-    def enroll(self, client_id: str, mask: TernaryMask) -> None:
-        """Store a client's enrollment image (secure-facility phase)."""
+    def enroll(
+        self,
+        client_id: str,
+        mask: TernaryMask,
+        tenant_id: str | None = None,
+    ) -> None:
+        """Store a client's enrollment image (secure-facility phase).
+
+        ``tenant_id`` namespaces the stored record: the default tenant
+        (or ``None``) stores under the bare client id, exactly as before
+        tenancy, so pre-tenancy enrollments stay reachable.
+        """
         if mask.usable_count < self.seed_bits:
             raise ValueError(
                 f"enrollment window provides {mask.usable_count} usable "
                 f"cells; {self.seed_bits} required"
             )
-        self.image_db.enroll(client_id, mask)
+        self.image_db.enroll(namespaced_key(tenant_id, client_id), mask)
 
-    def issue_challenge(self, client_id: str) -> Challenge:
+    def issue_challenge(
+        self, client_id: str, tenant_id: str | None = None
+    ) -> Challenge:
         """Handshake step: tell the client which cells to read."""
-        mask = self.image_db.lookup(client_id)
+        mask = self.image_db.lookup(namespaced_key(tenant_id, client_id))
         return Challenge(
             client_id=client_id,
             address=mask.address,
@@ -131,22 +144,25 @@ class CertificateAuthority:
             hash_name=self.hash_name,
         )
 
-    def enrolled_seed(self, client_id: str) -> bytes:
+    def enrolled_seed(
+        self, client_id: str, tenant_id: str | None = None
+    ) -> bytes:
         """S_init — the seed from the enrolled (noise-free) PUF image."""
-        seed, _stats = self.enrolled_seed_with_stats(client_id)
+        seed, _stats = self.enrolled_seed_with_stats(client_id, tenant_id)
         return seed
 
     def enrolled_seed_with_stats(
-        self, client_id: str
+        self, client_id: str, tenant_id: str | None = None
     ) -> tuple[bytes, DirectoryStats | None]:
         """S_init plus the directory's lookup telemetry (None for a
         plain in-memory store)."""
+        key = namespaced_key(tenant_id, client_id)
         lookup_with_stats = getattr(self.image_db, "lookup_with_stats", None)
         stats: DirectoryStats | None = None
         if lookup_with_stats is not None:
-            mask, stats = lookup_with_stats(client_id)
+            mask, stats = lookup_with_stats(key)
         else:
-            mask = self.image_db.lookup(client_id)
+            mask = self.image_db.lookup(key)
         bits = mask.reference_seed_bits(self.seed_bits)
         return np.packbits(bits).tobytes(), stats
 
@@ -155,6 +171,7 @@ class CertificateAuthority:
         client_id: str,
         client_digest: bytes,
         deadline_seconds: float | None = None,
+        tenant_id: str | None = None,
     ) -> SearchResult:
         """Figure 1 steps 1-6: the RBC search proper.
 
@@ -163,7 +180,9 @@ class CertificateAuthority:
         after a replica failover is distinguishable from one whose image
         came from the hot cache.
         """
-        seed, directory_stats = self.enrolled_seed_with_stats(client_id)
+        seed, directory_stats = self.enrolled_seed_with_stats(
+            client_id, tenant_id
+        )
         result = self.search_service.find_seed(
             seed,
             client_digest,
@@ -174,9 +193,20 @@ class CertificateAuthority:
         self._last_result = result
         return result
 
-    def issue_public_key(self, client_id: str, found_seed: bytes) -> bytes:
-        """Figure 1 steps 7-9: salt, generate the key once, update the RA."""
+    def issue_public_key(
+        self,
+        client_id: str,
+        found_seed: bytes,
+        tenant_id: str | None = None,
+    ) -> bytes:
+        """Figure 1 steps 7-9: salt, generate the key once, update the RA.
+
+        RA entries are namespaced the same way as enrollment records, so
+        two tenants' identically-named clients never share a key slot.
+        """
         salted = self.salt(found_seed)
         public_key = self.keygen.public_key(salted)
-        self.registration_authority.update(client_id, public_key)
+        self.registration_authority.update(
+            namespaced_key(tenant_id, client_id), public_key
+        )
         return public_key

@@ -51,6 +51,9 @@ from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.ternary import TernaryMask
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
 from repro.reliability.faults import FaultPlan
+from repro.tenancy.context import tenant_of_key
+from repro.tenancy.errors import TenantQuotaExceeded
+from repro.tenancy.registry import TenantRegistry
 
 __all__ = ["ShardedEnrollmentDirectory"]
 
@@ -73,6 +76,7 @@ class ShardedEnrollmentDirectory:
         breaker_recovery_seconds: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        tenants: TenantRegistry | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -118,6 +122,14 @@ class ShardedEnrollmentDirectory:
         #: is metadata (no plaintext, no ciphertext); it is what lets a
         #: quorum read reject a stale replica outright.
         self._known: dict[str, int] = {}
+        #: Optional tenant registry: when present, enrollments of *new*
+        #: keys are checked against the owning tenant's enrollment cap.
+        self.tenants = tenants
+        #: Records / lookups per tenant namespace (keys are split with
+        #: :func:`~repro.tenancy.context.tenant_of_key`; bare keys count
+        #: under the default tenant).
+        self._tenant_counts: dict[str, int] = {}
+        self._tenant_lookups: dict[str, int] = {}
         self._lock = threading.Lock()
         # -- directory-level counters ------------------------------------
         self.hot_hits = 0
@@ -175,16 +187,39 @@ class ShardedEnrollmentDirectory:
                 raise ClientNotEnrolled(client_id)
             return self._known[client_id]
 
+    def tenant_record_count(self, tenant_id: str) -> int:
+        """How many records this tenant currently holds in the directory."""
+        with self._lock:
+            return self._tenant_counts.get(tenant_id, 0)
+
     def enroll(self, client_id: str, mask: TernaryMask) -> None:
         """Encrypt once, install on all R replicas, bump the version.
+
+        The key may be tenant-namespaced (``tenant::client``); installing
+        a *new* key counts against the owning tenant's ``max_enrollments``
+        quota when a registry is attached, raising
+        :class:`~repro.tenancy.errors.TenantQuotaExceeded` at the door —
+        no replica is touched for an over-quota install. Re-enrolling an
+        existing key never hits the cap (it replaces, not grows).
 
         Tolerates partial replica outage: the write succeeds if at least
         one replica accepts it (survivors re-seed the others through
         read-repair once they rejoin). Raises
         :class:`DirectoryUnavailable` only when *every* replica refuses.
         """
+        tenant = tenant_of_key(client_id)
         replicas = self.replicas_for(client_id)
         with self._lock:
+            is_new = client_id not in self._known
+            if is_new and self.tenants is not None:
+                cap = self.tenants.enrollment_cap(tenant)
+                held = self._tenant_counts.get(tenant, 0)
+                if cap is not None and held >= cap:
+                    raise TenantQuotaExceeded(
+                        tenant,
+                        "max_enrollments",
+                        f"{held}/{cap} records already enrolled",
+                    )
             version = self._known.get(client_id, -1) + 1
         blob = self._codec.encrypt_record(client_id, mask, version)
         accepted = 0
@@ -197,6 +232,10 @@ class ShardedEnrollmentDirectory:
         if accepted == 0:
             raise DirectoryUnavailable(client_id, replicas)
         with self._lock:
+            if client_id not in self._known:
+                self._tenant_counts[tenant] = (
+                    self._tenant_counts.get(tenant, 0) + 1
+                )
             self._known[client_id] = version
         # A write makes any cached copy stale — count it as such.
         self._caches[replicas[0]].invalidate(client_id)
@@ -235,10 +274,14 @@ class ShardedEnrollmentDirectory:
     ) -> tuple[TernaryMask, DirectoryStats]:
         """Lookup plus the per-lookup telemetry the serving layer records."""
         start = time.perf_counter()
+        tenant = tenant_of_key(client_id)
         with self._lock:
             if client_id not in self._known:
                 raise ClientNotEnrolled(client_id)
             current_version = self._known[client_id]
+            self._tenant_lookups[tenant] = (
+                self._tenant_lookups.get(tenant, 0) + 1
+            )
         replicas = self.replicas_for(client_id)
         primary = replicas[0]
         cache = self._caches[primary]
@@ -248,6 +291,7 @@ class ShardedEnrollmentDirectory:
                 self.hot_hits += 1
             return entry[0], DirectoryStats(
                 source="hot-cache",
+                tenant=tenant,
                 hot_hit=True,
                 lookup_seconds=time.perf_counter() - start,
             )
@@ -349,6 +393,7 @@ class ShardedEnrollmentDirectory:
             retries = self.retries - retries_before
         return mask, DirectoryStats(
             source="primary" if winner_shard == replicas[0] else "replica",
+            tenant=tenant_of_key(client_id),
             shard=winner_shard,
             replicas_read=len(responses),
             retries=retries,
@@ -452,6 +497,21 @@ class ShardedEnrollmentDirectory:
                 "unavailable_lookups": self.unavailable_lookups,
                 "prefetch_batches": self.prefetch_batches,
             }
+            tenant_ids = sorted(
+                set(self._tenant_counts) | set(self._tenant_lookups)
+            )
+            tenants: dict[str, dict[str, object]] = {}
+            for tenant_id in tenant_ids:
+                entry: dict[str, object] = {
+                    "enrollments": self._tenant_counts.get(tenant_id, 0),
+                    "lookups": self._tenant_lookups.get(tenant_id, 0),
+                }
+                if self.tenants is not None:
+                    entry["enrollment_cap"] = self.tenants.enrollment_cap(
+                        tenant_id
+                    )
+                tenants[tenant_id] = entry
+            counters["tenants"] = tenants
         cache_totals = {"hits": 0, "misses": 0, "stale_invalidations": 0,
                         "evictions": 0, "prefetch_inserts": 0,
                         "prefetch_dropped": 0}

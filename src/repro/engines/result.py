@@ -105,6 +105,9 @@ class SchedulingStats:
     """
 
     lane: str = ""
+    #: Tenant the request was attributed to ("" for pre-tenancy engines;
+    #: the scheduler stamps ``"default"`` for untenanted submissions).
+    tenant: str = ""
     #: Client-supplied deadline, if any (relative seconds at submit).
     deadline_seconds: float | None = None
     #: Admission -> first device batch.
@@ -163,6 +166,8 @@ class DirectoryStats:
 
     #: ``"hot-cache"``, ``"primary"``, or ``"replica"`` (failover read).
     source: str = ""
+    #: Tenant namespace the looked-up key lived in ("" before tenancy).
+    tenant: str = ""
     #: Shard that served the read ("" for a pure cache hit).
     shard: str = ""
     #: Replicas consulted by the quorum read (0 for a cache hit).

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Sequence
 
 from repro._bitutils import seed_to_words
@@ -48,6 +49,7 @@ from repro.engines.result import (
     ShellStats,
 )
 from repro.runtime.executor import BatchSearchExecutor
+from repro.tenancy.context import DEFAULT_TENANT, TenantContext
 
 from repro.sched.batcher import BatchSlice, SliceOutcome, UnitCursor
 from repro.sched.errors import (
@@ -174,6 +176,11 @@ class FleetScheduler:
         self._spec = spec_string
         self._wake = threading.Condition()
         self._active: list[FleetSearch] = []
+        #: Fleet-wide (tenant_id, rows) outcome window: fair share is
+        #: enforced over the whole fleet's capacity, not per device.
+        self._recent_tenant_rows: deque[tuple[str, int]] = deque(
+            maxlen=self.policy.config.fairness_window
+        )
         self._threads: list[threading.Thread] = []
         self._closed = False
         self._drain = True
@@ -197,6 +204,9 @@ class FleetScheduler:
         self._hedges_cancelled = 0
         self._quarantines = 0
         self._reinstatements = 0
+        self._tenant_admitted: dict[str, int] = {}
+        self._tenant_shed: dict[str, int] = {}
+        self._tenant_rows: dict[str, int] = {}
 
     # -- public geometry ------------------------------------------------
 
@@ -262,6 +272,7 @@ class FleetScheduler:
         time_budget: float | None = None,
         deadline_seconds: float | None = None,
         client_id: str = "",
+        tenant: TenantContext | str | None = None,
     ) -> FleetSearch:
         """Admit one search and place it on the least-loaded device.
 
@@ -274,6 +285,10 @@ class FleetScheduler:
             raise ValueError("max_distance must be non-negative")
         if deadline_seconds is not None and deadline_seconds < 0:
             raise ValueError("deadline_seconds must be non-negative")
+        if isinstance(tenant, TenantContext):
+            tenant_id = tenant.tenant_id
+        else:
+            tenant_id = tenant or DEFAULT_TENANT
         now = time.perf_counter()
         units = decompose_search(max_distance, self.chunk_ranks)
         with self._wake:
@@ -284,9 +299,13 @@ class FleetScheduler:
                 max_queue=self.max_queue,
                 deadline_seconds=deadline_seconds,
                 throughput=self._throughput,
+                tenant_id=tenant_id,
             )
             if reason is not None:
                 self._shed[reason] = self._shed.get(reason, 0) + 1
+                self._tenant_shed[tenant_id] = (
+                    self._tenant_shed.get(tenant_id, 0) + 1
+                )
                 raise RequestShed(reason, f"client {client_id!r}")
             self._seq += 1
             request = FleetSearch(
@@ -305,9 +324,13 @@ class FleetScheduler:
                 deadline_seconds=deadline_seconds,
                 cursor=UnitCursor(self._executor, units),
                 chunks_total=len(units),
+                tenant_id=tenant_id,
             )
             request.device = self._place_locked()
             self._admitted += 1
+            self._tenant_admitted[tenant_id] = (
+                self._tenant_admitted.get(tenant_id, 0) + 1
+            )
             self._active.append(request)
             self._peak_depth = max(self._peak_depth, len(self._active))
             self._ensure_threads_locked()
@@ -420,7 +443,9 @@ class FleetScheduler:
                 return "hedge", hedge, []
             return None, None, []
         self._aged_promotions += self.policy.apply_aging(runnable, now)
-        primary = self.policy.pick(runnable, device.recent_lanes)
+        primary = self.policy.pick(
+            runnable, device.recent_lanes, self._recent_tenant_rows
+        )
         last = device.last_primary
         if (
             last is not None
@@ -435,7 +460,9 @@ class FleetScheduler:
         slices: list[BatchSlice] = []
         drained: list[FleetSearch] = []
         room = self.batch_size
-        for request in self.policy.fill_order(runnable, primary):
+        for request in self.policy.fill_order(
+            runnable, primary, self._recent_tenant_rows
+        ):
             if room <= 0:
                 break
             taken = request.cursor.take(room)
@@ -590,6 +617,12 @@ class FleetScheduler:
                 )
                 request.batches_by_device[winner.name] = (
                     request.batches_by_device.get(winner.name, 0) + 1
+                )
+                self._recent_tenant_rows.append(
+                    (request.tenant_id, outcome.rows)
+                )
+                self._tenant_rows[request.tenant_id] = (
+                    self._tenant_rows.get(request.tenant_id, 0) + outcome.rows
                 )
                 hook_calls.append((outcome.distance, outcome.rows))
                 if outcome.seed is not None:
@@ -796,6 +829,9 @@ class FleetScheduler:
         scheduling = request.scheduling_stats(now)
         with self._wake:
             self._shed[reason] = self._shed.get(reason, 0) + 1
+            self._tenant_shed[request.tenant_id] = (
+                self._tenant_shed.get(request.tenant_id, 0) + 1
+            )
         on_schedule = getattr(self.hooks, "on_schedule", None)
         if on_schedule is not None:
             on_schedule(scheduling)
@@ -809,6 +845,26 @@ class FleetScheduler:
         """A consistent copy of the fleet's counters."""
         with self._wake:
             shed_reasons = dict(self._shed)
+            tenant_ids = sorted(
+                set(self._tenant_admitted)
+                | set(self._tenant_shed)
+                | set(self._tenant_rows)
+            )
+            total_tenant_rows = sum(self._tenant_rows.values())
+            tenants = {
+                tenant_id: {
+                    "admitted": self._tenant_admitted.get(tenant_id, 0),
+                    "shed": self._tenant_shed.get(tenant_id, 0),
+                    "rows": self._tenant_rows.get(tenant_id, 0),
+                    "device_share": (
+                        self._tenant_rows.get(tenant_id, 0)
+                        / total_tenant_rows
+                        if total_tenant_rows
+                        else 0.0
+                    ),
+                }
+                for tenant_id in tenant_ids
+            }
             return {
                 "admitted": self._admitted,
                 "completed": self._completed,
@@ -835,6 +891,7 @@ class FleetScheduler:
                 "reinstatements": self._reinstatements,
                 "probes": sum(d.probes for d in self.devices),
                 "devices": {d.name: d.snapshot() for d in self.devices},
+                "tenants": tenants,
             }
 
     # -- lifecycle ------------------------------------------------------

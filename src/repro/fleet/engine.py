@@ -23,6 +23,8 @@ from repro.devices.flaky import FlakyDeviceModel
 from repro.engines.hooks import EngineHooks
 from repro.engines.result import SearchResult
 from repro.runtime.executor import BatchSearchExecutor
+from repro.tenancy.context import TenantContext
+from repro.tenancy.registry import TenantRegistry
 
 from repro.sched.policy import PolicyConfig, SchedulingPolicy
 from repro.sched.units import DEFAULT_CHUNK_RANKS
@@ -117,6 +119,7 @@ class FleetSearchEngine:
         fault_episode_length: int = 6,
         slow_factor: float = 8.0,
         scheduler: FleetScheduler | None = None,
+        tenants: TenantRegistry | None = None,
     ):
         if scheduler is not None:
             self.scheduler = scheduler
@@ -136,7 +139,8 @@ class FleetSearchEngine:
                 deep_distance=deep_distance,
                 fairness_cap=fairness_cap,
                 aging_seconds=aging_seconds if aging_seconds > 0 else None,
-            )
+            ),
+            tenants=tenants,
         )
         fleet_devices = [
             _build_device(
@@ -219,6 +223,7 @@ class FleetSearchEngine:
         time_budget: float | None = None,
         deadline_seconds: float | None = None,
         client_id: str = "",
+        tenant: TenantContext | str | None = None,
     ) -> FleetSearch:
         """Non-blocking admission; returns the fleet's ticket."""
         return self.scheduler.submit(
@@ -228,6 +233,7 @@ class FleetSearchEngine:
             time_budget=time_budget,
             deadline_seconds=deadline_seconds,
             client_id=client_id,
+            tenant=tenant,
         )
 
     # -- lifecycle ------------------------------------------------------

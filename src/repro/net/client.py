@@ -32,6 +32,7 @@ from repro.reliability.retry import (
     RetriesExhausted,
     RetryPolicy,
 )
+from repro.tenancy.context import DEFAULT_TENANT
 
 __all__ = ["NetworkClient"]
 
@@ -48,6 +49,7 @@ class NetworkClient:
         retry_policy: RetryPolicy | None = None,
         rng: np.random.Generator | None = None,
         deadline_seconds: float | None = None,
+        tenant_id: str = DEFAULT_TENANT,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
@@ -57,6 +59,9 @@ class NetworkClient:
         self.transport = transport
         self.reference_mask = reference_mask
         self.max_attempts = max_attempts
+        #: Namespace this client authenticates under; the default tenant
+        #: keeps every frame byte-identical to the pre-tenancy protocol.
+        self.tenant_id = tenant_id or DEFAULT_TENANT
         #: Client-side answer deadline, attached to every digest
         #: submission (how long *this client* is willing to wait for the
         #: search, independent of the protocol threshold T).
@@ -150,7 +155,9 @@ class NetworkClient:
         Each leg is serialized, delivered (where faults may strike), and
         re-parsed, so what the peer consumes is what the wire produced.
         """
-        request = HandshakeRequest(client_id=self.device.client_id)
+        request = HandshakeRequest(
+            client_id=self.device.client_id, tenant=self.tenant_id
+        )
         request = HandshakeRequest.from_bytes(
             self.transport.deliver("handshake-request", request.to_bytes())
         )
@@ -174,6 +181,7 @@ class NetworkClient:
             client_id=self.device.client_id,
             digest=digest,
             deadline_seconds=self.deadline_seconds,
+            tenant=self.tenant_id,
         )
         submission = DigestSubmission.from_bytes(
             self.transport.deliver("digest-submission", submission.to_bytes())

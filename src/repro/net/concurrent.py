@@ -39,8 +39,15 @@ from repro.net.messages import AuthenticationResult
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
 from repro.runtime.pool import PooledSearchExecutor
 from repro.sched.engine import ScheduledSearchEngine
-from repro.sched.errors import SHED_DIRECTORY_UNAVAILABLE, RequestShed
+from repro.sched.errors import (
+    SHED_DIRECTORY_UNAVAILABLE,
+    SHED_TENANT_QUOTA,
+    RequestShed,
+)
 from repro.sched.scheduler import ScheduledSearch
+from repro.tenancy.context import DEFAULT_TENANT, namespaced_key
+from repro.tenancy.ledger import TenantLedger
+from repro.tenancy.registry import TenantRegistry
 
 if TYPE_CHECKING:
     from repro.fleet.engine import FleetSearchEngine
@@ -90,6 +97,15 @@ class ServerMetrics:
     directory_failovers: int = 0
     directory_read_repairs: int = 0
     shed_directory: int = 0
+    #: Requests refused because their tenant's admission budget (token
+    #: bucket) or enrollment quota was exhausted.
+    shed_tenant_quota: int = 0
+    #: Per-reason shed counts. Written only by :meth:`record_shed`, which
+    #: also increments ``shed`` — the two can never drift apart.
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    #: Per-tenant counters (submitted / shed / quota hits / latency
+    #: percentiles); fed by the same ``record`` / ``record_shed`` calls.
+    tenants: TenantLedger = field(default_factory=TenantLedger, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record(
@@ -108,7 +124,6 @@ class ServerMetrics:
         plan_hits: int = 0,
         plan_misses: int = 0,
         pool_reuses: int = 0,
-        shed: int = 0,
         preempted: int = 0,
         queue_depth: int = 0,
         redispatched: int = 0,
@@ -117,13 +132,18 @@ class ServerMetrics:
         directory_hot_misses: int = 0,
         directory_failovers: int = 0,
         directory_read_repairs: int = 0,
-        shed_directory: int = 0,
+        tenant_id: str | None = None,
     ) -> None:
         """Atomically increment counters — the one write path callers use.
 
         ``queue_depth`` is a gauge observation, not an increment: the
         peak-so-far is kept (max-merge), so callers report the depth they
-        saw and the snapshot exposes the high-water mark.
+        saw and the snapshot exposes the high-water mark. ``tenant_id``
+        mirrors the per-request counters into the per-tenant ledger.
+
+        Sheds are deliberately *not* recordable here: every shed goes
+        through :meth:`record_shed`, which keeps the ``shed`` total and
+        the per-reason counts in lockstep.
         """
         with self._lock:
             self.submitted += submitted
@@ -139,7 +159,6 @@ class ServerMetrics:
             self.plan_hits += plan_hits
             self.plan_misses += plan_misses
             self.pool_reuses += pool_reuses
-            self.shed += shed
             self.preempted += preempted
             self.redispatched += redispatched
             self.hedged += hedged
@@ -147,9 +166,53 @@ class ServerMetrics:
             self.directory_hot_misses += directory_hot_misses
             self.directory_failovers += directory_failovers
             self.directory_read_repairs += directory_read_repairs
-            self.shed_directory += shed_directory
             if queue_depth > self.queue_depth_peak:
                 self.queue_depth_peak = queue_depth
+        if tenant_id is not None:
+            self.tenants.record(
+                tenant_id,
+                submitted=submitted,
+                completed=completed,
+                authenticated=authenticated,
+                failed=failed,
+                search_seconds=search_seconds,
+                directory_lookups=directory_hot_hits + directory_hot_misses,
+                latency_seconds=search_seconds if completed else None,
+            )
+
+    def record_shed(
+        self,
+        reason: str,
+        *,
+        failed: int = 0,
+        search_seconds: float = 0.0,
+        tenant_id: str | None = None,
+    ) -> None:
+        """The one write path for sheds: total + per-reason, atomically.
+
+        Every shed increments ``shed`` and ``shed_reasons[reason]`` in
+        the same critical section, so ``sum(shed_reasons.values()) ==
+        shed`` holds at every instant. Reason-specific convenience
+        counters (``shed_directory``, ``shed_tenant_quota``) are derived
+        here too, never written directly by callers.
+        """
+        with self._lock:
+            self.shed += 1
+            self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+            if reason == SHED_DIRECTORY_UNAVAILABLE:
+                self.shed_directory += 1
+            elif reason == SHED_TENANT_QUOTA:
+                self.shed_tenant_quota += 1
+            self.failed += failed
+            self.total_search_seconds += search_seconds
+        if tenant_id is not None:
+            self.tenants.record(
+                tenant_id,
+                shed=1,
+                failed=failed,
+                search_seconds=search_seconds,
+                quota_hits=1 if reason == SHED_TENANT_QUOTA else 0,
+            )
 
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
@@ -178,7 +241,17 @@ class ServerMetrics:
                 "directory_failovers": self.directory_failovers,
                 "directory_read_repairs": self.directory_read_repairs,
                 "shed_directory": self.shed_directory,
+                "shed_tenant_quota": self.shed_tenant_quota,
             }
+
+    def shed_breakdown(self) -> dict[str, int]:
+        """Per-reason shed counts (sums exactly to ``snapshot()['shed']``)."""
+        with self._lock:
+            return dict(self.shed_reasons)
+
+    def tenant_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-tenant counters (see :class:`~repro.tenancy.ledger.TenantLedger`)."""
+        return self.tenants.snapshot()
 
 
 def _directory_record_kwargs(stats: DirectoryStats | None) -> dict[str, int]:
@@ -204,6 +277,7 @@ class ConcurrentCAServer:
         breaker: CircuitBreaker | None = None,
         scheduler: ScheduledSearchEngine | FleetSearchEngine | None = None,
         prefetch: bool = True,
+        tenants: TenantRegistry | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -211,6 +285,10 @@ class ConcurrentCAServer:
             raise ValueError("max_queue must be positive")
         self.authority = authority
         self.max_queue = max_queue
+        #: The tenant registry every admission decision consults. Without
+        #: one, a quota-free registry is created: every request resolves
+        #: to the default tenant and behaves exactly as before tenancy.
+        self.tenants = tenants if tenants is not None else TenantRegistry()
         #: Optional breaker guarding the search backend: when open,
         #: searches are refused instantly instead of queued onto a
         #: backend that is known to be failing.
@@ -218,6 +296,16 @@ class ConcurrentCAServer:
         #: Optional scheduler backend: submissions bypass the worker
         #: pool and join the continuous-batching work stream instead.
         self.scheduler = scheduler
+        if scheduler is not None:
+            # Share one registry with the scheduler's admission policy so
+            # token buckets are charged exactly once per submission —
+            # by the policy in scheduler mode, by the front door in FIFO
+            # mode. A policy that already has its own registry keeps it.
+            policy = getattr(
+                getattr(scheduler, "scheduler", None), "policy", None
+            )
+            if policy is not None and policy.tenants is None:
+                policy.tenants = self.tenants
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="rbc-search"
         )
@@ -241,6 +329,7 @@ class ConcurrentCAServer:
         client_id: str,
         digest: bytes,
         deadline_seconds: float | None = None,
+        tenant_id: str | None = None,
     ) -> Future:
         """Queue one authentication; returns a Future[AuthenticationResult].
 
@@ -248,37 +337,58 @@ class ConcurrentCAServer:
         shut down, ``RuntimeError`` on admission-control rejection
         (saturated queue, duplicate in-flight client), and — in scheduler
         mode — :class:`~repro.sched.errors.RequestShed` when the
-        scheduler's admission controller refuses the request outright.
+        scheduler's admission controller refuses the request outright
+        (including an exhausted tenant budget, reason ``tenant_quota``).
 
         ``deadline_seconds`` is the client's own latency bound. In
         scheduler mode it routes the request into the express lane and
         arms deadline shedding; in FIFO mode it tightens the search's
         time budget to ``min(T, deadline)``.
+
+        ``tenant_id`` attributes the request to a registered tenant
+        (``None`` rides the default tenant): it selects the directory
+        namespace the enrollment record is resolved in, charges the
+        tenant's admission budget, and keys the per-tenant telemetry.
         """
+        tenant = self.tenants.resolve(tenant_id).tenant_id
+        in_flight_key = namespaced_key(tenant, client_id)
         with self._lock:
             if self._closed:
                 raise ServerClosed("server is closed")
             if self._pending >= self.max_queue:
                 self.metrics.record(rejected_busy=1)
                 raise RuntimeError("server saturated; retry later")
-            if client_id in self._in_flight_clients:
+            if in_flight_key in self._in_flight_clients:
                 self.metrics.record(rejected_duplicate=1)
                 raise RuntimeError(
                     f"client {client_id!r} already has a search in flight"
                 )
-            self._in_flight_clients.add(client_id)
+            self._in_flight_clients.add(in_flight_key)
             self._pending += 1
         if self.prefetcher is not None:
-            self.prefetcher.note(client_id)
+            self.prefetcher.note(in_flight_key)
         if self.scheduler is not None:
             try:
-                return self._submit_scheduled(client_id, digest, deadline_seconds)
+                return self._submit_scheduled(
+                    client_id, digest, deadline_seconds, tenant
+                )
             except BaseException:
-                self._release(client_id)
+                self._release(in_flight_key)
                 raise
-        self.metrics.record(submitted=1)
-        future = self._pool.submit(self._run, client_id, digest, deadline_seconds)
-        future.add_done_callback(lambda _f: self._release(client_id))
+        # FIFO mode has no admission policy, so the front door charges
+        # the tenant's token bucket itself (in scheduler mode the
+        # policy's admission check charges it — exactly once either way).
+        if not self.tenants.try_admit(tenant):
+            self._release(in_flight_key)
+            self.metrics.record_shed(SHED_TENANT_QUOTA, tenant_id=tenant)
+            raise RequestShed(
+                SHED_TENANT_QUOTA, f"tenant {tenant!r} over its lookup budget"
+            )
+        self.metrics.record(submitted=1, tenant_id=tenant)
+        future = self._pool.submit(
+            self._run, client_id, digest, deadline_seconds, tenant
+        )
+        future.add_done_callback(lambda _f: self._release(in_flight_key))
         return future
 
     def _submit_scheduled(
@@ -286,18 +396,21 @@ class ConcurrentCAServer:
         client_id: str,
         digest: bytes,
         deadline_seconds: float | None,
+        tenant: str,
     ) -> Future:
         """Scheduler-mode admission: one ticket in the shared work stream."""
         assert self.scheduler is not None
         service = self.authority.search_service
         start = time.perf_counter()
         try:
-            seed, directory_stats = self._enrolled_seed(client_id)
+            seed, directory_stats = self._enrolled_seed(client_id, tenant)
         except DirectoryUnavailable as exc:
             # The whole replica set for this key is down: degraded-mode
             # serving sheds the request with a typed reason instead of
             # surfacing the directory's internal error.
-            self.metrics.record(shed=1, shed_directory=1)
+            self.metrics.record_shed(
+                SHED_DIRECTORY_UNAVAILABLE, tenant_id=tenant
+            )
             raise RequestShed(SHED_DIRECTORY_UNAVAILABLE, str(exc)) from exc
         try:
             ticket = self.scheduler.submit(
@@ -307,23 +420,28 @@ class ConcurrentCAServer:
                 time_budget=service.time_threshold,
                 deadline_seconds=deadline_seconds,
                 client_id=client_id,
+                tenant=tenant,
             )
-        except RequestShed:
-            # Refused at the door (unmeetable deadline / saturated lanes):
-            # observable as a shed, not a pool rejection.
-            self.metrics.record(shed=1)
+        except RequestShed as exc:
+            # Refused at the door (unmeetable deadline / saturated lanes /
+            # exhausted tenant budget): observable as a typed shed, not a
+            # pool rejection.
+            self.metrics.record_shed(exc.reason, tenant_id=tenant)
             raise
         self.metrics.record(
             submitted=1,
             queue_depth=int(self.scheduler.scheduler.snapshot()["queue_depth"]),
+            tenant_id=tenant,
             **_directory_record_kwargs(directory_stats),
         )
         future: Future = Future()
         future.set_running_or_notify_cancel()
         ticket.add_done_callback(
-            lambda t: self._on_ticket_done(t, client_id, start, future)
+            lambda t: self._on_ticket_done(t, client_id, start, future, tenant)
         )
-        future.add_done_callback(lambda _f: self._release(client_id))
+        future.add_done_callback(
+            lambda _f: self._release(namespaced_key(tenant, client_id))
+        )
         return future
 
     def _on_ticket_done(
@@ -332,13 +450,16 @@ class ConcurrentCAServer:
         client_id: str,
         start: float,
         future: Future,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         """Runs on the dispatcher thread when a scheduled request settles."""
         elapsed = time.perf_counter() - start
         try:
             result = ticket.result(timeout=0.0)
         except RequestShed as exc:
-            self.metrics.record(shed=1, failed=1, search_seconds=elapsed)
+            self.metrics.record_shed(
+                exc.reason, failed=1, search_seconds=elapsed, tenant_id=tenant
+            )
             future.set_exception(exc)
             return
         except BaseException as exc:  # pragma: no cover - defensive
@@ -349,8 +470,8 @@ class ConcurrentCAServer:
             public_key = None
             if result.found:
                 assert result.seed is not None
-                public_key = self.authority.issue_public_key(
-                    client_id, result.seed
+                public_key = self._issue_public_key(
+                    client_id, result.seed, tenant
                 )
             scheduling = result.scheduling
             fleet = getattr(result, "fleet", None)
@@ -363,6 +484,7 @@ class ConcurrentCAServer:
                 preempted=scheduling.preemptions if scheduling else 0,
                 redispatched=fleet.redispatched_chunks if fleet else 0,
                 hedged=fleet.hedged_batches if fleet else 0,
+                tenant_id=tenant,
             )
             future.set_result(
                 AuthenticationResult(
@@ -377,28 +499,51 @@ class ConcurrentCAServer:
         except BaseException as exc:  # pragma: no cover - defensive
             future.set_exception(exc)
 
-    def _release(self, client_id: str) -> None:
+    def _release(self, in_flight_key: str) -> None:
         with self._lock:
-            self._in_flight_clients.discard(client_id)
+            self._in_flight_clients.discard(in_flight_key)
             self._pending -= 1
 
-    def _enrolled_seed(self, client_id: str):
+    def _enrolled_seed(self, client_id: str, tenant: str = DEFAULT_TENANT):
         """S_init plus directory telemetry; tolerates minimal doubles."""
+        # Positional for default-tenant calls so authority doubles
+        # (tests, adapters) predating the tenant parameter keep working.
+        args = (
+            (client_id,)
+            if tenant == DEFAULT_TENANT
+            else (client_id, tenant)
+        )
         with_stats = getattr(self.authority, "enrolled_seed_with_stats", None)
         if with_stats is not None:
-            return with_stats(client_id)
-        return self.authority.enrolled_seed(client_id), None
+            return with_stats(*args)
+        return self.authority.enrolled_seed(*args), None
+
+    def _issue_public_key(
+        self, client_id: str, seed: bytes, tenant: str
+    ) -> bytes:
+        """Key issuance, omitting the tenant for legacy authority doubles."""
+        if tenant == DEFAULT_TENANT:
+            return self.authority.issue_public_key(client_id, seed)
+        return self.authority.issue_public_key(
+            client_id, seed, tenant_id=tenant
+        )
 
     def _search(
-        self, client_id: str, digest: bytes, deadline_seconds: float | None = None
+        self,
+        client_id: str,
+        digest: bytes,
+        deadline_seconds: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ):
-        # Only pass the deadline when the client set one: authority
-        # doubles (tests, adapters) predating the parameter keep working.
+        # Only pass the deadline/tenant when set: authority doubles
+        # (tests, adapters) predating the parameters keep working.
         kwargs = (
             {"deadline_seconds": deadline_seconds}
             if deadline_seconds is not None
             else {}
         )
+        if tenant != DEFAULT_TENANT:
+            kwargs["tenant_id"] = tenant
         if self.breaker is None:
             return self.authority.run_search(client_id, digest, **kwargs)
         # A directory outage is the *directory's* failure, not the search
@@ -425,36 +570,39 @@ class ConcurrentCAServer:
         client_id: str,
         digest: bytes,
         deadline_seconds: float | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> AuthenticationResult:
         start = time.perf_counter()
         try:
-            result = self._search(client_id, digest, deadline_seconds)
+            result = self._search(client_id, digest, deadline_seconds, tenant)
         except CircuitOpenError:
-            self.metrics.record(rejected_open=1, failed=1)
+            self.metrics.record(rejected_open=1, failed=1, tenant_id=tenant)
             raise
         except DirectoryUnavailable as exc:
             # Every replica of this client's enrollment record is down.
             # Shed with a typed reason: the caller can tell "the
             # directory is degraded, retry later" apart from "your
             # authentication failed".
-            self.metrics.record(
-                shed=1,
-                shed_directory=1,
+            self.metrics.record_shed(
+                SHED_DIRECTORY_UNAVAILABLE,
                 failed=1,
                 search_seconds=time.perf_counter() - start,
+                tenant_id=tenant,
             )
             raise RequestShed(SHED_DIRECTORY_UNAVAILABLE, str(exc)) from exc
         except Exception:
             # A failed search is still a finished search: account for it
             # so `submitted == completed + failed + pending` stays true.
             self.metrics.record(
-                failed=1, search_seconds=time.perf_counter() - start
+                failed=1,
+                search_seconds=time.perf_counter() - start,
+                tenant_id=tenant,
             )
             raise
         public_key = None
         if result.found:
             assert result.seed is not None
-            public_key = self.authority.issue_public_key(client_id, result.seed)
+            public_key = self._issue_public_key(client_id, result.seed, tenant)
         amortized = getattr(result, "amortized", None)
         self.metrics.record(
             completed=1,
@@ -467,6 +615,7 @@ class ConcurrentCAServer:
             pool_reuses=(
                 1 if amortized is not None and amortized.pool_reused else 0
             ),
+            tenant_id=tenant,
             **_directory_record_kwargs(getattr(result, "directory", None)),
         )
         return AuthenticationResult(

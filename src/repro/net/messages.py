@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.errors import MessageCorrupted
+from repro.tenancy.context import DEFAULT_TENANT
 
 __all__ = [
     "HandshakeRequest",
@@ -68,20 +69,34 @@ def _decode(raw: bytes, kind: str) -> dict:
 
 @dataclass(frozen=True)
 class HandshakeRequest:
-    """Client -> CA: 'I want to authenticate'."""
+    """Client -> CA: 'I want to authenticate'.
+
+    ``tenant`` names the namespace the client enrolled under. It is
+    *omitted* from the frame for the default tenant, so untenanted
+    clients emit byte-identical frames to the pre-tenancy protocol, and
+    pre-tenancy parsers (which read only known keys) interoperate with
+    tenanted peers in both directions.
+    """
 
     client_id: str
+    tenant: str = DEFAULT_TENANT
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        return _encode("handshake_request", {"client_id": self.client_id})
+        payload: dict = {"client_id": self.client_id}
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
+        return _encode("handshake_request", payload)
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "HandshakeRequest":
         """Parse and integrity-check a wire frame."""
         body = _decode(raw, "handshake_request")
         try:
-            return cls(client_id=body["client_id"])
+            return cls(
+                client_id=body["client_id"],
+                tenant=body.get("tenant") or DEFAULT_TENANT,
+            )
         except KeyError as exc:
             raise MessageCorrupted(f"handshake_request missing {exc}") from exc
 
@@ -149,28 +164,33 @@ class DigestSubmission:
     search budget to ``min(T, deadline)``. ``None`` (the default, and
     what parsers infer from frames predating the field) means "protocol
     threshold only".
+
+    ``tenant`` follows the same compatibility rule as
+    :class:`HandshakeRequest`: omitted on the wire for the default
+    tenant, inferred as default from frames predating the field.
     """
 
     client_id: str
     digest: bytes
     deadline_seconds: float | None = None
+    tenant: str = DEFAULT_TENANT
 
     def to_bytes(self) -> bytes:
         """Serialize the message for the wire."""
-        return _encode(
-            "digest_submission",
-            {
-                "client_id": self.client_id,
-                "digest": self.digest.hex(),
-                # Fixed-width for the same reason as search_seconds below:
-                # frame length must not depend on the deadline's digits.
-                "deadline": (
-                    f"{self.deadline_seconds:018.6f}"
-                    if self.deadline_seconds is not None
-                    else None
-                ),
-            },
-        )
+        payload: dict = {
+            "client_id": self.client_id,
+            "digest": self.digest.hex(),
+            # Fixed-width for the same reason as search_seconds below:
+            # frame length must not depend on the deadline's digits.
+            "deadline": (
+                f"{self.deadline_seconds:018.6f}"
+                if self.deadline_seconds is not None
+                else None
+            ),
+        }
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
+        return _encode("digest_submission", payload)
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "DigestSubmission":
@@ -184,6 +204,7 @@ class DigestSubmission:
                 deadline_seconds=(
                     float(deadline) if deadline is not None else None
                 ),
+                tenant=body.get("tenant") or DEFAULT_TENANT,
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise MessageCorrupted(f"malformed digest_submission: {exc}") from exc

@@ -31,8 +31,15 @@ class CAServer:
         self.searches_run = 0
 
     def handle_handshake(self, request: HandshakeRequest) -> HandshakeResponse:
-        """Figure 1 handshake: return the PUF address information."""
-        challenge = self.authority.issue_challenge(request.client_id)
+        """Figure 1 handshake: return the PUF address information.
+
+        The wire tenant selects the directory namespace the client's
+        enrollment record is looked up in; responses carry the bare
+        client id, exactly as before tenancy.
+        """
+        challenge = self.authority.issue_challenge(
+            request.client_id, tenant_id=request.tenant
+        )
         self.handshakes_served += 1
         return HandshakeResponse(
             client_id=challenge.client_id,
@@ -50,12 +57,13 @@ class CAServer:
             submission.client_id,
             submission.digest,
             deadline_seconds=submission.deadline_seconds,
+            tenant_id=submission.tenant,
         )
         public_key = None
         if result.found:
             assert result.seed is not None
             public_key = self.authority.issue_public_key(
-                submission.client_id, result.seed
+                submission.client_id, result.seed, tenant_id=submission.tenant
             )
         return AuthenticationResult(
             client_id=submission.client_id,

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from repro.engines.hooks import EngineHooks
 from repro.engines.result import SearchResult
+from repro.tenancy.context import TenantContext
+from repro.tenancy.registry import TenantRegistry
 
 from repro.sched.policy import PolicyConfig, SchedulingPolicy
 from repro.sched.scheduler import ScheduledSearch, SearchScheduler
@@ -38,6 +40,7 @@ class ScheduledSearchEngine:
         fairness_cap: float = 0.75,
         aging_seconds: float | None = 30.0,
         scheduler: SearchScheduler | None = None,
+        tenants: TenantRegistry | None = None,
     ):
         if scheduler is not None:
             self.scheduler = scheduler
@@ -57,7 +60,8 @@ class ScheduledSearchEngine:
                         deep_distance=deep_distance,
                         fairness_cap=fairness_cap,
                         aging_seconds=aging_seconds,
-                    )
+                    ),
+                    tenants=tenants,
                 ),
             )
 
@@ -111,6 +115,7 @@ class ScheduledSearchEngine:
         time_budget: float | None = None,
         deadline_seconds: float | None = None,
         client_id: str = "",
+        tenant: TenantContext | str | None = None,
     ) -> ScheduledSearch:
         """Non-blocking admission; returns the scheduler's ticket."""
         return self.scheduler.submit(
@@ -120,6 +125,7 @@ class ScheduledSearchEngine:
             time_budget=time_budget,
             deadline_seconds=deadline_seconds,
             client_id=client_id,
+            tenant=tenant,
         )
 
     # -- lifecycle ------------------------------------------------------

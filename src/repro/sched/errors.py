@@ -19,6 +19,7 @@ __all__ = [
     "SHED_SHUTDOWN",
     "SHED_NO_DEVICES",
     "SHED_DIRECTORY_UNAVAILABLE",
+    "SHED_TENANT_QUOTA",
 ]
 
 #: A full admission queue refused the request outright.
@@ -36,6 +37,11 @@ SHED_NO_DEVICES = "no_healthy_devices"
 #: serving sheds the request instead of erroring — the failure is the
 #: directory's, not the client's, and it clears when a replica rejoins.
 SHED_DIRECTORY_UNAVAILABLE = "directory_unavailable"
+#: The request's tenant exhausted its admission budget (token-bucket
+#: lookup rate). The failure is the *tenant's* aggregate behaviour, not
+#: this request's: within-quota tenants keep being admitted, and the
+#: shed clears as soon as the bucket refills.
+SHED_TENANT_QUOTA = "tenant_quota"
 
 
 class SchedulerError(Exception):

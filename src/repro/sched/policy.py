@@ -28,6 +28,14 @@ they are unit-testable without threads or a device:
   it ``aged``; aged requests outrank every lane key and every
   within-lane pick, so a starving request's wait is bounded by the
   aging threshold plus one batch of each lane ahead of it.
+* **Tenancy** — with a :class:`~repro.tenancy.registry.TenantRegistry`
+  attached, admission additionally charges the request's tenant's
+  token-bucket lookup budget (dry bucket -> typed
+  ``SHED_TENANT_QUOTA``), and picking enforces *weighted fair share*
+  between tenants: a tenant whose share of recently served device rows
+  exceeds its weight fraction — while other tenants have runnable work
+  waiting — is passed over until the window rebalances. Aged requests
+  are exempt (starvation freedom outranks share enforcement).
 """
 
 from __future__ import annotations
@@ -37,8 +45,14 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro._bitutils import SEED_BITS
 from repro.core.complexity import shell_size
+from repro.tenancy.context import DEFAULT_TENANT
+from repro.tenancy.registry import TenantRegistry
 
-from repro.sched.errors import SHED_DEADLINE_UNMEETABLE, SHED_SATURATED
+from repro.sched.errors import (
+    SHED_DEADLINE_UNMEETABLE,
+    SHED_SATURATED,
+    SHED_TENANT_QUOTA,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sched.scheduler import ScheduledSearch
@@ -85,8 +99,16 @@ class PolicyConfig:
 class SchedulingPolicy:
     """Deterministic admission + ordering rules the dispatcher consults."""
 
-    def __init__(self, config: PolicyConfig | None = None):
+    def __init__(
+        self,
+        config: PolicyConfig | None = None,
+        tenants: TenantRegistry | None = None,
+    ):
         self.config = config if config is not None else PolicyConfig()
+        #: Optional tenant registry: admission charges its token buckets
+        #: and picking reads its fair-share weights. ``None`` keeps the
+        #: policy exactly as tenant-blind as it was before tenancy.
+        self.tenants = tenants
         #: Cheapest useful search: the d=0 probe plus the d=1 shell.
         self._min_cover_ranks = 1 + shell_size(1, SEED_BITS)
 
@@ -109,12 +131,16 @@ class SchedulingPolicy:
         max_queue: int,
         deadline_seconds: float | None,
         throughput: float | None,
+        tenant_id: str | None = None,
     ) -> str | None:
         """Why a new request must be shed, or ``None`` to admit.
 
         The deadline check needs an observed device throughput; before
         the first batches have been measured (and with no hint primed)
         deadline requests are admitted and left to run-time expiry.
+        With a tenant registry attached, the tenant's token-bucket
+        lookup budget is charged last (so a saturated queue never eats
+        the tenant's tokens); a dry bucket sheds ``SHED_TENANT_QUOTA``.
         """
         if queue_depth >= max_queue:
             return SHED_SATURATED
@@ -122,6 +148,8 @@ class SchedulingPolicy:
             min_cover_seconds = self._min_cover_ranks / throughput
             if min_cover_seconds * self.config.shed_slack > deadline_seconds:
                 return SHED_DEADLINE_UNMEETABLE
+        if self.tenants is not None and not self.tenants.try_admit(tenant_id):
+            return SHED_TENANT_QUOTA
         return None
 
     # -- aging ----------------------------------------------------------
@@ -148,6 +176,72 @@ class SchedulingPolicy:
                 request.lane = EXPRESS_LANE
                 promoted += 1
         return promoted
+
+    # -- tenant fair share ----------------------------------------------
+
+    def over_share_tenants(
+        self,
+        runnable: Sequence["ScheduledSearch"],
+        recent_tenant_rows: Iterable[tuple[str, int]],
+    ) -> frozenset[str]:
+        """Tenants currently over their weighted share of device rows.
+
+        Measured over the recent-rows window, among the tenants that
+        have runnable work *right now*: tenant ``t`` is over-share when
+        its fraction of recently served rows exceeds
+        ``weight(t) / sum(weights of present tenants)``. With fewer than
+        two tenants present there is no one to be fair *to*, and if the
+        arithmetic ever marks every present tenant over (degenerate
+        windows), enforcement is a no-op — fair share throttles, it
+        never halts the device.
+        """
+        if self.tenants is None:
+            return frozenset()
+        present = {
+            getattr(r, "tenant_id", DEFAULT_TENANT) for r in runnable
+        }
+        if len(present) < 2:
+            return frozenset()
+        rows_by_tenant: dict[str, int] = {}
+        for tenant_id, rows in recent_tenant_rows:
+            if tenant_id in present:
+                rows_by_tenant[tenant_id] = (
+                    rows_by_tenant.get(tenant_id, 0) + rows
+                )
+        total_rows = sum(rows_by_tenant.values())
+        if total_rows <= 0:
+            return frozenset()
+        total_weight = sum(self.tenants.weight_of(t) for t in present)
+        over = frozenset(
+            tenant_id
+            for tenant_id in present
+            if rows_by_tenant.get(tenant_id, 0) / total_rows
+            > self.tenants.weight_of(tenant_id) / total_weight
+        )
+        if over == present:
+            return frozenset()
+        return over
+
+    def _tenant_eligible(
+        self,
+        runnable: Sequence["ScheduledSearch"],
+        recent_tenant_rows: Iterable[tuple[str, int]],
+    ) -> list["ScheduledSearch"]:
+        """Runnable requests fair share allows to lead the next batch.
+
+        Aged requests stay eligible regardless of their tenant's share —
+        starvation freedom outranks share enforcement.
+        """
+        over = self.over_share_tenants(runnable, recent_tenant_rows)
+        if not over:
+            return list(runnable)
+        eligible = [
+            r
+            for r in runnable
+            if getattr(r, "aged", False)
+            or getattr(r, "tenant_id", DEFAULT_TENANT) not in over
+        ]
+        return eligible if eligible else list(runnable)
 
     # -- picking --------------------------------------------------------
 
@@ -185,13 +279,22 @@ class SchedulingPolicy:
         return order
 
     def pick(
-        self, runnable: Sequence["ScheduledSearch"], recent_lanes: Iterable[str]
+        self,
+        runnable: Sequence["ScheduledSearch"],
+        recent_lanes: Iterable[str],
+        recent_tenant_rows: Iterable[tuple[str, int]] = (),
     ) -> "ScheduledSearch":
-        """The request whose chunk the next device batch starts with."""
+        """The request whose chunk the next device batch starts with.
+
+        Tenant fair share filters first (an over-share tenant cannot
+        lead a batch while under-share tenants wait), then the lane
+        order and within-lane rules run unchanged on what remains.
+        """
         if not runnable:
             raise ValueError("pick() needs at least one runnable request")
-        lane = self.lane_order(runnable, recent_lanes)[0]
-        pool = [r for r in runnable if r.lane == lane]
+        eligible = self._tenant_eligible(runnable, recent_tenant_rows)
+        lane = self.lane_order(eligible, recent_lanes)[0]
+        pool = [r for r in eligible if r.lane == lane]
         return min(
             pool,
             key=lambda r: (
@@ -202,19 +305,26 @@ class SchedulingPolicy:
         )
 
     def fill_order(
-        self, runnable: Sequence["ScheduledSearch"], primary: "ScheduledSearch"
+        self,
+        runnable: Sequence["ScheduledSearch"],
+        primary: "ScheduledSearch",
+        recent_tenant_rows: Iterable[tuple[str, int]] = (),
     ) -> list["ScheduledSearch"]:
         """Order in which requests may top up the rest of the batch.
 
         The batch belongs to ``primary``; leftover lanes fill by urgency
         (deadline first), then cheapest remaining work, then FIFO — the
         continuous-batching path that lets many small shells ride one
-        device batch.
+        device batch. Requests of over-share tenants top up last: they
+        still ride spare capacity (work conservation), but never ahead
+        of an under-share tenant's chunks.
         """
+        over = self.over_share_tenants(runnable, recent_tenant_rows)
         rest = [r for r in runnable if r is not primary]
         rest.sort(
             key=lambda r: (
                 not getattr(r, "aged", False),
+                getattr(r, "tenant_id", DEFAULT_TENANT) in over,
                 r.deadline if r.deadline is not None else float("inf"),
                 r.remaining_work,
                 r.seq,

@@ -37,6 +37,7 @@ from repro.engines.result import (
     ShellStats,
 )
 from repro.runtime.executor import BatchSearchExecutor
+from repro.tenancy.context import DEFAULT_TENANT, TenantContext
 
 from repro.sched.batcher import BatchSlice, ContinuousBatcher, UnitCursor
 from repro.sched.errors import (
@@ -79,9 +80,12 @@ class ScheduledSearch:
         deadline_seconds: float | None,
         cursor: UnitCursor,
         chunks_total: int,
+        tenant_id: str = DEFAULT_TENANT,
     ):
         self.seq = seq
         self.client_id = client_id
+        #: Which tenant this request belongs to (fair-share + telemetry).
+        self.tenant_id = tenant_id
         self.base_words = base_words
         self.target_words = target_words
         self.max_distance = max_distance
@@ -160,6 +164,7 @@ class ScheduledSearch:
         started = self.first_batch_at
         return SchedulingStats(
             lane=self.lane,
+            tenant=self.tenant_id,
             deadline_seconds=self.deadline_seconds,
             queue_seconds=(started if started is not None else now)
             - self.submitted_at,
@@ -212,6 +217,11 @@ class SearchScheduler:
         self._recent_lanes: deque[str] = deque(
             maxlen=self.policy.config.fairness_window
         )
+        #: (tenant_id, rows) of recent batch outcomes — the window the
+        #: weighted fair-share filter measures tenant device share over.
+        self._recent_tenant_rows: deque[tuple[str, int]] = deque(
+            maxlen=self.policy.config.fairness_window
+        )
         self._thread: threading.Thread | None = None
         self._closed = False
         self._drain = True
@@ -228,6 +238,10 @@ class SearchScheduler:
         self._peak_depth = 0
         self._batches_by_lane: dict[str, int] = {}
         self._aged_promotions = 0
+        #: Per-tenant admitted / shed / served-row counters.
+        self._tenant_admitted: dict[str, int] = {}
+        self._tenant_shed: dict[str, int] = {}
+        self._tenant_rows: dict[str, int] = {}
 
     # -- public geometry ------------------------------------------------
 
@@ -276,6 +290,7 @@ class SearchScheduler:
         time_budget: float | None = None,
         deadline_seconds: float | None = None,
         client_id: str = "",
+        tenant: TenantContext | str | None = None,
     ) -> ScheduledSearch:
         """Admit one search into the shared work stream.
 
@@ -283,14 +298,21 @@ class SearchScheduler:
         request completes with a ``timed_out`` result, exactly like the
         unscheduled engines. ``deadline_seconds`` is the client's TTL —
         a request that cannot meet it (or outlives it) is *shed* with a
-        typed :class:`RequestShed`. Raises :class:`SchedulerClosed`
-        after :meth:`close`, and :class:`RequestShed` on admission
-        rejection (full queue / hopeless deadline).
+        typed :class:`RequestShed`. ``tenant`` attributes the request to
+        a tenant for quota admission and weighted fair share; omitted,
+        it runs under the default tenant exactly as before tenancy.
+        Raises :class:`SchedulerClosed` after :meth:`close`, and
+        :class:`RequestShed` on admission rejection (full queue /
+        hopeless deadline / exhausted tenant budget).
         """
         if max_distance < 0:
             raise ValueError("max_distance must be non-negative")
         if deadline_seconds is not None and deadline_seconds < 0:
             raise ValueError("deadline_seconds must be non-negative")
+        if isinstance(tenant, TenantContext):
+            tenant_id = tenant.tenant_id
+        else:
+            tenant_id = tenant or DEFAULT_TENANT
         now = time.perf_counter()
         units = decompose_search(max_distance, self.chunk_ranks)
         with self._wake:
@@ -301,9 +323,13 @@ class SearchScheduler:
                 max_queue=self.max_queue,
                 deadline_seconds=deadline_seconds,
                 throughput=self._throughput,
+                tenant_id=tenant_id,
             )
             if reason is not None:
                 self._shed[reason] = self._shed.get(reason, 0) + 1
+                self._tenant_shed[tenant_id] = (
+                    self._tenant_shed.get(tenant_id, 0) + 1
+                )
                 raise RequestShed(reason, f"client {client_id!r}")
             self._seq += 1
             request = ScheduledSearch(
@@ -322,8 +348,12 @@ class SearchScheduler:
                 deadline_seconds=deadline_seconds,
                 cursor=UnitCursor(self._executor, units),
                 chunks_total=len(units),
+                tenant_id=tenant_id,
             )
             self._admitted += 1
+            self._tenant_admitted[tenant_id] = (
+                self._tenant_admitted.get(tenant_id, 0) + 1
+            )
             self._active.append(request)
             self._peak_depth = max(self._peak_depth, len(self._active))
             if self._thread is None:
@@ -405,7 +435,9 @@ class SearchScheduler:
         if promoted:
             with self._wake:
                 self._aged_promotions += promoted
-        primary = self.policy.pick(runnable, self._recent_lanes)
+        primary = self.policy.pick(
+            runnable, self._recent_lanes, self._recent_tenant_rows
+        )
         last = self._last_primary
         if (
             last is not None
@@ -421,7 +453,9 @@ class SearchScheduler:
         slices: list[BatchSlice] = []
         drained: list[ScheduledSearch] = []
         room = self._executor.batch_size
-        for request in self.policy.fill_order(runnable, primary):
+        for request in self.policy.fill_order(
+            runnable, primary, self._recent_tenant_rows
+        ):
             if room <= 0:
                 break
             taken = request.cursor.take(room)
@@ -457,6 +491,14 @@ class SearchScheduler:
             self._batches_by_lane[primary.lane] = (
                 self._batches_by_lane.get(primary.lane, 0) + 1
             )
+            for outcome in outcomes:
+                served: ScheduledSearch = outcome.key  # type: ignore[assignment]
+                self._recent_tenant_rows.append(
+                    (served.tenant_id, outcome.rows)
+                )
+                self._tenant_rows[served.tenant_id] = (
+                    self._tenant_rows.get(served.tenant_id, 0) + outcome.rows
+                )
             total_rows = sum(outcome.rows for outcome in outcomes)
             total_seconds = max(
                 sum(outcome.seconds for outcome in outcomes), 1e-9
@@ -577,6 +619,9 @@ class SearchScheduler:
         scheduling = request.scheduling_stats(now)
         with self._wake:
             self._shed[reason] = self._shed.get(reason, 0) + 1
+            self._tenant_shed[request.tenant_id] = (
+                self._tenant_shed.get(request.tenant_id, 0) + 1
+            )
         on_schedule = getattr(self.hooks, "on_schedule", None)
         if on_schedule is not None:
             on_schedule(scheduling)
@@ -590,6 +635,26 @@ class SearchScheduler:
         """A consistent copy of the scheduler's counters."""
         with self._wake:
             shed_reasons = dict(self._shed)
+            tenant_ids = sorted(
+                set(self._tenant_admitted)
+                | set(self._tenant_shed)
+                | set(self._tenant_rows)
+            )
+            total_tenant_rows = sum(self._tenant_rows.values())
+            tenants = {
+                tenant_id: {
+                    "admitted": self._tenant_admitted.get(tenant_id, 0),
+                    "shed": self._tenant_shed.get(tenant_id, 0),
+                    "rows": self._tenant_rows.get(tenant_id, 0),
+                    "device_share": (
+                        self._tenant_rows.get(tenant_id, 0)
+                        / total_tenant_rows
+                        if total_tenant_rows
+                        else 0.0
+                    ),
+                }
+                for tenant_id in tenant_ids
+            }
             return {
                 "admitted": self._admitted,
                 "completed": self._completed,
@@ -605,6 +670,7 @@ class SearchScheduler:
                 "shared_batches": self._batcher.shared_batches,
                 "batches_by_lane": dict(self._batches_by_lane),
                 "throughput": self._throughput,
+                "tenants": tenants,
             }
 
     # -- lifecycle ------------------------------------------------------

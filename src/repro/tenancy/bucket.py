@@ -1,0 +1,62 @@
+"""A thread-safe token bucket for per-tenant admission budgets.
+
+The classic shape: ``capacity`` tokens, refilled continuously at
+``rate`` tokens per second; an admission costs one token and is refused
+when the bucket is dry. The clock is injectable so policy tests can
+drive it deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Continuous-refill token bucket; ``try_acquire`` never blocks."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock
+        self._tokens = capacity
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self, now: float) -> None:
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.rate
+            )
+        self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (and no debit) if not."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        with self._lock:
+            self._refill_locked(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (refilled to the current instant)."""
+        with self._lock:
+            self._refill_locked(self._clock())
+            return self._tokens

@@ -1,0 +1,36 @@
+"""Typed tenancy failures.
+
+Quota violations are *policy* outcomes, not bugs: the caller exceeded a
+budget an operator configured. They carry the tenant and the budget that
+tripped so serving layers can convert them into typed sheds (admission)
+or refusals (enrollment) without string-matching.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TenancyError", "UnknownTenant", "TenantQuotaExceeded"]
+
+
+class TenancyError(Exception):
+    """Base class for tenancy-level failures."""
+
+
+class UnknownTenant(TenancyError):
+    """A strict registry refused an unregistered tenant id."""
+
+    def __init__(self, tenant_id: str):
+        super().__init__(f"unknown tenant {tenant_id!r}")
+        self.tenant_id = tenant_id
+
+
+class TenantQuotaExceeded(TenancyError):
+    """A tenant hit one of its configured budgets; ``kind`` says which."""
+
+    def __init__(self, tenant_id: str, kind: str, detail: str = ""):
+        message = f"tenant {tenant_id!r} exceeded its {kind} quota"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.tenant_id = tenant_id
+        self.kind = kind
+        self.detail = detail

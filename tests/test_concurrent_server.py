@@ -181,12 +181,15 @@ class TestServerMetricsRecord:
         metrics.record(rejected_busy=1, rejected_duplicate=2,
                        rejected_open=3, seeds_hashed=257, shells_completed=2)
         metrics.record(plan_hits=4, plan_misses=1, pool_reuses=1)
-        metrics.record(shed=2, preempted=1, queue_depth=5)
+        metrics.record(preempted=1, queue_depth=5)
         metrics.record(queue_depth=3)  # gauge: peak is kept, not summed
         metrics.record(redispatched=3, hedged=2)
         metrics.record(directory_hot_hits=4, directory_hot_misses=2,
-                       directory_failovers=1, directory_read_repairs=2,
-                       shed_directory=1)
+                       directory_failovers=1, directory_read_repairs=2)
+        metrics.record_shed("deadline_expired")
+        metrics.record_shed("deadline_expired")
+        metrics.record_shed("directory_unavailable")
+        metrics.record_shed("tenant_quota")
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -202,7 +205,7 @@ class TestServerMetricsRecord:
             "plan_hits": 4,
             "plan_misses": 1,
             "pool_reuses": 1,
-            "shed": 2,
+            "shed": 4,
             "preempted": 1,
             "queue_depth_peak": 5,
             "redispatched": 3,
@@ -212,7 +215,30 @@ class TestServerMetricsRecord:
             "directory_failovers": 1,
             "directory_read_repairs": 2,
             "shed_directory": 1,
+            "shed_tenant_quota": 1,
         }
+
+    def test_shed_reasons_can_never_drift_from_the_total(self):
+        """record_shed is the only shed path: per-reason counts sum to it."""
+        metrics = ServerMetrics()
+        # record() deliberately has no shed kwarg anymore.
+        with pytest.raises(TypeError):
+            metrics.record(shed=1)
+        for reason in ("saturated", "deadline_expired", "saturated",
+                       "tenant_quota", "directory_unavailable"):
+            metrics.record_shed(reason)
+        snapshot = metrics.snapshot()
+        breakdown = metrics.shed_breakdown()
+        assert sum(breakdown.values()) == snapshot["shed"] == 5
+        assert breakdown == {
+            "saturated": 2,
+            "deadline_expired": 1,
+            "tenant_quota": 1,
+            "directory_unavailable": 1,
+        }
+        # Derived convenience counters follow the typed reasons exactly.
+        assert snapshot["shed_directory"] == 1
+        assert snapshot["shed_tenant_quota"] == 1
 
     def test_record_is_thread_safe(self):
         import threading
@@ -231,6 +257,52 @@ class TestServerMetricsRecord:
         snapshot = metrics.snapshot()
         assert snapshot["submitted"] == 4000
         assert snapshot["total_search_seconds"] == pytest.approx(4.0)
+
+    def test_concurrent_record_from_many_threads_loses_nothing(self):
+        """Mixed record/record_shed hammering from many threads stays exact."""
+        import threading
+
+        metrics = ServerMetrics()
+        workers, rounds = 12, 300
+
+        def hammer(worker: int):
+            tenant = f"tenant-{worker % 3}"
+            for i in range(rounds):
+                metrics.record(
+                    submitted=1,
+                    completed=1,
+                    search_seconds=0.001,
+                    tenant_id=tenant,
+                )
+                if i % 3 == 0:
+                    metrics.record_shed(
+                        "tenant_quota" if i % 2 else "saturated",
+                        tenant_id=tenant,
+                    )
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["submitted"] == workers * rounds
+        assert snapshot["completed"] == workers * rounds
+        sheds_each = len([i for i in range(rounds) if i % 3 == 0])
+        assert snapshot["shed"] == workers * sheds_each
+        assert sum(metrics.shed_breakdown().values()) == snapshot["shed"]
+        per_tenant = metrics.tenant_snapshot()
+        assert set(per_tenant) == {"tenant-0", "tenant-1", "tenant-2"}
+        assert sum(t["submitted"] for t in per_tenant.values()) == (
+            workers * rounds
+        )
+        assert sum(t["shed"] for t in per_tenant.values()) == snapshot["shed"]
+        quota_hits = sum(t["quota_hits"] for t in per_tenant.values())
+        assert quota_hits == metrics.shed_breakdown()["tenant_quota"]
+        for stats in per_tenant.values():
+            assert stats["p99_seconds"] == pytest.approx(0.001)
 
 
 class TestAdmissionControlUnderConcurrency:

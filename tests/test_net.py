@@ -41,6 +41,48 @@ class TestMessages:
         assert b"01" in with_key
         assert b"null" in without
 
+    def test_decoding_tolerates_unknown_extra_body_fields(self):
+        """Forward compatibility: parsers read only the keys they know.
+
+        A newer peer may attach fields this build has never heard of
+        (the tenant field arrived exactly this way); as long as the CRC
+        covers what was actually sent, decoding must succeed and simply
+        ignore the strangers rather than reject the frame.
+        """
+        import json
+        import zlib
+
+        def frame_with_extras(kind: str, payload: dict) -> bytes:
+            body = dict(payload)
+            body["type"] = kind
+            body["x_future_field"] = "from-a-newer-peer"
+            body["x_priority"] = 7
+            canonical = json.dumps(
+                body, sort_keys=True, separators=(",", ":")
+            )
+            body["crc"] = f"{zlib.crc32(canonical.encode()):08x}"
+            return json.dumps(
+                body, sort_keys=True, separators=(",", ":")
+            ).encode()
+
+        request = HandshakeRequest.from_bytes(
+            frame_with_extras("handshake_request", {"client_id": "alice"})
+        )
+        assert request == HandshakeRequest("alice")
+        submission = DigestSubmission.from_bytes(
+            frame_with_extras(
+                "digest_submission",
+                {
+                    "client_id": "alice",
+                    "digest": "dead",
+                    "deadline_seconds": None,
+                },
+            )
+        )
+        assert submission == DigestSubmission("alice", b"\xde\xad")
+        # And the round trip through our own encoder stays lossless.
+        assert DigestSubmission.from_bytes(submission.to_bytes()) == submission
+
 
 class TestTransport:
     def test_message_cost_components(self):
