@@ -17,6 +17,9 @@ Commands:
 * ``sched``      — serve a mixed shallow/deep request fleet through the
                    deadline-aware scheduler and compare its tail
                    latencies against the FIFO baseline.
+* ``deploy``     — stand a topology up as real OS processes over TCP
+                   and drive a trace-driven storm under emulated WAN
+                   profiles.
 """
 
 from __future__ import annotations
@@ -561,6 +564,68 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.deploy.storm import DEFAULT_PROFILES, run_deployment_storm
+    from repro.deploy.topology import TopologySpec
+
+    if not args.storm:
+        print(
+            "repro deploy: only --storm is implemented; "
+            "run `repro deploy --storm`",
+            file=sys.stderr,
+        )
+        return 2
+    profiles = (
+        tuple(p.strip() for p in args.profiles.split(",") if p.strip())
+        if args.profiles
+        else DEFAULT_PROFILES
+    )
+    topology = TopologySpec(
+        servers=args.servers,
+        devices=tuple(t.strip() for t in args.devices.split(",") if t.strip()),
+        engine=args.engine,
+        hash_name=args.hash,
+        max_distance=args.distance,
+        workers=args.workers,
+        time_budget=args.budget,
+        clients=args.clients,
+        tenants=(
+            tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+            if args.tenants
+            else ()
+        ),
+    )
+    print(f"deployment storm: {topology.describe()}")
+    print(f"profiles: {', '.join(profiles)}; {args.requests} requests "
+          f"over {args.duration:g}s x{args.loadgens} loadgen(s)")
+    report = run_deployment_storm(
+        topology,
+        profiles=profiles,
+        seed=args.seed,
+        requests=args.requests,
+        duration_seconds=args.duration,
+        num_loadgens=args.loadgens,
+        time_scale=args.time_scale,
+        output_path=args.output,
+        log=print,
+    )
+    for profile in report.profiles:
+        status = "ok" if profile.passed else "FAILED"
+        outcomes = ", ".join(
+            f"{k}={v}" for k, v in profile.outcomes.items()
+        )
+        print(f"[{profile.profile}] {status}: {outcomes}")
+        print(f"  p50={profile.latency_p50_ms:.1f}ms "
+              f"p99={profile.latency_p99_ms:.1f}ms "
+              f"throughput={profile.throughput_rps:.2f}req/s "
+              f"false_auths={profile.false_authentications}")
+        for failure in profile.gate_failures:
+            print(f"  GATE: {failure}", file=sys.stderr)
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -721,6 +786,46 @@ def main(argv: list[str] | None = None) -> int:
                          help="allowed victim p99 degradation under "
                               "the storm")
     tenants.set_defaults(fn=_cmd_tenants)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="multi-process deployment storm: real server/loadgen "
+             "processes over TCP under emulated WAN profiles (exit 1 "
+             "on any false auth, untyped failure, or unclean drain)",
+    )
+    deploy.add_argument("--storm", action="store_true",
+                        help="stand up the topology, drive the trace, "
+                             "scrape metrics, tear down")
+    deploy.add_argument("--profiles", default=None,
+                        help="comma-separated WAN profiles "
+                             "(default: lan,wan,lossy-wan)")
+    deploy.add_argument("--servers", type=int, default=1)
+    deploy.add_argument("--devices", default="host,host",
+                        help="fleet device tokens per server")
+    deploy.add_argument("--engine", default="fleet",
+                        choices=("fleet", "sched", "fifo"))
+    deploy.add_argument("--hash", default="sha1")
+    deploy.add_argument("--distance", type=int, default=2)
+    deploy.add_argument("--workers", type=int, default=2)
+    deploy.add_argument("--budget", type=float, default=5.0,
+                        help="per-search time budget (protocol T)")
+    deploy.add_argument("--clients", type=int, default=8,
+                        help="enrolled fleet size")
+    deploy.add_argument("--tenants", default=None,
+                        help="comma-separated tenant namespaces")
+    deploy.add_argument("--requests", type=int, default=36,
+                        help="requests per profile")
+    deploy.add_argument("--duration", type=float, default=6.0,
+                        help="trace window in seconds")
+    deploy.add_argument("--loadgens", type=int, default=2,
+                        help="load-generator processes")
+    deploy.add_argument("--time-scale", type=float, default=1.0,
+                        dest="time_scale",
+                        help="compress (<1) or stretch (>1) arrivals")
+    deploy.add_argument("--seed", type=int, default=0)
+    deploy.add_argument("--output", default=None,
+                        help="write BENCH_deployment.json here")
+    deploy.set_defaults(fn=_cmd_deploy)
 
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,239 @@
+"""Deterministic cross-process enrollment.
+
+A real deployment splits the protocol across OS processes, but both
+sides still need to agree on the enrolled PUF images: the server enrolls
+the fleet into its directory at startup, and each load-generator process
+reconstructs the *same* PUF (same seed, same masking reads) to produce
+digests the server can actually search for. The functions here are that
+shared contract — every parameter that feeds the PUF's RNG lives in one
+place, so the two sides cannot drift.
+
+Also here: the server-side false-authentication tripwire. Every found
+seed is re-hashed and compared against the digest the client actually
+submitted; a mismatch is the one failure a deployment storm can never
+explain away, and it rides the admin metrics frame so the storm runner
+can assert it stayed zero.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core import (
+    CertificateAuthority,
+    RBCSearchService,
+    RegistrationAuthority,
+)
+from repro.core.protocol import ClientDevice
+from repro.core.salting import HashChainSalt
+from repro.deploy.topology import TopologySpec
+from repro.engines import build_engine
+from repro.hashes.registry import get_hash
+from repro.keygen.interface import get_keygen
+from repro.puf.image_db import EncryptedImageDatabase
+from repro.puf.model import SRAMPuf
+from repro.puf.ternary import TernaryMask, enroll_with_masking
+from repro.tenancy.context import DEFAULT_TENANT, namespaced_key
+
+__all__ = [
+    "client_identity",
+    "tenant_for",
+    "build_fleet_record",
+    "build_client_device",
+    "enroll_topology_fleet",
+    "build_serving_stack",
+    "VerifyingAuthority",
+]
+
+#: Seed stride between client PUFs (same convention the chaos fleet uses).
+_CLIENT_SEED_STRIDE = 1_000_003
+#: Masking-enrollment parameters — must be identical on both sides.
+_ENROLL_READS = 8
+_ENROLL_INSTABILITY = 0.05
+
+
+def client_identity(index: int) -> str:
+    """The deterministic client id for fleet slot ``index``."""
+    return f"dep-{index:04d}"
+
+
+def tenant_for(index: int, tenants: tuple[str, ...]) -> str:
+    """Which tenant fleet slot ``index`` belongs to (round-robin)."""
+    if not tenants:
+        return DEFAULT_TENANT
+    return tenants[index % len(tenants)]
+
+
+def build_fleet_record(
+    seed: int, index: int, num_cells: int
+) -> tuple[str, SRAMPuf, TernaryMask]:
+    """(client_id, puf, mask) for one fleet slot — both sides call this.
+
+    The PUF is seeded from (storm seed, slot index) and the masking
+    enrollment consumes a fixed number of reads, so a server process and
+    a load-generator process that never share memory still derive the
+    byte-identical ternary mask.
+    """
+    puf = SRAMPuf(
+        num_cells=num_cells,
+        stable_error=0.001,
+        seed=seed * _CLIENT_SEED_STRIDE + index,
+    )
+    mask = enroll_with_masking(
+        puf,
+        address=0,
+        window=num_cells,
+        reads=_ENROLL_READS,
+        instability_threshold=_ENROLL_INSTABILITY,
+    )
+    return client_identity(index), puf, mask
+
+
+def build_client_device(
+    seed: int, index: int, num_cells: int, noise_target_distance: int
+) -> tuple[str, ClientDevice, TernaryMask]:
+    """A load-generator's client for one fleet slot.
+
+    ``noise_target_distance`` plants the PUF read exactly that many bit
+    flips from the enrolled image (the evaluation rig's knob for shell
+    depth), so the trace controls how deep each search must go.
+    """
+    client_id, puf, mask = build_fleet_record(seed, index, num_cells)
+    device = ClientDevice(
+        client_id,
+        puf,
+        noise_target_distance=noise_target_distance,
+        rng=np.random.default_rng((seed, index)),
+    )
+    return client_id, device, mask
+
+
+def enroll_topology_fleet(
+    authority: CertificateAuthority, topology: TopologySpec, seed: int
+) -> None:
+    """Enroll the full deterministic fleet under its tenant namespaces."""
+    for index in range(topology.clients):
+        client_id, _puf, mask = build_fleet_record(
+            seed, index, topology.num_cells
+        )
+        tenant = tenant_for(index, topology.tenants)
+        authority.enroll(
+            client_id,
+            mask,
+            tenant_id=None if tenant == DEFAULT_TENANT else tenant,
+        )
+
+
+class VerifyingAuthority:
+    """Authority wrapper that counts false authentications.
+
+    Thread-safe: the serving layer records each submitted digest before
+    admission, and every key issuance re-hashes the found seed against
+    it. The counter is exported over the admin metrics frame.
+    """
+
+    #: Outstanding digests retained per client; bounds memory if a
+    #: client records digests that never reach issuance (sheds, drops).
+    _MAX_OUTSTANDING = 16
+
+    def __init__(self, authority: CertificateAuthority):
+        self._authority = authority
+        self._lock = threading.Lock()
+        self._digests: dict[str, list[bytes]] = {}
+        self.false_authentications = 0
+
+    def __getattr__(self, name):
+        return getattr(self._authority, name)
+
+    def record_digest(
+        self, client_id: str, digest: bytes, tenant_id: str | None = None
+    ) -> None:
+        """Remember an outstanding M1 for this client (keyed per tenant).
+
+        A *list* of outstanding digests, not a single slot: a client's
+        retry (or its next request racing the previous search) must not
+        overwrite the digest an in-flight search will be verified
+        against — that overwrite would misreport a correct search as a
+        false authentication.
+        """
+        with self._lock:
+            outstanding = self._digests.setdefault(
+                namespaced_key(tenant_id, client_id), []
+            )
+            if digest not in outstanding:
+                outstanding.append(digest)
+            del outstanding[: -self._MAX_OUTSTANDING]
+
+    def issue_public_key(
+        self, client_id: str, found_seed: bytes, tenant_id: str | None = None
+    ) -> bytes:
+        key = namespaced_key(tenant_id, client_id)
+        with self._lock:
+            outstanding = list(self._digests.get(key, ()))
+        if outstanding:
+            algo = get_hash(self._authority.hash_name)
+            digest = algo.scalar(found_seed)
+            if digest in outstanding:
+                with self._lock:
+                    recorded = self._digests.get(key)
+                    if recorded is not None and digest in recorded:
+                        recorded.remove(digest)
+            else:
+                with self._lock:
+                    self.false_authentications += 1
+        if tenant_id is None or tenant_id == DEFAULT_TENANT:
+            return self._authority.issue_public_key(client_id, found_seed)
+        return self._authority.issue_public_key(
+            client_id, found_seed, tenant_id=tenant_id
+        )
+
+
+def build_serving_stack(topology: TopologySpec, seed: int):
+    """(verifying_authority, scheduler_engine_or_None) for one server.
+
+    ``fleet`` mode builds a :class:`~repro.fleet.engine.FleetSearchEngine`
+    over the topology's device tokens, ``sched`` a single-device
+    :class:`~repro.sched.engine.ScheduledSearchEngine`; both slot into
+    the ConcurrentCAServer's scheduler seat. ``fifo`` returns ``None``
+    and the server's bounded worker pool serves directly.
+    """
+    authority = CertificateAuthority(
+        search_service=RBCSearchService(
+            build_engine(
+                "batch",
+                hash_name=topology.hash_name,
+                batch_size=topology.batch_size,
+            ),
+            max_distance=topology.max_distance,
+            time_threshold=topology.time_budget,
+        ),
+        salt=HashChainSalt(),
+        keygen=get_keygen("aes-128"),
+        registration_authority=RegistrationAuthority(),
+        image_db=EncryptedImageDatabase(b"deploy-master-k!"),
+        hash_name=topology.hash_name,
+    )
+    enroll_topology_fleet(authority, topology, seed)
+    verifying = VerifyingAuthority(authority)
+
+    engine = None
+    if topology.engine == "fleet":
+        from repro.fleet.engine import FleetSearchEngine
+
+        engine = FleetSearchEngine(
+            *topology.devices,
+            hash_name=topology.hash_name,
+            batch_size=topology.batch_size,
+            max_queue=topology.max_queue,
+        )
+    elif topology.engine == "sched":
+        from repro.sched.engine import ScheduledSearchEngine
+
+        engine = ScheduledSearchEngine(
+            hash_name=topology.hash_name,
+            batch_size=topology.batch_size,
+            max_queue=topology.max_queue,
+        )
+    return verifying, engine

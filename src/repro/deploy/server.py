@@ -1,0 +1,115 @@
+"""CA server process.
+
+``python -m repro.deploy.server`` is one server of a deployment
+topology: it builds the deterministic serving stack for the storm seed
+(authority + false-authentication tripwire + engine per the topology's
+engine mode), wraps it in a :class:`~repro.net.concurrent.ConcurrentCAServer`
+and a :class:`~repro.net.sockets.SocketCAServer`, and prints::
+
+    DEPLOY-READY <host> <port>
+
+once the listener is accepting — the supervisor blocks on that line, so
+an ephemeral port (``--port 0``) round-trips to the parent without a
+race.
+
+Shutdown is signal-safe by construction: the SIGTERM/SIGINT handler
+only sets a :class:`threading.Event` (handlers run on the main thread
+between bytecodes — doing real teardown there can deadlock against a
+worker holding the server lock). The main thread observes the event and
+runs the ordinary ``close(drain=True)`` path: in-flight searches drain
+within their time budgets, queued work is shed with a typed reason, the
+process prints ``DEPLOY-DRAINED`` and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.deploy.enrollment import build_serving_stack
+from repro.deploy.loadgen import spec_from_json
+from repro.deploy.topology import TopologySpec
+from repro.net.concurrent import ConcurrentCAServer
+from repro.net.sockets import SocketCAServer
+from repro.tenancy.registry import TenantContext, TenantRegistry
+
+__all__ = ["build_server", "serve"]
+
+
+def build_server(
+    spec: TopologySpec, seed: int, host: str = "127.0.0.1", port: int = 0
+) -> SocketCAServer:
+    """The full serving stack for one server process (not yet started)."""
+    verifying, engine = build_serving_stack(spec, seed)
+    tenants = None
+    if spec.tenants:
+        tenants = TenantRegistry(
+            TenantContext(tenant_id=name) for name in spec.tenants
+        )
+    concurrent = ConcurrentCAServer(
+        verifying,
+        workers=spec.workers,
+        max_queue=spec.max_queue,
+        scheduler=engine,
+        tenants=tenants,
+    )
+    return SocketCAServer(
+        concurrent,
+        host=host,
+        port=port,
+        false_auth_counter=lambda: verifying.false_authentications,
+    )
+
+
+def serve(
+    spec: TopologySpec,
+    seed: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_stream=None,
+) -> int:
+    """Run one server until SIGTERM/SIGINT; returns the exit code."""
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        # Only flip the flag: the handler may interrupt a thread that
+        # holds server locks; teardown happens on the main loop below.
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    server = build_server(spec, seed, host=host, port=port)
+    bound_host, bound_port = server.start()
+    print(f"DEPLOY-READY {bound_host} {bound_port}", file=stream, flush=True)
+    try:
+        while not stop.wait(timeout=0.2):
+            pass
+    finally:
+        server.close(drain=True)
+    print("DEPLOY-DRAINED", file=stream, flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.deploy.server",
+        description="one CA server process of a deployment topology",
+    )
+    parser.add_argument("--spec", required=True, help="TopologySpec JSON")
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port"
+    )
+    args = parser.parse_args(argv)
+    return serve(
+        spec_from_json(args.spec), args.seed, host=args.host, port=args.port
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

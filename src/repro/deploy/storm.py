@@ -1,0 +1,364 @@
+"""One-command deployment storms.
+
+:func:`run_deployment_storm` is the whole pipeline: for each WAN profile
+it stands a topology up as real OS processes (N servers announcing
+their ephemeral ports, M load generators replaying their trace slices
+over real TCP), waits for the load to drain, scrapes every server's
+:class:`~repro.net.concurrent.ServerMetrics` over the admin metrics
+frame, SIGTERMs the deployment, and verifies the teardown was *clean* —
+every server exits 0 having printed ``DEPLOY-DRAINED``.
+
+The acceptance gates are deliberately blunt:
+
+* zero false authentications on every profile (the server-side tripwire
+  re-hashes each found seed against the submitted digest);
+* zero untyped failures — every client-observed error must map to a
+  typed bucket (``shed:*``, ``dropped``, ``corrupt``, ``busy``, ...);
+* every server drains and exits 0 under SIGTERM;
+* the ``lan`` profile authenticates 100% of requests.
+
+Results land in ``BENCH_deployment.json``: per-profile end-to-end
+p50/p99, throughput, and shed/redispatch/failover counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.deploy.loadgen import spec_to_json
+from repro.deploy.supervisor import ProcessDied, ProcessSupervisor
+from repro.deploy.topology import TopologySpec
+from repro.net.sockets import RemoteCAServer, SocketTransport
+
+__all__ = [
+    "ProfileReport",
+    "DeploymentReport",
+    "run_deployment_storm",
+    "DEFAULT_PROFILES",
+]
+
+DEFAULT_PROFILES = ("lan", "wan", "lossy-wan")
+_READY_REGEX = r"DEPLOY-READY (\S+) (\d+)"
+
+
+@dataclass
+class ProfileReport:
+    """Everything measured about one profile's deployment."""
+
+    profile: str
+    requests: int
+    outcomes: dict[str, int]
+    latency_p50_ms: float
+    latency_p99_ms: float
+    throughput_rps: float
+    wall_seconds: float
+    server_counters: dict[str, float]
+    shed_reasons: dict[str, int]
+    false_authentications: int
+    untyped: list[dict] = field(default_factory=list)
+    server_exits: dict[str, int | None] = field(default_factory=dict)
+    drained: bool = False
+    gate_failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    def to_json(self) -> dict:
+        return {
+            "profile": self.profile,
+            "requests": self.requests,
+            "outcomes": self.outcomes,
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "server_counters": self.server_counters,
+            "shed_reasons": self.shed_reasons,
+            "false_authentications": self.false_authentications,
+            "untyped_failures": len(self.untyped),
+            "server_exits": self.server_exits,
+            "drained": self.drained,
+            "gate_failures": self.gate_failures,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class DeploymentReport:
+    """A full storm: one ProfileReport per WAN profile."""
+
+    topology: str
+    seed: int
+    profiles: list[ProfileReport]
+
+    @property
+    def passed(self) -> bool:
+        return all(p.passed for p in self.profiles)
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "deployment",
+            "topology": self.topology,
+            "seed": self.seed,
+            "passed": self.passed,
+            "profiles": [p.to_json() for p in self.profiles],
+        }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+def _child_env() -> dict[str, str]:
+    """Children must import repro the same way this process does."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    return env
+
+
+def _scrape_metrics(host: str, port: int, include_tenants: bool):
+    transport = SocketTransport(host, port)
+    try:
+        return RemoteCAServer(transport).fetch_metrics(
+            include_tenants=include_tenants
+        )
+    finally:
+        transport.close()
+
+
+def _merge_counters(snapshots) -> dict[str, float]:
+    merged: dict[str, float] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def run_profile(
+    topology: TopologySpec,
+    seed: int,
+    requests: int,
+    duration_seconds: float,
+    num_loadgens: int,
+    time_scale: float,
+    scratch_dir: Path,
+    log=None,
+) -> ProfileReport:
+    """Stand up, drive, scrape, and tear down one profile's deployment."""
+    say = log if log is not None else (lambda _msg: None)
+    spec_json = spec_to_json(topology)
+    profile = topology.wan_profile
+    scratch_dir.mkdir(parents=True, exist_ok=True)
+    env = _child_env()
+    started = time.monotonic()
+
+    with ProcessSupervisor(grace_seconds=30.0) as supervisor:
+        addresses: list[tuple[str, int]] = []
+        for index in range(topology.servers):
+            managed = supervisor.spawn(
+                f"server-{index}",
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.deploy.server",
+                    "--spec",
+                    spec_json,
+                    "--seed",
+                    str(seed),
+                    "--port",
+                    "0",
+                ],
+                env=env,
+                ready_regex=_READY_REGEX,
+            )
+            match = managed.ready_match
+            assert match is not None
+            addresses.append((match.group(1), int(match.group(2))))
+        say(
+            f"[{profile}] {topology.servers} server(s) ready at "
+            + ", ".join(f"{h}:{p}" for h, p in addresses)
+        )
+
+        output_paths: list[Path] = []
+        for index in range(num_loadgens):
+            output = scratch_dir / f"loadgen-{profile}-{index}.json"
+            output_paths.append(output)
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.deploy.loadgen",
+                "--spec",
+                spec_json,
+                "--seed",
+                str(seed),
+                "--requests",
+                str(requests),
+                "--duration",
+                str(duration_seconds),
+                "--loadgen-index",
+                str(index),
+                "--num-loadgens",
+                str(num_loadgens),
+                "--time-scale",
+                str(time_scale),
+                "--output",
+                str(output),
+            ]
+            for host, port in addresses:
+                argv.extend(["--server", f"{host}:{port}"])
+            supervisor.spawn(f"loadgen-{index}", argv, env=env)
+
+        # Health-check the servers while the load drains; a dead server
+        # is a storm failure, not a mystery of missing replies.
+        loadgen_deadline = time.monotonic() + max(
+            120.0, duration_seconds * time_scale * 4 + 120.0
+        )
+        for index in range(num_loadgens):
+            supervisor.ensure_alive(
+                *(f"server-{i}" for i in range(topology.servers))
+            )
+            remaining = max(1.0, loadgen_deadline - time.monotonic())
+            code = supervisor.wait(f"loadgen-{index}", timeout=remaining)
+            if code != 0:
+                raise ProcessDied(
+                    f"loadgen-{index}",
+                    code,
+                    supervisor.output_of(f"loadgen-{index}"),
+                )
+        say(f"[{profile}] load drained; scraping server metrics")
+
+        snapshots = [
+            _scrape_metrics(host, port, bool(topology.tenants))
+            for host, port in addresses
+        ]
+        server_exits = supervisor.teardown()
+        drained = all(
+            server_exits.get(f"server-{i}") == 0
+            and any(
+                "DEPLOY-DRAINED" in line
+                for line in supervisor.output_of(f"server-{i}")
+            )
+            for i in range(topology.servers)
+        )
+
+    wall = time.monotonic() - started
+    records: list[dict] = []
+    for path in output_paths:
+        with open(path, encoding="utf-8") as handle:
+            records.extend(json.load(handle)["records"])
+    outcomes: dict[str, int] = {}
+    for record in records:
+        outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+    untyped = [
+        r for r in records if r["outcome"].startswith(("untyped:", "retries-exhausted:untyped:"))
+    ]
+    completed = [
+        r["latency_seconds"]
+        for r in records
+        if r["outcome"] == "authenticated"
+    ]
+    counters = _merge_counters(s.counters for s in snapshots)
+    shed_reasons = _merge_counters(s.shed_reasons for s in snapshots)
+    false_auths = sum(s.false_authentications for s in snapshots)
+
+    report = ProfileReport(
+        profile=profile,
+        requests=len(records),
+        outcomes=dict(sorted(outcomes.items())),
+        latency_p50_ms=_percentile(completed, 0.50) * 1000.0,
+        latency_p99_ms=_percentile(completed, 0.99) * 1000.0,
+        throughput_rps=(len(completed) / wall) if wall > 0 else 0.0,
+        wall_seconds=wall,
+        server_counters=counters,
+        shed_reasons={k: int(v) for k, v in shed_reasons.items()},
+        false_authentications=false_auths,
+        untyped=untyped,
+        server_exits=server_exits,
+        drained=drained,
+    )
+    _apply_gates(report, requests)
+    return report
+
+
+def _apply_gates(report: ProfileReport, requests: int) -> None:
+    if report.false_authentications:
+        report.gate_failures.append(
+            f"{report.false_authentications} false authentication(s)"
+        )
+    if report.untyped:
+        kinds = sorted({r["outcome"] for r in report.untyped})
+        report.gate_failures.append(
+            f"{len(report.untyped)} untyped failure(s): {kinds}"
+        )
+    if not report.drained:
+        report.gate_failures.append(
+            f"unclean server shutdown: exits {report.server_exits}"
+        )
+    if report.requests != requests:
+        report.gate_failures.append(
+            f"{report.requests} outcomes recorded for {requests} requests"
+        )
+    if report.profile == "lan":
+        authed = report.outcomes.get("authenticated", 0)
+        if authed != report.requests:
+            report.gate_failures.append(
+                f"lan must authenticate everything: "
+                f"{authed}/{report.requests}"
+            )
+
+
+def run_deployment_storm(
+    topology: TopologySpec | None = None,
+    profiles: tuple[str, ...] = DEFAULT_PROFILES,
+    seed: int = 0,
+    requests: int = 36,
+    duration_seconds: float = 6.0,
+    num_loadgens: int = 2,
+    time_scale: float = 1.0,
+    scratch_dir: str | Path | None = None,
+    output_path: str | Path | None = None,
+    log=None,
+) -> DeploymentReport:
+    """Run one topology under each profile; optionally write the bench.
+
+    ``scratch_dir`` holds the per-loadgen result JSONs (defaults to
+    ``.deploy-scratch`` under the current directory); ``output_path``
+    writes the aggregated ``BENCH_deployment.json`` document.
+    """
+    base = topology if topology is not None else TopologySpec()
+    scratch = Path(scratch_dir) if scratch_dir else Path(".deploy-scratch")
+    reports = [
+        run_profile(
+            base.with_profile(name),
+            seed=seed,
+            requests=requests,
+            duration_seconds=duration_seconds,
+            num_loadgens=num_loadgens,
+            time_scale=time_scale,
+            scratch_dir=scratch,
+            log=log,
+        )
+        for name in profiles
+    ]
+    deployment = DeploymentReport(
+        topology=base.describe(), seed=seed, profiles=reports
+    )
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(deployment.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return deployment

@@ -1,0 +1,90 @@
+"""Declarative deployment topologies.
+
+A :class:`TopologySpec` says *what* to stand up — how many
+:class:`~repro.net.concurrent.ConcurrentCAServer` processes, which fleet
+devices each one drives, the WAN profile between clients and servers,
+and the engine/protocol parameters — without saying *how*; the process
+supervisor (:mod:`repro.deploy.supervisor`) and storm runner
+(:mod:`repro.deploy.storm`) turn one into real OS processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.deploy.wan import WAN_PROFILES
+
+__all__ = ["TopologySpec", "ENGINE_MODES"]
+
+#: How a server process serves searches: ``fleet`` (multi-device
+#: continuous batching — the default), ``sched`` (single-device
+#: continuous batching), ``fifo`` (bounded worker pool, the PR 1 front
+#: door).
+ENGINE_MODES = ("fleet", "sched", "fifo")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One deployment: N server processes × M devices × a WAN profile."""
+
+    #: Number of ConcurrentCAServer OS processes.
+    servers: int = 1
+    #: Fleet device tokens per server (``fleet`` mode); e.g.
+    #: ``("host", "host")`` or ``("host", "flaky-apu")``.
+    devices: tuple[str, ...] = ("host", "host")
+    #: Name in :data:`~repro.deploy.wan.WAN_PROFILES`.
+    wan_profile: str = "lan"
+    engine: str = "fleet"
+    hash_name: str = "sha1"
+    max_distance: int = 2
+    num_cells: int = 2048
+    batch_size: int = 8192
+    #: FIFO-mode worker threads / admission queue bound per server.
+    workers: int = 2
+    max_queue: int = 64
+    #: Protocol time threshold T per search.
+    time_budget: float = 5.0
+    #: Enrolled client identities (shared across all servers — every
+    #: server enrolls the full deterministic fleet, so any client can be
+    #: routed to any server).
+    clients: int = 8
+    #: Tenant namespaces clients are spread over round-robin; empty
+    #: means everything rides the default tenant.
+    tenants: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.servers < 1:
+            raise ValueError("servers must be positive")
+        if not self.devices:
+            raise ValueError("devices must not be empty")
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(
+                f"engine must be one of {ENGINE_MODES}, got {self.engine!r}"
+            )
+        if self.wan_profile not in WAN_PROFILES:
+            raise ValueError(
+                f"unknown WAN profile {self.wan_profile!r}; "
+                f"choices: {sorted(WAN_PROFILES)}"
+            )
+        if self.max_distance < 1:
+            raise ValueError("max_distance must be positive")
+        if self.clients < 1:
+            raise ValueError("clients must be positive")
+        if self.time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        if self.workers < 1 or self.max_queue < 1:
+            raise ValueError("workers and max_queue must be positive")
+
+    def with_profile(self, wan_profile: str) -> "TopologySpec":
+        """The same topology under a different WAN profile."""
+        return replace(self, wan_profile=wan_profile)
+
+    def describe(self) -> str:
+        """One line for reports: servers × devices × profile × engine."""
+        devices = ",".join(self.devices)
+        return (
+            f"{self.servers} server(s) x [{devices}] "
+            f"over {self.wan_profile} ({self.engine}:{self.hash_name}, "
+            f"d<={self.max_distance}, T={self.time_budget:g}s, "
+            f"{self.clients} clients)"
+        )

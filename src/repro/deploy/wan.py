@@ -1,0 +1,173 @@
+"""WAN emulation profiles for the socket path.
+
+The in-process stack emulated the network by *charging a virtual clock*
+(:class:`~repro.net.transport.LatencyModel`); a real multi-process
+deployment needs the network conditions to really happen. A
+:class:`WanShim` sits on a :class:`~repro.net.sockets.SocketTransport`'s
+send path and sleeps out emulated one-way latency plus jitter, drops
+frames (the frame never reaches the socket; the sender sees a typed
+:class:`~repro.net.errors.MessageDropped` after the emulated wait), and
+corrupts frames (the CRC framing converts the flipped bit into a typed
+``corrupt`` refusal on the server).
+
+Determinism comes from the same machinery every other chaos axis uses:
+a profile maps onto a :class:`~repro.reliability.faults.FaultSpec`, one
+:class:`~repro.reliability.faults.FaultPlan` per storm derives a keyed
+:class:`~repro.reliability.faults.MessageFaultInjector` per client link,
+and jitter draws come from the plan's client stream — so two storms with
+the same (profile, seed) fault the exact same frames.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.errors import MessageDropped
+from repro.reliability.faults import FaultPlan, FaultSpec, MessageFaultInjector
+
+__all__ = ["WanProfile", "WanShim", "WAN_PROFILES", "build_shim"]
+
+
+@dataclass(frozen=True)
+class WanProfile:
+    """Latency/jitter/loss personality of one emulated network path."""
+
+    name: str
+    #: Emulated one-way delay applied to every outgoing frame.
+    one_way_seconds: float = 0.0
+    #: Uniform extra delay in [0, jitter_seconds) per frame.
+    jitter_seconds: float = 0.0
+    #: Probability one frame is lost (sender times out, typed).
+    drop_rate: float = 0.0
+    #: Probability one frame has a bit flipped (CRC catches it, typed).
+    corrupt_rate: float = 0.0
+    #: Probability of a one-off queueing delay, and its size.
+    spike_rate: float = 0.0
+    spike_seconds: float = 0.0
+    #: How long a sender waits before concluding a dropped frame is gone
+    #: (kept small so lossy storms stay quick; a real TCP stack would
+    #: wait out its retransmission timers similarly).
+    drop_wait_seconds: float = 0.25
+
+    def __post_init__(self):
+        for rate_field in ("drop_rate", "corrupt_rate", "spike_rate"):
+            value = getattr(self, rate_field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{rate_field} must be in [0, 1], got {value}")
+        if self.one_way_seconds < 0 or self.jitter_seconds < 0:
+            raise ValueError("delays must be non-negative")
+
+    def fault_spec(self) -> FaultSpec:
+        """This profile as a reliability fault spec (one draw per frame)."""
+        return FaultSpec(
+            name=f"wan-{self.name}",
+            drop_rate=self.drop_rate,
+            corrupt_rate=self.corrupt_rate,
+            latency_spike_rate=self.spike_rate,
+            latency_spike_seconds=self.spike_seconds,
+        )
+
+
+#: The three deployment profiles the storm runner stands topologies up
+#: under. ``lan`` is the same-rack baseline; ``wan`` matches the order of
+#: the paper's measured U.S. link (tens of ms each way); ``lossy-wan``
+#: adds loss and corruption on top — the acceptance-criteria profile.
+WAN_PROFILES: dict[str, WanProfile] = {
+    "lan": WanProfile(
+        name="lan",
+        one_way_seconds=0.0002,
+        jitter_seconds=0.0003,
+    ),
+    "wan": WanProfile(
+        name="wan",
+        one_way_seconds=0.030,
+        jitter_seconds=0.010,
+        spike_rate=0.02,
+        spike_seconds=0.20,
+    ),
+    "lossy-wan": WanProfile(
+        name="lossy-wan",
+        one_way_seconds=0.040,
+        jitter_seconds=0.020,
+        drop_rate=0.08,
+        corrupt_rate=0.04,
+        spike_rate=0.03,
+        spike_seconds=0.30,
+        drop_wait_seconds=0.25,
+    ),
+}
+
+
+class WanShim:
+    """Per-link WAN emulation driven by a seeded fault injector."""
+
+    def __init__(
+        self,
+        profile: WanProfile,
+        injector: MessageFaultInjector,
+        rng: np.random.Generator,
+        sleep=time.sleep,
+    ):
+        self.profile = profile
+        self.injector = injector
+        self._rng = rng
+        self._sleep = sleep
+        #: (frame_index, label, fault_kind) for every faulted frame.
+        self.fault_log: list[tuple[int, str, str]] = []
+        self.frames_shimmed = 0
+        self.emulated_seconds = 0.0
+
+    def apply(self, label: str, payload: bytes) -> bytes:
+        """Emulate the path for one outgoing frame (may sleep / raise)."""
+        index = self.frames_shimmed
+        self.frames_shimmed += 1
+        fault = self.injector.next(label)
+        if fault is not None:
+            self.fault_log.append((index, label, fault))
+        delay = self.profile.one_way_seconds
+        if self.profile.jitter_seconds:
+            delay += float(self._rng.random()) * self.profile.jitter_seconds
+        if fault == "latency-spike":
+            delay += self.profile.spike_seconds
+        if delay:
+            self.emulated_seconds += delay
+            self._sleep(delay)
+        if fault == "drop":
+            waited = delay + self.profile.drop_wait_seconds
+            self.emulated_seconds += self.profile.drop_wait_seconds
+            self._sleep(self.profile.drop_wait_seconds)
+            raise MessageDropped(label, waited)
+        if fault == "corrupt":
+            return self.injector.corrupt(payload)
+        # duplicate / reorder are virtual-clock concepts; over a real
+        # request/response socket they degenerate to extra latency and
+        # are not modeled here (the profiles above never draw them).
+        return payload
+
+
+def build_shim(
+    profile: WanProfile | str, seed: int, link_index: int, sleep=time.sleep
+) -> WanShim:
+    """The deterministic shim for one client link of one storm.
+
+    Keyed exactly like every other chaos stream: link 7's fault schedule
+    is the same whether or not link 3 ever sent a frame.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = WAN_PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown WAN profile {profile!r}; "
+                f"choices: {sorted(WAN_PROFILES)}"
+            ) from None
+    plan = FaultPlan(profile.fault_spec(), seed)
+    return WanShim(
+        profile,
+        plan.transport_injector(link_index),
+        plan.client_rng(link_index),
+        sleep=sleep,
+    )

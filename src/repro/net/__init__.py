@@ -12,6 +12,8 @@ from repro.net.errors import (
     TransportError,
     MessageDropped,
     MessageCorrupted,
+    FrameTooLarge,
+    ConnectionLost,
     ServerBusy,
     ServerClosed,
 )
@@ -20,22 +22,37 @@ from repro.net.messages import (
     HandshakeResponse,
     DigestSubmission,
     AuthenticationResult,
+    MetricsRequest,
+    MetricsSnapshot,
+    ErrorReply,
+    encode_frame,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
 )
 from repro.net.transport import LatencyModel, InProcessTransport, US_LINK, US_ISRAEL_LINK
 from repro.net.client import NetworkClient
 from repro.net.server import CAServer
 from repro.net.concurrent import ConcurrentCAServer, ServerMetrics
+from repro.net.sockets import RemoteCAServer, SocketCAServer, SocketTransport
 
 __all__ = [
     "TransportError",
     "MessageDropped",
     "MessageCorrupted",
+    "FrameTooLarge",
+    "ConnectionLost",
     "ServerBusy",
     "ServerClosed",
     "HandshakeRequest",
     "HandshakeResponse",
     "DigestSubmission",
     "AuthenticationResult",
+    "MetricsRequest",
+    "MetricsSnapshot",
+    "ErrorReply",
+    "encode_frame",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
     "LatencyModel",
     "InProcessTransport",
     "US_LINK",
@@ -44,4 +61,7 @@ __all__ = [
     "CAServer",
     "ConcurrentCAServer",
     "ServerMetrics",
+    "SocketTransport",
+    "RemoteCAServer",
+    "SocketCAServer",
 ]

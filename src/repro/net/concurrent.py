@@ -309,7 +309,13 @@ class ConcurrentCAServer:
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="rbc-search"
         )
-        self._lock = threading.Lock()
+        # Reentrant on purpose: a SIGTERM handler (which Python runs on
+        # the main thread, possibly while submit() holds this lock) that
+        # reaches close() must not deadlock against the interrupted
+        # frame. With an RLock the nested acquire succeeds and close()
+        # only flips the flag; the interrupted submit then observes
+        # _closed and refuses typed.
+        self._lock = threading.RLock()
         self._in_flight_clients: set[str] = set()
         self._pending = 0
         self.metrics = ServerMetrics()

@@ -12,6 +12,8 @@ __all__ = [
     "TransportError",
     "MessageDropped",
     "MessageCorrupted",
+    "FrameTooLarge",
+    "ConnectionLost",
     "ServerBusy",
     "ServerClosed",
 ]
@@ -32,6 +34,33 @@ class MessageDropped(TransportError):
 
 class MessageCorrupted(TransportError):
     """A frame arrived but failed integrity or structural validation."""
+
+
+class FrameTooLarge(MessageCorrupted):
+    """A length prefix claimed a frame beyond the bounded maximum.
+
+    Raised *before* any body bytes are buffered: a corrupt or hostile
+    length prefix read off an untrusted socket must never translate into
+    an attacker-sized allocation. Subclasses :class:`MessageCorrupted`
+    so existing corruption handling (retry, typed reporting) applies.
+    """
+
+    def __init__(self, claimed: int, limit: int):
+        super().__init__(
+            f"frame length prefix claims {claimed} bytes "
+            f"(limit {limit}); refusing to buffer"
+        )
+        self.claimed = claimed
+        self.limit = limit
+
+
+class ConnectionLost(TransportError):
+    """The peer's TCP connection failed mid-conversation.
+
+    Distinct from :class:`MessageDropped` (the link is up but one frame
+    never arrived): here the socket itself broke — refused, reset, or
+    closed under us — and the next attempt needs a fresh connection.
+    """
 
 
 class ServerBusy(TransportError):

@@ -18,12 +18,13 @@ session layer's job, see :mod:`repro.net.session`.)
 from __future__ import annotations
 
 import json
+import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.net.errors import MessageCorrupted
+from repro.net.errors import FrameTooLarge, MessageCorrupted
 from repro.tenancy.context import DEFAULT_TENANT
 
 __all__ = [
@@ -31,7 +32,115 @@ __all__ = [
     "HandshakeResponse",
     "DigestSubmission",
     "AuthenticationResult",
+    "MetricsRequest",
+    "MetricsSnapshot",
+    "ErrorReply",
+    "MAX_FRAME_BYTES",
+    "FRAME_HEADER_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+    "peek_frame_kind",
+    "MESSAGE_TYPES",
 ]
+
+#: Upper bound on one wire frame's body. The largest legitimate frame is
+#: a handshake response carrying a packed cell mask (a few KiB at the
+#: paper's window sizes); a megabyte leaves two orders of magnitude of
+#: headroom while keeping a corrupt/hostile length prefix from turning
+#: into a giant allocation.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Big-endian u32 length prefix in front of every socket frame.
+_FRAME_HEADER = struct.Struct(">I")
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Length-prefix one message body for the socket wire.
+
+    The in-process transport hands whole payloads around, so it never
+    needed framing; TCP delivers an undifferentiated byte stream, so
+    every message is prefixed with its length and reassembled by
+    :class:`FrameDecoder` on the far side.
+    """
+    if not payload:
+        raise ValueError("cannot frame an empty payload")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameTooLarge(len(payload), MAX_FRAME_BYTES)
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental reassembly of length-prefixed frames off a stream.
+
+    Feed it whatever ``recv`` returned — single bytes, torn length
+    prefixes, several frames glued together — and it yields exactly the
+    frame bodies the sender framed, in order. The length prefix is
+    validated *before* the body is buffered, so a corrupt prefix raises
+    :class:`~repro.net.errors.FrameTooLarge` (or
+    :class:`~repro.net.errors.MessageCorrupted` for a zero length)
+    instead of committing memory to garbage. Once poisoned, a decoder
+    refuses further input: the stream has lost sync and the connection
+    must be torn down.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._expected: int | None = None
+        self._poisoned = False
+        self.frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb one chunk; return every frame it completed."""
+        if self._poisoned:
+            raise MessageCorrupted(
+                "frame stream already failed validation; reconnect"
+            )
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if self._expected is None:
+                if len(self._buffer) < FRAME_HEADER_BYTES:
+                    break
+                (length,) = _FRAME_HEADER.unpack_from(self._buffer)
+                if length == 0:
+                    self._poisoned = True
+                    raise MessageCorrupted("zero-length frame prefix")
+                if length > self.max_frame_bytes:
+                    self._poisoned = True
+                    raise FrameTooLarge(length, self.max_frame_bytes)
+                del self._buffer[:FRAME_HEADER_BYTES]
+                self._expected = length
+            if len(self._buffer) < self._expected:
+                break
+            frames.append(bytes(self._buffer[: self._expected]))
+            del self._buffer[: self._expected]
+            self._expected = None
+            self.frames_decoded += 1
+        return frames
+
+
+def peek_frame_kind(raw: bytes) -> str:
+    """The ``type`` tag of one frame body, without full validation.
+
+    The socket server uses this to route a frame to the right parser;
+    the parser then performs the real CRC + structure check.
+    """
+    try:
+        body = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MessageCorrupted(f"unparseable frame: {exc}") from exc
+    if not isinstance(body, dict) or not isinstance(body.get("type"), str):
+        raise MessageCorrupted("frame carries no type tag")
+    return body["type"]
 
 
 def _encode(kind: str, payload: dict) -> bytes:
@@ -254,3 +363,146 @@ class AuthenticationResult:
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise MessageCorrupted(f"malformed authentication_result: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Admin -> CA: scrape a :class:`ServerMetrics` snapshot.
+
+    ``include_tenants`` follows the omitted-field rule (PR 7's tenant
+    field): ``False`` — the default — is left off the wire, so the
+    minimal request frame is a stable byte sequence.
+    """
+
+    include_tenants: bool = False
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        payload: dict = {}
+        if self.include_tenants:
+            payload["include_tenants"] = True
+        return _encode("metrics_request", payload)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MetricsRequest":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "metrics_request")
+        return cls(include_tenants=bool(body.get("include_tenants", False)))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """CA -> admin: one consistent copy of the server's counters.
+
+    ``counters`` mirrors ``ServerMetrics.snapshot()``; ``shed_reasons``
+    mirrors ``shed_breakdown()``. The optional fields — ``shed_reasons``,
+    ``tenants``, ``false_authentications`` — are *omitted* from the frame
+    when empty/zero, so a snapshot from a server predating a counter is
+    byte-identical to one that merely has nothing to report (the same
+    forward-compatibility contract the tenant field established).
+    """
+
+    counters: dict[str, float]
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    tenants: dict[str, dict[str, float]] = field(default_factory=dict)
+    false_authentications: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        payload: dict = {"counters": dict(self.counters)}
+        if self.shed_reasons:
+            payload["shed_reasons"] = dict(self.shed_reasons)
+        if self.tenants:
+            payload["tenants"] = {
+                tenant: dict(stats) for tenant, stats in self.tenants.items()
+            }
+        if self.false_authentications:
+            payload["false_authentications"] = self.false_authentications
+        return _encode("metrics_snapshot", payload)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MetricsSnapshot":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "metrics_snapshot")
+        try:
+            counters = body["counters"]
+            if not isinstance(counters, dict):
+                raise TypeError("counters must be an object")
+            return cls(
+                counters={k: float(v) for k, v in counters.items()},
+                shed_reasons={
+                    k: int(v)
+                    for k, v in body.get("shed_reasons", {}).items()
+                },
+                tenants={
+                    tenant: {k: float(v) for k, v in stats.items()}
+                    for tenant, stats in body.get("tenants", {}).items()
+                },
+                false_authentications=int(
+                    body.get("false_authentications", 0)
+                ),
+            )
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+            raise MessageCorrupted(f"malformed metrics_snapshot: {exc}") from exc
+
+
+#: ErrorReply kinds the socket server can send, and what the client-side
+#: stub raises for each (see ``repro.net.sockets``).
+ERROR_REPLY_KINDS = ("busy", "closed", "shed", "corrupt", "error")
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """CA -> client: a typed refusal instead of a result frame.
+
+    The in-process stack raises typed exceptions across a function call;
+    a remote server has only bytes, so the refusal rides the wire as its
+    own frame and the client-side stub re-raises the matching type:
+    ``busy`` -> ServerBusy, ``closed`` -> ServerClosed, ``shed`` ->
+    RequestShed(``reason``), ``corrupt`` -> MessageCorrupted (the server
+    could not parse what arrived), ``error`` -> TransportError.
+    """
+
+    kind: str
+    reason: str = ""
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ERROR_REPLY_KINDS:
+            raise ValueError(
+                f"kind must be one of {ERROR_REPLY_KINDS}, got {self.kind!r}"
+            )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        payload: dict = {"kind": self.kind}
+        if self.reason:
+            payload["reason"] = self.reason
+        if self.detail:
+            payload["detail"] = self.detail
+        return _encode("error_reply", payload)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ErrorReply":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "error_reply")
+        try:
+            return cls(
+                kind=body["kind"],
+                reason=body.get("reason", ""),
+                detail=body.get("detail", ""),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise MessageCorrupted(f"malformed error_reply: {exc}") from exc
+
+
+#: Wire type tag -> parser, for frame routing off a socket.
+MESSAGE_TYPES = {
+    "handshake_request": HandshakeRequest,
+    "handshake_response": HandshakeResponse,
+    "digest_submission": DigestSubmission,
+    "authentication_result": AuthenticationResult,
+    "metrics_request": MetricsRequest,
+    "metrics_snapshot": MetricsSnapshot,
+    "error_reply": ErrorReply,
+}

@@ -1,0 +1,625 @@
+"""Deployment harness: framing, sockets, WAN shim, supervisor, storms.
+
+Covers the wire layer (incremental CRC-frame reassembly under arbitrary
+partial-read boundaries, bounded length prefixes, the admin metrics
+message family), socket<->in-process byte equivalence on the full
+message matrix, deterministic WAN emulation, real-process supervision
+(readiness gating, restart, SIGTERM teardown), the signal-safety
+regression (SIGTERM during an in-flight search must drain typed, never
+hang), and a miniature end-to-end lan storm over real OS processes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import quick_setup
+from repro.deploy.enrollment import (
+    VerifyingAuthority,
+    build_client_device,
+    build_fleet_record,
+)
+from repro.deploy.loadgen import (
+    classify_failure,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.deploy.storm import run_profile
+from repro.deploy.supervisor import ProcessDied, ProcessSupervisor
+from repro.deploy.topology import TopologySpec
+from repro.deploy.trace import generate_trace
+from repro.deploy.wan import WAN_PROFILES, build_shim
+from repro.net.client import NetworkClient
+from repro.net.concurrent import ConcurrentCAServer
+from repro.net.errors import (
+    ConnectionLost,
+    FrameTooLarge,
+    MessageCorrupted,
+    MessageDropped,
+    ServerBusy,
+)
+from repro.net.messages import (
+    FRAME_HEADER_BYTES,
+    AuthenticationResult,
+    DigestSubmission,
+    ErrorReply,
+    FrameDecoder,
+    HandshakeRequest,
+    HandshakeResponse,
+    MetricsRequest,
+    MetricsSnapshot,
+    encode_frame,
+    peek_frame_kind,
+)
+from repro.net.server import CAServer
+from repro.net.sockets import (
+    RemoteCAServer,
+    SocketCAServer,
+    SocketTransport,
+    error_reply_for,
+)
+from repro.net.transport import InProcessTransport
+from repro.reliability.retry import RetriesExhausted
+from repro.sched.errors import RequestShed
+
+
+def _child_env() -> dict[str, str]:
+    import os
+
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Frame reassembly
+
+
+class TestFrameDecoder:
+    def _sample_frames(self) -> list[bytes]:
+        return [
+            HandshakeRequest(client_id="dep-0001").to_bytes(),
+            DigestSubmission(client_id="dep-0001", digest=b"\x01" * 32).to_bytes(),
+            MetricsRequest().to_bytes(),
+            ErrorReply(kind="busy", detail="queue full").to_bytes(),
+            b"x",  # minimal 1-byte body
+            b"y" * 4096,
+        ]
+
+    def test_fuzzed_chunk_boundaries(self):
+        """Reassembly is exact for every partial-read pattern."""
+        frames = self._sample_frames()
+        stream = b"".join(encode_frame(f) for f in frames)
+        rng = np.random.default_rng(1234)
+        for trial in range(50):
+            decoder = FrameDecoder()
+            out: list[bytes] = []
+            position = 0
+            while position < len(stream):
+                # Chunk sizes from 1 byte to several frames at once.
+                size = int(rng.integers(1, 1500))
+                out.extend(decoder.feed(stream[position : position + size]))
+                position += size
+            assert out == frames, f"trial {trial} mismatched"
+            assert decoder.pending_bytes == 0
+            assert decoder.frames_decoded == len(frames)
+
+    def test_byte_at_a_time_and_torn_length_prefix(self):
+        frames = self._sample_frames()
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == frames
+        # A torn prefix alone yields nothing and buffers correctly.
+        tear = FrameDecoder()
+        assert tear.feed(encode_frame(b"abc")[: FRAME_HEADER_BYTES - 1]) == []
+        assert tear.pending_bytes == FRAME_HEADER_BYTES - 1
+
+    def test_interleaved_connections_stay_independent(self):
+        """Two decoders fed interleaved chunks never cross-contaminate."""
+        frames_a = [b"conn-a-" + bytes([i]) * 64 for i in range(4)]
+        frames_b = [b"conn-b-" + bytes([i]) * 256 for i in range(4)]
+        stream_a = b"".join(encode_frame(f) for f in frames_a)
+        stream_b = b"".join(encode_frame(f) for f in frames_b)
+        dec_a, dec_b = FrameDecoder(), FrameDecoder()
+        out_a: list[bytes] = []
+        out_b: list[bytes] = []
+        rng = np.random.default_rng(7)
+        pos_a = pos_b = 0
+        while pos_a < len(stream_a) or pos_b < len(stream_b):
+            size = int(rng.integers(1, 97))
+            if (rng.random() < 0.5 and pos_a < len(stream_a)) or pos_b >= len(
+                stream_b
+            ):
+                out_a.extend(dec_a.feed(stream_a[pos_a : pos_a + size]))
+                pos_a += size
+            else:
+                out_b.extend(dec_b.feed(stream_b[pos_b : pos_b + size]))
+                pos_b += size
+        assert out_a == frames_a
+        assert out_b == frames_b
+
+    def test_oversized_prefix_is_typed_before_allocation(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        header = (4096).to_bytes(4, "big")
+        with pytest.raises(FrameTooLarge) as excinfo:
+            decoder.feed(header + b"garbage")
+        assert excinfo.value.claimed == 4096
+        assert excinfo.value.limit == 1024
+        assert isinstance(excinfo.value, MessageCorrupted)
+        # Poisoned: the stream lost sync, further input is refused.
+        with pytest.raises(MessageCorrupted):
+            decoder.feed(b"more")
+
+    def test_zero_length_prefix_is_corrupt(self):
+        decoder = FrameDecoder()
+        with pytest.raises(MessageCorrupted):
+            decoder.feed(b"\x00\x00\x00\x00")
+
+    def test_encode_frame_bounds(self):
+        with pytest.raises(ValueError):
+            encode_frame(b"")
+        with pytest.raises(FrameTooLarge):
+            encode_frame(b"z" * (1 << 21))
+        framed = encode_frame(b"abc")
+        assert framed == b"\x00\x00\x00\x03abc"
+
+
+# ---------------------------------------------------------------------------
+# Admin message family
+
+
+class TestMetricsMessages:
+    def test_metrics_snapshot_round_trip(self):
+        snapshot = MetricsSnapshot(
+            counters={"completed": 3.0, "authenticated": 2.0},
+            shed_reasons={"deadline": 1},
+            tenants={"acme": {"completed": 1.0}},
+            false_authentications=1,
+        )
+        parsed = MetricsSnapshot.from_bytes(snapshot.to_bytes())
+        assert parsed == snapshot
+
+    def test_optional_fields_omitted_on_wire(self):
+        """PR 7's omitted-field contract: empty/zero fields leave no bytes."""
+        minimal = MetricsSnapshot(counters={"completed": 1.0})
+        body = json.loads(minimal.to_bytes().decode())
+        assert "shed_reasons" not in body
+        assert "tenants" not in body
+        assert "false_authentications" not in body
+        assert MetricsSnapshot.from_bytes(minimal.to_bytes()) == minimal
+        request = MetricsRequest()
+        assert "include_tenants" not in json.loads(request.to_bytes().decode())
+        assert MetricsRequest.from_bytes(request.to_bytes()) == request
+        tenanted = MetricsRequest(include_tenants=True)
+        assert json.loads(tenanted.to_bytes().decode())["include_tenants"] is True
+
+    def test_error_reply_round_trip_and_kinds(self):
+        reply = ErrorReply(kind="shed", reason="deadline", detail="too slow")
+        assert ErrorReply.from_bytes(reply.to_bytes()) == reply
+        with pytest.raises(ValueError):
+            ErrorReply(kind="nonsense")
+        with pytest.raises(RequestShed):
+            from repro.net.sockets import raise_error_reply
+
+            raise_error_reply(reply)
+
+    def test_error_reply_for_maps_admission_failures(self):
+        assert error_reply_for(RuntimeError("queue full")).kind == "busy"
+        assert error_reply_for(RequestShed("deadline")).kind == "shed"
+        assert error_reply_for(MessageCorrupted("bad")).kind == "corrupt"
+        assert error_reply_for(ValueError("x")).kind == "error"
+
+    def test_peek_frame_kind(self):
+        assert peek_frame_kind(MetricsRequest().to_bytes()) == "metrics_request"
+        with pytest.raises(MessageCorrupted):
+            peek_frame_kind(b"\xff\xfe not json")
+        with pytest.raises(MessageCorrupted):
+            peek_frame_kind(b'{"no_type": 1}')
+
+
+# ---------------------------------------------------------------------------
+# Socket <-> in-process equivalence
+
+
+class TestSocketEquivalence:
+    def test_full_message_matrix_over_the_wire(self):
+        """Every request frame round-trips the socket byte-identically."""
+        authority, _client, _mask = quick_setup(
+            seed=3, hash_name="sha1", max_distance=1, noise_target_distance=1
+        )
+        server = SocketCAServer(CAServer(authority))
+        host, port = server.start()
+        try:
+            transport = SocketTransport(host, port)
+            # Handshake: the reply must parse as exactly the frame the
+            # local CAServer would have produced.
+            request = HandshakeRequest(client_id="client-0")
+            raw = transport.request("handshake-request", request.to_bytes())
+            local = CAServer(authority).handle_handshake(request)
+            assert HandshakeResponse.from_bytes(raw) == local
+            assert raw == local.to_bytes()
+            # Metrics on a plain CAServer: empty but well-formed.
+            raw = transport.request("metrics", MetricsRequest().to_bytes())
+            assert MetricsSnapshot.from_bytes(raw).counters == {}
+            # Unserveable frame type -> typed corrupt refusal.
+            raw = transport.request(
+                "bogus", AuthenticationResult(
+                    client_id="client-0", authenticated=False, distance=None,
+                    public_key=None, search_seconds=0.0, timed_out=False,
+                ).to_bytes(),
+            )
+            assert peek_frame_kind(raw) == "error_reply"
+            assert ErrorReply.from_bytes(raw).kind == "corrupt"
+            transport.close()
+        finally:
+            server.close()
+
+    def test_network_client_agrees_with_in_process_path(self):
+        """The same device authenticates identically over both transports."""
+        seed = 11
+        authority, client_device, mask = quick_setup(
+            seed=seed, hash_name="sha1", max_distance=2,
+            noise_target_distance=2,
+        )
+        in_process = NetworkClient(
+            client_device, InProcessTransport(), reference_mask=mask,
+            rng=np.random.default_rng(0),
+        )
+        local_result = in_process.authenticate(CAServer(authority))
+
+        # Fresh identical world for the socket path (the PUF rng advanced).
+        authority2, client_device2, mask2 = quick_setup(
+            seed=seed, hash_name="sha1", max_distance=2,
+            noise_target_distance=2,
+        )
+        server = SocketCAServer(CAServer(authority2))
+        host, port = server.start()
+        try:
+            transport = SocketTransport(host, port)
+            remote = NetworkClient(
+                client_device2, transport, reference_mask=mask2,
+                rng=np.random.default_rng(0),
+            )
+            socket_result = remote.authenticate(RemoteCAServer(transport))
+            transport.close()
+        finally:
+            server.close()
+        assert socket_result.authenticated and local_result.authenticated
+        assert socket_result.distance == local_result.distance
+        assert socket_result.client_id == local_result.client_id
+        # Both paths issue a key derived from the same found seed.
+        assert socket_result.public_key == local_result.public_key
+
+    def test_connection_refused_is_typed(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, dead_port = probe.getsockname()
+        probe.close()
+        transport = SocketTransport(
+            "127.0.0.1", dead_port, connect_timeout_seconds=1.0
+        )
+        with pytest.raises(ConnectionLost):
+            transport.request("x", b"payload")
+
+
+# ---------------------------------------------------------------------------
+# WAN emulation
+
+
+class TestWanShim:
+    def test_profiles_validate(self):
+        assert set(WAN_PROFILES) == {"lan", "wan", "lossy-wan"}
+        for profile in WAN_PROFILES.values():
+            assert profile.one_way_seconds >= 0
+
+    def test_same_seed_same_faults(self):
+        sleeps_a: list[float] = []
+        sleeps_b: list[float] = []
+        shim_a = build_shim("lossy-wan", seed=5, link_index=2,
+                            sleep=sleeps_a.append)
+        shim_b = build_shim("lossy-wan", seed=5, link_index=2,
+                            sleep=sleeps_b.append)
+        payload = b"p" * 128
+        for shim, sink in ((shim_a, sleeps_a), (shim_b, sleeps_b)):
+            for i in range(60):
+                try:
+                    shim.apply(f"frame-{i}", payload)
+                except MessageDropped:
+                    pass
+        assert shim_a.fault_log == shim_b.fault_log
+        assert sleeps_a == sleeps_b
+        assert shim_a.fault_log, "lossy-wan must actually fault frames"
+
+    def test_different_links_draw_different_streams(self):
+        shim_a = build_shim("lossy-wan", seed=5, link_index=0, sleep=lambda _s: None)
+        shim_b = build_shim("lossy-wan", seed=5, link_index=1, sleep=lambda _s: None)
+        def faults(shim):
+            log = []
+            for i in range(80):
+                try:
+                    shim.apply(f"frame-{i}", b"q" * 64)
+                except MessageDropped:
+                    pass
+            return shim.fault_log
+        assert faults(shim_a) != faults(shim_b)
+
+    def test_drop_raises_typed_after_bounded_wait(self):
+        slept: list[float] = []
+        shim = build_shim("lossy-wan", seed=1, link_index=0, sleep=slept.append)
+        raised = False
+        for i in range(200):
+            try:
+                shim.apply(f"frame-{i}", b"z" * 32)
+            except MessageDropped:
+                raised = True
+                break
+        assert raised, "an 8% drop rate must fire within 200 frames"
+        profile = WAN_PROFILES["lossy-wan"]
+        assert slept[-1] == pytest.approx(profile.drop_wait_seconds)
+
+    def test_corrupt_flips_bytes_caught_by_crc(self):
+        shim = build_shim("lossy-wan", seed=3, link_index=0, sleep=lambda _s: None)
+        original = HandshakeRequest(client_id="dep-0000").to_bytes()
+        for i in range(300):
+            mutated = None
+            try:
+                mutated = shim.apply(f"frame-{i}", original)
+            except MessageDropped:
+                continue
+            if mutated != original:
+                with pytest.raises(MessageCorrupted):
+                    HandshakeRequest.from_bytes(mutated)
+                return
+        pytest.fail("a 4% corrupt rate must fire within 300 frames")
+
+
+# ---------------------------------------------------------------------------
+# Topology + trace + enrollment determinism
+
+
+class TestTopologyAndTrace:
+    def test_spec_validation_and_json_round_trip(self):
+        spec = TopologySpec(tenants=("acme", "globex"))
+        assert spec_from_json(spec_to_json(spec)) == spec
+        with pytest.raises(ValueError):
+            TopologySpec(wan_profile="dsl")
+        with pytest.raises(ValueError):
+            TopologySpec(engine="quantum")
+        with pytest.raises(ValueError):
+            TopologySpec(servers=0)
+        assert spec.with_profile("wan").wan_profile == "wan"
+        assert "lan" in spec.describe()
+
+    def test_trace_is_deterministic_heavy_tailed_and_diurnal(self):
+        spec = TopologySpec(clients=6, max_distance=3)
+        trace = generate_trace(spec, seed=9, requests=400,
+                               duration_seconds=60.0)
+        assert trace == generate_trace(spec, 9, 400, 60.0)
+        hist = trace.depth_histogram()
+        # Heavy tail: shallow dominates, the deepest shell persists.
+        assert hist[0] > hist[3] > 0
+        assert hist[0] > 400 // 3
+        # Diurnal: the middle half-hour carries more than the edges.
+        offsets = [e.offset_seconds for e in trace.entries]
+        mid = sum(1 for o in offsets if 20.0 <= o <= 40.0)
+        edges = sum(1 for o in offsets if o < 10.0 or o > 50.0)
+        assert mid > edges
+        assert offsets == sorted(offsets)
+        # Slot partition covers the whole trace exactly once.
+        a = trace.for_slots({i for i in range(6) if i % 2 == 0})
+        b = trace.for_slots({i for i in range(6) if i % 2 == 1})
+        assert len(a) + len(b) == len(trace.entries)
+
+    def test_cross_process_enrollment_contract(self):
+        """Server-side and client-side fleet builds derive the same mask."""
+        cid_a, _puf_a, mask_a = build_fleet_record(seed=4, index=2,
+                                                   num_cells=1024)
+        cid_b, _puf_b, mask_b = build_fleet_record(seed=4, index=2,
+                                                   num_cells=1024)
+        assert cid_a == cid_b == "dep-0002"
+        assert np.array_equal(mask_a.usable, mask_b.usable)
+        _cid, device, _mask = build_client_device(
+            seed=4, index=2, num_cells=1024, noise_target_distance=1
+        )
+        assert device.client_id == "dep-0002"
+
+    def test_verifying_authority_tolerates_concurrent_same_client(self):
+        """A second outstanding digest must not falsify the first."""
+        authority, _client, _mask = quick_setup(
+            seed=2, hash_name="sha1", max_distance=1, noise_target_distance=0
+        )
+        verifying = VerifyingAuthority(authority)
+        from repro.hashes.registry import get_hash
+
+        algo = get_hash("sha1")
+        seed_a, seed_b = b"\x01" * 32, b"\x02" * 32
+        verifying.record_digest("client-0", algo.scalar(seed_a))
+        verifying.record_digest("client-0", algo.scalar(seed_b))
+        verifying.issue_public_key("client-0", seed_a)
+        verifying.issue_public_key("client-0", seed_b)
+        assert verifying.false_authentications == 0
+        verifying.record_digest("client-0", algo.scalar(seed_a))
+        verifying.issue_public_key("client-0", b"\x03" * 32)
+        assert verifying.false_authentications == 1
+
+    def test_classify_failure_buckets(self):
+        assert classify_failure(RequestShed("deadline")) == "shed:deadline"
+        assert classify_failure(MessageDropped("x", 0.1)) == "dropped"
+        assert classify_failure(ServerBusy("q")) == "busy"
+        assert classify_failure(
+            RetriesExhausted(attempts=3, elapsed_seconds=1.0,
+                             last_error=ConnectionLost("gone"))
+        ) == "retries-exhausted:connection-lost"
+        assert classify_failure(ValueError("?")) == "untyped:ValueError"
+
+
+# ---------------------------------------------------------------------------
+# Process supervision
+
+
+class TestProcessSupervisor:
+    def test_readiness_gate_restart_and_teardown(self):
+        supervisor = ProcessSupervisor(grace_seconds=5.0)
+        child = (
+            "import signal, sys, threading\n"
+            "stop = threading.Event()\n"
+            "signal.signal(signal.SIGTERM, lambda *_: stop.set())\n"
+            "print('CHILD-READY 4242', flush=True)\n"
+            "stop.wait(30)\n"
+            "sys.exit(0)\n"
+        )
+        argv = [sys.executable, "-u", "-c", child]
+        managed = supervisor.spawn(
+            "child", argv, ready_regex=r"CHILD-READY (\d+)"
+        )
+        assert managed.ready_match is not None
+        assert managed.ready_match.group(1) == "4242"
+        assert supervisor.health_check() == {"child": True}
+        replacement = supervisor.restart("child")
+        assert replacement.restarts == 1
+        assert replacement.alive
+        codes = supervisor.teardown()
+        assert codes == {"child": 0}
+
+    def test_death_before_readiness_is_diagnosed(self):
+        supervisor = ProcessSupervisor()
+        argv = [
+            sys.executable,
+            "-c",
+            "import sys; print('pre-crash detail'); sys.exit(3)",
+        ]
+        with pytest.raises(ProcessDied) as excinfo:
+            supervisor.spawn("crasher", argv, ready_regex=r"NEVER-PRINTED")
+        assert excinfo.value.returncode == 3
+        assert "pre-crash detail" in str(excinfo.value)
+
+    def test_sigkill_escalation_for_term_ignorer(self):
+        supervisor = ProcessSupervisor(grace_seconds=0.5)
+        child = (
+            "import signal, time\n"
+            "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+            "print('STUBBORN-READY', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        supervisor.spawn(
+            "stubborn", [sys.executable, "-u", "-c", child],
+            ready_regex=r"STUBBORN-READY",
+        )
+        start = time.monotonic()
+        codes = supervisor.teardown()
+        assert time.monotonic() - start < 10.0
+        assert codes["stubborn"] == -signal.SIGKILL
+
+
+# ---------------------------------------------------------------------------
+# Signal safety + end-to-end storm (real processes)
+
+
+class TestDeploymentProcesses:
+    def _spawn_server(self, spec: TopologySpec, seed: int):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.deploy.server",
+                "--spec", spec_to_json(spec), "--seed", str(seed),
+                "--port", "0",
+            ],
+            env=_child_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        assert proc.stdout is not None
+        deadline = time.monotonic() + 60.0
+        line = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if line.startswith("DEPLOY-READY"):
+                break
+        else:
+            proc.kill()
+            pytest.fail("server never became ready")
+        _tag, host, port = line.split()
+        return proc, host, int(port)
+
+    def test_sigterm_mid_search_drains_typed_and_exits_zero(self):
+        """Satellite (f) regression: SIGTERM during an in-flight search."""
+        spec = TopologySpec(
+            clients=2, engine="fifo", workers=1, time_budget=8.0,
+            max_distance=2,
+        )
+        seed = 13
+        proc, host, port = self._spawn_server(spec, seed)
+        try:
+            # Launch a real search (depth 2 keeps the worker busy for a
+            # beat), then SIGTERM the server while it is in flight.
+            transport = SocketTransport(host, port, timeout_seconds=30.0)
+            _cid, device, mask = build_client_device(
+                seed, 0, spec.num_cells, noise_target_distance=2
+            )
+            client = NetworkClient(
+                device, transport, reference_mask=mask, max_attempts=1,
+            )
+            import threading
+
+            outcome: dict = {}
+
+            def drive():
+                try:
+                    outcome["result"] = client.authenticate(
+                        RemoteCAServer(transport)
+                    )
+                except BaseException as exc:
+                    outcome["error"] = exc
+
+            driver = threading.Thread(target=drive)
+            driver.start()
+            time.sleep(0.35)  # let the digest reach the worker
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30.0)
+            driver.join(timeout=30.0)
+            assert not driver.is_alive(), "client must not hang"
+            assert code == 0, "drain must exit cleanly"
+            output = proc.stdout.read()
+            assert "DEPLOY-DRAINED" in output
+            # The in-flight request either drained to a real result or
+            # was refused with a *typed* error — never an untyped one.
+            if "error" in outcome:
+                bucket = classify_failure(outcome["error"])
+                assert not bucket.startswith("untyped:"), bucket
+            else:
+                assert outcome["result"].client_id == "dep-0000"
+            transport.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    def test_mini_lan_storm_end_to_end(self, tmp_path):
+        """1 server x 1 loadgen as real processes over real TCP."""
+        spec = TopologySpec(clients=3, time_budget=3.0, engine="fifo",
+                            workers=2)
+        report = run_profile(
+            spec, seed=5, requests=5, duration_seconds=1.0,
+            num_loadgens=1, time_scale=1.0, scratch_dir=tmp_path,
+        )
+        assert report.passed, report.gate_failures
+        assert report.outcomes.get("authenticated") == 5
+        assert report.false_authentications == 0
+        assert report.drained
+        assert report.server_counters["completed"] == 5.0
+        assert report.latency_p50_ms > 0
