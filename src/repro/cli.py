@@ -594,7 +594,10 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
             if args.tenants
             else ()
         ),
+        durability=args.fsync,
     )
+    if args.crash:
+        return _run_crash(args, topology)
     print(f"deployment storm: {topology.describe()}")
     print(f"profiles: {', '.join(profiles)}; {args.requests} requests "
           f"over {args.duration:g}s x{args.loadgens} loadgen(s)")
@@ -621,6 +624,43 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
               f"false_auths={profile.false_authentications}")
         for failure in profile.gate_failures:
             print(f"  GATE: {failure}", file=sys.stderr)
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0 if report.passed else 1
+
+
+def _run_crash(args: argparse.Namespace, topology) -> int:
+    """``repro deploy --storm --crash``: the kill-9 crash-restart storm."""
+    from repro.deploy.storm import run_crash_storm
+    from repro.deploy.supervisor import RestartPolicy
+
+    report = run_crash_storm(
+        topology,
+        seed=args.seed,
+        crashes=args.crashes,
+        restart_policy=RestartPolicy(
+            max_restarts=args.max_restarts, seed=args.seed
+        ),
+        output_path=args.output,
+        log=print,
+    )
+    status = "ok" if report.passed else "FAILED"
+    print(f"crash storm {status}: {report.crashes} kill-9 round(s), "
+          f"{report.acknowledged_total} acked enrollments, "
+          f"{report.lost_acknowledged} lost, "
+          f"{report.nonce_reuse_trips} nonce-reuse trip(s), "
+          f"{report.false_authentications} false auth(s)")
+    for entry in report.rounds:
+        print(f"  round {entry.round_index}: {entry.victim} recovered "
+              f"{entry.recovered_records} record(s) in "
+              f"{entry.recovery_seconds * 1000:.1f}ms")
+    print(f"  durable {report.durable_enroll_rps:.1f} enroll/s vs lossy "
+          f"{report.lossy_enroll_rps:.1f} enroll/s "
+          f"({report.durability_overhead_pct:+.1f}% fsync cost); "
+          f"{report.restarts} restart(s), "
+          f"{report.backoff_seconds:.2f}s backoff")
+    for failure in report.gate_failures:
+        print(f"  GATE: {failure}", file=sys.stderr)
     if args.output:
         print(f"wrote {args.output}")
     return 0 if report.passed else 1
@@ -824,7 +864,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="compress (<1) or stretch (>1) arrivals")
     deploy.add_argument("--seed", type=int, default=0)
     deploy.add_argument("--output", default=None,
-                        help="write BENCH_deployment.json here")
+                        help="write BENCH_deployment.json here "
+                             "(BENCH_recovery.json with --crash)")
+    deploy.add_argument("--crash", action="store_true",
+                        help="kill-9 crash-restart storm instead of the "
+                             "WAN-profile sweep: SIGKILL a server "
+                             "mid-enrollment burst, restart it, gate on "
+                             "zero acknowledged loss / nonce reuse / "
+                             "false auths")
+    deploy.add_argument("--crashes", type=int, default=3,
+                        help="kill-9 rounds (--crash only)")
+    deploy.add_argument("--max-restarts", type=int, default=8,
+                        dest="max_restarts",
+                        help="supervisor restart budget (--crash only)")
+    deploy.add_argument("--fsync", default="",
+                        help="WAL fsync policy: always, interval[:secs], "
+                             "or none; empty keeps the in-memory store "
+                             "(--crash forces always when empty)")
     deploy.set_defaults(fn=_cmd_deploy)
 
     args = parser.parse_args(argv)

@@ -10,8 +10,11 @@ the protocol's end-to-end latency and failure typing can be measured
 under conditions the in-process harness cannot produce: real sockets,
 real process crashes, real signal-driven shutdown.
 
-Entry points: ``repro deploy --storm`` (CLI), or
-:func:`~repro.deploy.storm.run_deployment_storm` (library).
+Entry points: ``repro deploy --storm`` (CLI) or
+:func:`~repro.deploy.storm.run_deployment_storm` (library) for the
+WAN-profile sweep; ``repro deploy --storm --crash`` or
+:func:`~repro.deploy.storm.run_crash_storm` for the kill-9
+crash-restart storm against WAL-backed durable servers.
 """
 
 from repro.deploy.wan import WAN_PROFILES, WanProfile, WanShim, build_shim
@@ -23,13 +26,22 @@ from repro.deploy.enrollment import (
     build_serving_stack,
     client_identity,
     enroll_topology_fleet,
+    fleet_index_of,
     tenant_for,
 )
 from repro.deploy.trace import LoadTrace, TraceEntry, generate_trace
-from repro.deploy.supervisor import ManagedProcess, ProcessSupervisor
+from repro.deploy.supervisor import (
+    ManagedProcess,
+    ProcessSupervisor,
+    RestartBudgetExhausted,
+    RestartPolicy,
+)
 from repro.deploy.storm import (
+    CrashRound,
+    CrashStormReport,
     DeploymentReport,
     ProfileReport,
+    run_crash_storm,
     run_deployment_storm,
 )
 
@@ -46,13 +58,19 @@ __all__ = [
     "build_serving_stack",
     "client_identity",
     "enroll_topology_fleet",
+    "fleet_index_of",
     "tenant_for",
     "LoadTrace",
     "TraceEntry",
     "generate_trace",
     "ManagedProcess",
     "ProcessSupervisor",
+    "RestartPolicy",
+    "RestartBudgetExhausted",
+    "CrashRound",
+    "CrashStormReport",
     "DeploymentReport",
     "ProfileReport",
+    "run_crash_storm",
     "run_deployment_storm",
 ]

@@ -39,6 +39,7 @@ from repro.tenancy.context import DEFAULT_TENANT, namespaced_key
 
 __all__ = [
     "client_identity",
+    "fleet_index_of",
     "tenant_for",
     "build_fleet_record",
     "build_client_device",
@@ -57,6 +58,19 @@ _ENROLL_INSTABILITY = 0.05
 def client_identity(index: int) -> str:
     """The deterministic client id for fleet slot ``index``."""
     return f"dep-{index:04d}"
+
+
+def fleet_index_of(client_id: str) -> int:
+    """Inverse of :func:`client_identity`; raises ValueError otherwise.
+
+    The enrollment wire frame names a fleet slot by its client id; the
+    server maps it back to the slot index to rebuild the deterministic
+    PUF image — no plaintext enrollment data ever crosses the wire.
+    """
+    prefix, _, digits = client_id.partition("-")
+    if prefix != "dep" or not digits.isdigit():
+        raise ValueError(f"not a fleet identity: {client_id!r}")
+    return int(digits)
 
 
 def tenant_for(index: int, tenants: tuple[str, ...]) -> str:
@@ -111,19 +125,33 @@ def build_client_device(
 
 
 def enroll_topology_fleet(
-    authority: CertificateAuthority, topology: TopologySpec, seed: int
-) -> None:
-    """Enroll the full deterministic fleet under its tenant namespaces."""
+    authority: CertificateAuthority,
+    topology: TopologySpec,
+    seed: int,
+    skip_existing: bool = False,
+) -> int:
+    """Enroll the full deterministic fleet under its tenant namespaces.
+
+    ``skip_existing`` is the durable-restart path: a server whose store
+    recovered its records from checkpoint + WAL must not re-enroll them
+    (that would bump every version and churn the WAL on every restart) —
+    it only fills the slots recovery did not produce. Returns how many
+    slots were actually enrolled.
+    """
+    enrolled = 0
     for index in range(topology.clients):
         client_id, _puf, mask = build_fleet_record(
             seed, index, topology.num_cells
         )
         tenant = tenant_for(index, topology.tenants)
-        authority.enroll(
-            client_id,
-            mask,
-            tenant_id=None if tenant == DEFAULT_TENANT else tenant,
-        )
+        tenant_id = None if tenant == DEFAULT_TENANT else tenant
+        if skip_existing and namespaced_key(tenant_id, client_id) in (
+            authority.image_db
+        ):
+            continue
+        authority.enroll(client_id, mask, tenant_id=tenant_id)
+        enrolled += 1
+    return enrolled
 
 
 class VerifyingAuthority:
@@ -190,7 +218,9 @@ class VerifyingAuthority:
         )
 
 
-def build_serving_stack(topology: TopologySpec, seed: int):
+def build_serving_stack(
+    topology: TopologySpec, seed: int, data_dir: str | None = None
+):
     """(verifying_authority, scheduler_engine_or_None) for one server.
 
     ``fleet`` mode builds a :class:`~repro.fleet.engine.FleetSearchEngine`
@@ -198,7 +228,22 @@ def build_serving_stack(topology: TopologySpec, seed: int):
     :class:`~repro.sched.engine.ScheduledSearchEngine`; both slot into
     the ConcurrentCAServer's scheduler seat. ``fifo`` returns ``None``
     and the server's bounded worker pool serves directly.
+
+    With ``topology.durability`` set and a ``data_dir`` given, the
+    enrollment store is a WAL-backed
+    :class:`~repro.durability.store.DurableImageStore`: construction
+    recovers checkpoint + WAL, and the fleet enrollment below only fills
+    the slots recovery did not restore — a kill-9'd server comes back
+    with its acknowledged enrollments (and version counters) intact.
     """
+    image_db = EncryptedImageDatabase(b"deploy-master-k!")
+    durable = bool(topology.durability) and data_dir is not None
+    if durable:
+        from repro.durability.store import DurableImageStore
+
+        image_db = DurableImageStore(
+            data_dir, b"deploy-master-k!", fsync=topology.durability
+        )
     authority = CertificateAuthority(
         search_service=RBCSearchService(
             build_engine(
@@ -212,10 +257,10 @@ def build_serving_stack(topology: TopologySpec, seed: int):
         salt=HashChainSalt(),
         keygen=get_keygen("aes-128"),
         registration_authority=RegistrationAuthority(),
-        image_db=EncryptedImageDatabase(b"deploy-master-k!"),
+        image_db=image_db,
         hash_name=topology.hash_name,
     )
-    enroll_topology_fleet(authority, topology, seed)
+    enroll_topology_fleet(authority, topology, seed, skip_existing=durable)
     verifying = VerifyingAuthority(authority)
 
     engine = None

@@ -25,25 +25,35 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.deploy.loadgen import spec_to_json
-from repro.deploy.supervisor import ProcessDied, ProcessSupervisor
+from repro.deploy.supervisor import (
+    ProcessDied,
+    ProcessSupervisor,
+    RestartPolicy,
+)
 from repro.deploy.topology import TopologySpec
+from repro.net.errors import TransportError
 from repro.net.sockets import RemoteCAServer, SocketTransport
 
 __all__ = [
     "ProfileReport",
     "DeploymentReport",
+    "CrashRound",
+    "CrashStormReport",
     "run_deployment_storm",
+    "run_crash_storm",
     "DEFAULT_PROFILES",
 ]
 
 DEFAULT_PROFILES = ("lan", "wan", "lossy-wan")
 _READY_REGEX = r"DEPLOY-READY (\S+) (\d+)"
+_RECOVERED_REGEX = re.compile(r"DEPLOY-RECOVERED (\d+) ([0-9.]+)")
 
 
 @dataclass
@@ -362,3 +372,436 @@ def run_deployment_storm(
             json.dump(deployment.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
     return deployment
+
+
+# -- kill-9 crash-restart storm -------------------------------------------
+
+
+@dataclass
+class CrashRound:
+    """One kill-9 / restart cycle against one victim server."""
+
+    round_index: int
+    victim: str
+    acked_before_kill: int
+    refused_during_outage: int
+    recovered_records: int
+    recovery_seconds: float
+    lost_acknowledged: int
+    reenrolled: int
+
+    def to_json(self) -> dict:
+        return {
+            "round": self.round_index,
+            "victim": self.victim,
+            "acked_before_kill": self.acked_before_kill,
+            "refused_during_outage": self.refused_during_outage,
+            "recovered_records": self.recovered_records,
+            "recovery_seconds": round(self.recovery_seconds, 6),
+            "lost_acknowledged": self.lost_acknowledged,
+            "reenrolled": self.reenrolled,
+        }
+
+
+@dataclass
+class CrashStormReport:
+    """Everything the crash-restart storm measured and gated on."""
+
+    topology: str
+    seed: int
+    crashes: int
+    clients: int
+    fsync: str
+    rounds: list[CrashRound] = field(default_factory=list)
+    acknowledged_total: int = 0
+    lost_acknowledged: int = 0
+    nonce_reuse_trips: int = 0
+    false_authentications: int = 0
+    auth_outcomes: dict[str, int] = field(default_factory=dict)
+    restarts: int = 0
+    backoff_seconds: float = 0.0
+    durable_enroll_rps: float = 0.0
+    lossy_enroll_rps: float = 0.0
+    durability_overhead_pct: float = 0.0
+    server_exits: dict[str, int | None] = field(default_factory=dict)
+    drained: bool = False
+    gate_failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "recovery",
+            "topology": self.topology,
+            "seed": self.seed,
+            "crashes": self.crashes,
+            "clients": self.clients,
+            "fsync": self.fsync,
+            "rounds": [r.to_json() for r in self.rounds],
+            "acknowledged_total": self.acknowledged_total,
+            "lost_acknowledged": self.lost_acknowledged,
+            "nonce_reuse_trips": self.nonce_reuse_trips,
+            "false_authentications": self.false_authentications,
+            "auth_outcomes": self.auth_outcomes,
+            "restarts": self.restarts,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "durable_enroll_rps": round(self.durable_enroll_rps, 3),
+            "lossy_enroll_rps": round(self.lossy_enroll_rps, 3),
+            "durability_overhead_pct": round(self.durability_overhead_pct, 2),
+            "server_exits": self.server_exits,
+            "drained": self.drained,
+            "gate_failures": self.gate_failures,
+            "passed": self.passed,
+        }
+
+
+def _last_recovery_line(lines: list[str]) -> tuple[int, float]:
+    """(records, seconds) from the newest DEPLOY-RECOVERED line."""
+    for line in reversed(lines):
+        match = _RECOVERED_REGEX.search(line)
+        if match:
+            return int(match.group(1)), float(match.group(2))
+    return 0, 0.0
+
+
+def _enroll_burst(
+    remote: RemoteCAServer,
+    client_ids: list[str],
+    acked: dict[str, int],
+    kill_at: int | None = None,
+    on_kill=None,
+) -> tuple[int, int]:
+    """Drive one sequential enrollment burst; optionally kill -9 mid-burst.
+
+    Returns ``(acked, refused)``. An enrollment counts as acknowledged
+    only when its reply frame arrived — exactly the set the durability
+    gate holds the server to after the crash. Refusals during the
+    outage are typed transport failures (connection reset/refused), the
+    honest answer for a dead server.
+    """
+    acked_count = 0
+    refused = 0
+    for position, client_id in enumerate(client_ids):
+        if kill_at is not None and position == kill_at and on_kill is not None:
+            on_kill()
+            on_kill = None
+        try:
+            reply = remote.enroll(client_id)
+        except TransportError:
+            refused += 1
+            continue
+        acked[client_id] = reply.version
+        acked_count += 1
+    return acked_count, refused
+
+
+def _timed_enroll_rate(remote: RemoteCAServer, client_ids: list[str]) -> float:
+    """Acknowledged enrollments per second over one sequential burst."""
+    started = time.monotonic()
+    for client_id in client_ids:
+        remote.enroll(client_id)
+    wall = time.monotonic() - started
+    return len(client_ids) / wall if wall > 0 else 0.0
+
+
+def _auth_round(
+    spec: TopologySpec, seed: int, addresses: list[tuple[str, int]], count: int
+) -> dict[str, int]:
+    """A few real authentications after recovery — the false-auth probe."""
+    import numpy as np
+
+    from repro.deploy.enrollment import build_client_device, tenant_for
+    from repro.net.client import NetworkClient
+    from repro.reliability.retry import RetryPolicy
+
+    outcomes: dict[str, int] = {}
+    for index in range(min(count, spec.clients)):
+        host, port = addresses[index % len(addresses)]
+        transport = SocketTransport(host, port)
+        _cid, device, mask = build_client_device(
+            seed, index, spec.num_cells, noise_target_distance=1
+        )
+        client = NetworkClient(
+            device,
+            transport,
+            reference_mask=mask,
+            retry_policy=RetryPolicy(
+                max_attempts=4,
+                base_backoff_seconds=0.05,
+                max_backoff_seconds=0.5,
+                jitter_fraction=0.3,
+            ),
+            rng=np.random.default_rng((seed, index, 0xC2A54)),
+            tenant_id=tenant_for(index, spec.tenants),
+        )
+        try:
+            result = client.authenticate(RemoteCAServer(transport))
+        except BaseException as exc:  # typed bucket, same as loadgen
+            from repro.deploy.loadgen import classify_failure
+
+            key = classify_failure(exc)
+        else:
+            key = "authenticated" if result.authenticated else (
+                "timed-out" if result.timed_out else "denied"
+            )
+        finally:
+            transport.close()
+        outcomes[key] = outcomes.get(key, 0) + 1
+    return outcomes
+
+
+def run_crash_storm(
+    topology: TopologySpec | None = None,
+    seed: int = 0,
+    crashes: int = 3,
+    auth_requests: int = 4,
+    restart_policy: RestartPolicy | None = None,
+    scratch_dir: str | Path | None = None,
+    output_path: str | Path | None = None,
+    log=None,
+) -> CrashStormReport:
+    """Kill -9 servers mid-enrollment-burst; gate on zero durable loss.
+
+    The storm enrolls the deterministic fleet over real TCP against
+    WAL-backed servers, SIGKILLs a victim server halfway through each
+    round's re-enrollment burst, restarts it under the supervisor's
+    backoff/budget policy, and then holds the recovered server to three
+    invariants: every *acknowledged* enrollment survives at its version
+    or higher, the nonce-reuse tripwire never fires, and post-recovery
+    authentications produce zero false auths. The report also prices
+    durability: acknowledged-enrollment throughput under the topology's
+    fsync policy versus a no-fsync lossy baseline.
+    """
+    from repro.deploy.enrollment import client_identity
+
+    say = log if log is not None else (lambda _msg: None)
+    base = topology if topology is not None else TopologySpec(
+        servers=1, engine="fifo", wan_profile="lan", clients=8
+    )
+    if not base.durability:
+        base = replace(base, durability="always")
+    policy = restart_policy if restart_policy is not None else RestartPolicy(
+        max_restarts=max(4, 2 * crashes), seed=seed
+    )
+    scratch = Path(scratch_dir) if scratch_dir else Path(".deploy-scratch")
+    scratch.mkdir(parents=True, exist_ok=True)
+    spec_json = spec_to_json(base)
+    env = _child_env()
+    report = CrashStormReport(
+        topology=base.describe(),
+        seed=seed,
+        crashes=crashes,
+        clients=base.clients,
+        fsync=base.durability,
+    )
+
+    def spawn(supervisor, name, data_dir, extra_spec_json=None):
+        managed = supervisor.spawn(
+            name,
+            [
+                sys.executable,
+                "-m",
+                "repro.deploy.server",
+                "--spec",
+                extra_spec_json or spec_json,
+                "--seed",
+                str(seed),
+                "--port",
+                "0",
+                "--data-dir",
+                str(data_dir),
+            ],
+            env=env,
+            ready_regex=_READY_REGEX,
+        )
+        match = managed.ready_match
+        assert match is not None
+        return match.group(1), int(match.group(2))
+
+    with ProcessSupervisor(
+        grace_seconds=30.0, restart_policy=policy
+    ) as supervisor:
+        addresses = [
+            spawn(supervisor, f"server-{i}", scratch / f"crash-server-{i}")
+            for i in range(base.servers)
+        ]
+        say(f"[crash] {base.servers} durable server(s) ready "
+            f"(fsync={base.durability})")
+
+        transports = [SocketTransport(h, p) for h, p in addresses]
+        remotes = [RemoteCAServer(t) for t in transports]
+        #: client_id -> last acknowledged version, per server index.
+        acked: list[dict[str, int]] = [{} for _ in range(base.servers)]
+
+        def slots_of(server_index: int) -> list[str]:
+            return [
+                client_identity(i)
+                for i in range(base.clients)
+                if i % base.servers == server_index
+            ]
+
+        # Phase 1: a clean timed burst — the durable throughput figure
+        # and the acknowledged baseline every later gate measures against.
+        started = time.monotonic()
+        for index in range(base.servers):
+            count, refused = _enroll_burst(
+                remotes[index], slots_of(index), acked[index]
+            )
+            if refused:
+                raise ProcessDied(
+                    f"server-{index}",
+                    None,
+                    supervisor.output_of(f"server-{index}"),
+                )
+        wall = time.monotonic() - started
+        report.durable_enroll_rps = base.clients / wall if wall > 0 else 0.0
+        say(f"[crash] baseline burst: {base.clients} acked in {wall:.2f}s "
+            f"({report.durable_enroll_rps:.1f}/s)")
+
+        # Phase 2: kill -9 a victim mid-burst, restart, verify, repeat.
+        for round_index in range(crashes):
+            victim_index = round_index % base.servers
+            victim = f"server-{victim_index}"
+            burst = slots_of(victim_index)
+            kill_at = max(1, len(burst) // 2)
+            acked_now, refused = _enroll_burst(
+                remotes[victim_index],
+                burst,
+                acked[victim_index],
+                kill_at=kill_at,
+                on_kill=lambda: supervisor.kill(victim),
+            )
+            managed = supervisor.restart(victim)
+            match = managed.ready_match
+            assert match is not None
+            addresses[victim_index] = (match.group(1), int(match.group(2)))
+            transports[victim_index].close()
+            transports[victim_index] = SocketTransport(
+                *addresses[victim_index]
+            )
+            remotes[victim_index] = RemoteCAServer(transports[victim_index])
+            recovered, recovery_seconds = _last_recovery_line(
+                supervisor.output_of(victim)
+            )
+
+            lost = 0
+            for client_id, version in sorted(acked[victim_index].items()):
+                reply = remotes[victim_index].enroll(client_id, probe=True)
+                if reply.version < version:
+                    lost += 1
+            reenrolled, refused_after = _enroll_burst(
+                remotes[victim_index], burst, acked[victim_index]
+            )
+            if refused_after:
+                report.gate_failures.append(
+                    f"round {round_index}: {refused_after} enrollments "
+                    f"refused after restart"
+                )
+            report.rounds.append(
+                CrashRound(
+                    round_index=round_index,
+                    victim=victim,
+                    acked_before_kill=acked_now,
+                    refused_during_outage=refused,
+                    recovered_records=recovered,
+                    recovery_seconds=recovery_seconds,
+                    lost_acknowledged=lost,
+                    reenrolled=reenrolled,
+                )
+            )
+            report.lost_acknowledged += lost
+            say(f"[crash] round {round_index}: killed {victim} after "
+                f"{acked_now} acks, recovered {recovered} records in "
+                f"{recovery_seconds * 1000:.1f}ms, lost {lost}")
+
+        report.acknowledged_total = sum(len(a) for a in acked)
+        report.restarts = supervisor.restarts_total
+        report.backoff_seconds = supervisor.backoff_seconds_total
+
+        # Phase 3: the recovered deployment must still authenticate
+        # honestly — this is what feeds the false-auth tripwire.
+        report.auth_outcomes = _auth_round(
+            base, seed, addresses, auth_requests
+        )
+        say(f"[crash] post-recovery auth: {report.auth_outcomes}")
+
+        snapshots = [
+            _scrape_metrics(host, port, include_tenants=False)
+            for host, port in addresses
+        ]
+        for transport in transports:
+            transport.close()
+
+        # Phase 4: the lossy baseline — same burst, WAL without fsync.
+        lossy_spec = replace(base, servers=1, durability="none")
+        lossy_host, lossy_port = spawn(
+            supervisor,
+            "lossy-0",
+            scratch / "crash-lossy-0",
+            extra_spec_json=spec_to_json(lossy_spec),
+        )
+        with SocketTransport(lossy_host, lossy_port) as lossy_transport:
+            report.lossy_enroll_rps = _timed_enroll_rate(
+                RemoteCAServer(lossy_transport),
+                [client_identity(i) for i in range(base.clients)],
+            )
+        if report.lossy_enroll_rps > 0:
+            report.durability_overhead_pct = 100.0 * (
+                1.0 - report.durable_enroll_rps / report.lossy_enroll_rps
+            )
+        say(f"[crash] durable {report.durable_enroll_rps:.1f}/s vs lossy "
+            f"{report.lossy_enroll_rps:.1f}/s "
+            f"({report.durability_overhead_pct:+.1f}% cost)")
+
+        report.server_exits = supervisor.teardown()
+        report.drained = all(
+            report.server_exits.get(f"server-{i}") == 0
+            and any(
+                "DEPLOY-DRAINED" in line
+                for line in supervisor.output_of(f"server-{i}")
+            )
+            for i in range(base.servers)
+        )
+
+    counters = _merge_counters(s.counters for s in snapshots)
+    report.nonce_reuse_trips = int(
+        counters.get("durable_nonce_reuse_trips", 0)
+    )
+    report.false_authentications = sum(
+        s.false_authentications for s in snapshots
+    )
+    _apply_crash_gates(report, auth_requests)
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def _apply_crash_gates(report: CrashStormReport, auth_requests: int) -> None:
+    if report.lost_acknowledged:
+        report.gate_failures.append(
+            f"{report.lost_acknowledged} acknowledged enrollment(s) lost "
+            f"across {report.crashes} kill-9 crash(es)"
+        )
+    if report.nonce_reuse_trips:
+        report.gate_failures.append(
+            f"nonce-reuse tripwire fired {report.nonce_reuse_trips} time(s)"
+        )
+    if report.false_authentications:
+        report.gate_failures.append(
+            f"{report.false_authentications} false authentication(s)"
+        )
+    authed = report.auth_outcomes.get("authenticated", 0)
+    expected = min(auth_requests, report.clients)
+    if authed != expected:
+        report.gate_failures.append(
+            f"post-recovery auth: {authed}/{expected} authenticated "
+            f"({report.auth_outcomes})"
+        )
+    if not report.drained:
+        report.gate_failures.append(
+            f"unclean final shutdown: exits {report.server_exits}"
+        )

@@ -14,6 +14,7 @@ can show *why* a process died, not just that it did.
 
 from __future__ import annotations
 
+import random
 import re
 import signal
 import subprocess
@@ -22,7 +23,13 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["ManagedProcess", "ProcessSupervisor", "ProcessDied"]
+__all__ = [
+    "ManagedProcess",
+    "ProcessSupervisor",
+    "ProcessDied",
+    "RestartPolicy",
+    "RestartBudgetExhausted",
+]
 
 #: Output lines retained per child for diagnostics.
 _LOG_LINES = 400
@@ -39,6 +46,60 @@ class ProcessDied(RuntimeError):
         )
         self.name = name
         self.returncode = returncode
+
+
+class RestartBudgetExhausted(RuntimeError):
+    """A child crashed more times than its restart budget allows.
+
+    The supervisor refuses the relaunch: a process dying this often is
+    not a transient crash, and restarting it forever would hide the
+    failure from the operator (and from a storm's gates).
+    """
+
+    def __init__(self, name: str, restarts: int, budget: int):
+        super().__init__(
+            f"process {name!r} exhausted its restart budget "
+            f"({restarts} restarts, budget {budget}); refusing to relaunch"
+        )
+        self.name = name
+        self.restarts = restarts
+        self.budget = budget
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Crash-restart policy: exponential backoff with jitter, bounded budget.
+
+    The backoff for restart number *n* (1-based) is
+    ``base * 2**(n-1)`` capped at ``cap``, plus a jitter drawn uniformly
+    from ``[0, jitter_fraction * delay]``. Jitter comes from a seeded
+    PRNG so a storm's restart timeline is reproducible run-to-run while
+    still de-synchronising replicas that crash together.
+    """
+
+    max_restarts: int = 5
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    jitter_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_base_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def delay_for(self, restart_number: int, rng: random.Random) -> float:
+        """Backoff before restart ``restart_number`` (1 = first restart)."""
+        if restart_number < 1:
+            raise ValueError("restart_number is 1-based")
+        delay = min(
+            self.backoff_base_seconds * (2 ** (restart_number - 1)),
+            self.backoff_cap_seconds,
+        )
+        return delay + delay * self.jitter_fraction * rng.random()
 
 
 @dataclass
@@ -70,11 +131,27 @@ class ManagedProcess:
 class ProcessSupervisor:
     """Spawns, readiness-gates, restarts, and tears down child processes."""
 
-    def __init__(self, grace_seconds: float = 10.0):
+    def __init__(
+        self,
+        grace_seconds: float = 10.0,
+        restart_policy: RestartPolicy | None = None,
+        sleep=time.sleep,
+    ):
         #: SIGTERM-to-SIGKILL escalation window at teardown.
         self.grace_seconds = grace_seconds
+        #: Backoff/budget applied to every :meth:`restart`; None = the
+        #: pre-policy behaviour (immediate relaunch, unbounded budget).
+        self.restart_policy = restart_policy
+        self._rng = random.Random(
+            restart_policy.seed if restart_policy is not None else 0
+        )
+        self._sleep = sleep
         self._processes: dict[str, ManagedProcess] = {}
         self._lock = threading.Lock()
+        #: Restarts performed across all children (storm-report fodder).
+        self.restarts_total = 0
+        #: Backoff actually slept across all restarts, seconds.
+        self.backoff_seconds_total = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -99,18 +176,76 @@ class ProcessSupervisor:
         return managed
 
     def restart(self, name: str, ready_timeout: float = 60.0) -> ManagedProcess:
-        """Kill (if needed) and relaunch a child with its original argv."""
+        """Kill (if needed) and relaunch a child with its original argv.
+
+        Under a :class:`RestartPolicy` the relaunch is budgeted and
+        backed off: restart number *n* of this child first checks the
+        budget (raising :class:`RestartBudgetExhausted` once spent),
+        then sleeps the policy's jittered exponential delay.
+        """
         with self._lock:
             old = self._processes[name]
+        restart_number = old.restarts + 1
+        if self.restart_policy is not None:
+            if restart_number > self.restart_policy.max_restarts:
+                raise RestartBudgetExhausted(
+                    name, old.restarts, self.restart_policy.max_restarts
+                )
+            delay = self.restart_policy.delay_for(restart_number, self._rng)
+            if delay > 0:
+                self._sleep(delay)
+            with self._lock:
+                self.backoff_seconds_total += delay
         if old.alive:
             self._terminate(old)
         managed = self._launch(old.name, old.argv, old.env, old.ready_regex)
-        managed.restarts = old.restarts + 1
+        managed.restarts = restart_number
         with self._lock:
             self._processes[name] = managed
+            self.restarts_total += 1
         if managed.ready_regex is not None:
             self._await_ready(managed, ready_timeout)
         return managed
+
+    def kill(self, name: str) -> int | None:
+        """SIGKILL a child — the crash storm's ``kill -9`` primitive.
+
+        No grace, no flush: whatever the child had not made durable is
+        gone, which is exactly the failure the WAL exists to survive.
+        Returns the reaped returncode (negative signal number).
+        """
+        with self._lock:
+            managed = self._processes[name]
+        try:
+            managed.popen.kill()
+        except OSError:
+            pass
+        try:
+            code = managed.popen.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            code = None
+        self._drain_reader(managed)
+        return code
+
+    def revive_dead(self, ready_timeout: float = 60.0) -> list[str]:
+        """Auto-restart sweep: relaunch every child that exited.
+
+        The crash-restart policy's detection half — callers run it after
+        a health check (or on a timer) and every unexpectedly-dead child
+        is restarted under the policy's backoff/budget. Returns the
+        names restarted, in spawn order.
+        """
+        with self._lock:
+            dead = [
+                name
+                for name, managed in self._processes.items()
+                if not managed.alive
+            ]
+        revived = []
+        for name in dead:
+            self.restart(name, ready_timeout=ready_timeout)
+            revived.append(name)
+        return revived
 
     def health_check(self) -> dict[str, bool]:
         """name -> alive for every supervised process."""

@@ -51,6 +51,13 @@ class TopologySpec:
     #: Tenant namespaces clients are spread over round-robin; empty
     #: means everything rides the default tenant.
     tenants: tuple[str, ...] = field(default_factory=tuple)
+    #: Durability of each server's enrollment store: ``""`` (empty, the
+    #: default) keeps the pre-durability in-memory store; otherwise an
+    #: fsync-policy token for the WAL-backed store — ``always``,
+    #: ``interval[:seconds]``, or ``none`` (WAL without fsync, the lossy
+    #: baseline the recovery benchmark contrasts against). A durable
+    #: server also needs a ``--data-dir`` at spawn time.
+    durability: str = ""
 
     def __post_init__(self):
         if self.servers < 1:
@@ -74,6 +81,10 @@ class TopologySpec:
             raise ValueError("time_budget must be positive")
         if self.workers < 1 or self.max_queue < 1:
             raise ValueError("workers and max_queue must be positive")
+        if self.durability:
+            from repro.durability.wal import FsyncPolicy
+
+            FsyncPolicy.parse(self.durability)  # raises on a bad token
 
     def with_profile(self, wan_profile: str) -> "TopologySpec":
         """The same topology under a different WAN profile."""
@@ -82,9 +93,10 @@ class TopologySpec:
     def describe(self) -> str:
         """One line for reports: servers × devices × profile × engine."""
         devices = ",".join(self.devices)
+        wal = f", wal={self.durability}" if self.durability else ""
         return (
             f"{self.servers} server(s) x [{devices}] "
             f"over {self.wan_profile} ({self.engine}:{self.hash_name}, "
             f"d<={self.max_distance}, T={self.time_budget:g}s, "
-            f"{self.clients} clients)"
+            f"{self.clients} clients{wal})"
         )

@@ -27,6 +27,7 @@ import time
 from typing import Callable, TypeVar
 
 from repro.directory.errors import ShardDown, ShardTimeout
+from repro.durability.log import RecoveryResult, ShardLog, replay_into
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import ShardFaultInjector
@@ -37,7 +38,13 @@ T = TypeVar("T")
 
 
 class ShardStore:
-    """One breaker-guarded, fault-injectable enrollment shard."""
+    """One breaker-guarded, fault-injectable enrollment shard.
+
+    With a :class:`~repro.durability.log.ShardLog` attached the shard is
+    *durable*: construction recovers checkpoint + WAL into the store,
+    and every install/repair is appended to the log before the call
+    returns (= before the directory acknowledges the write).
+    """
 
     def __init__(
         self,
@@ -46,6 +53,7 @@ class ShardStore:
         breaker: CircuitBreaker | None = None,
         injector: ShardFaultInjector | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        log: ShardLog | None = None,
     ):
         self.name = name
         self.store = EncryptedImageDatabase(master_key)
@@ -61,6 +69,23 @@ class ShardStore:
         self.repairs_received = 0
         self.timeouts_injected = 0
         self.kills = 0
+        #: Durable log (None = the pre-durability in-memory shard).
+        self.log = log
+        self.recovery: RecoveryResult | None = None
+        if log is not None:
+            self.recovery = self._recover(log)
+
+    def _recover(self, log: ShardLog) -> RecoveryResult:
+        """Checkpoint + WAL replay into the store, tripwire floor included."""
+        started = time.perf_counter()
+        result = log.recover()
+        if result.checkpoint is not None:
+            self.store.restore(result.checkpoint)
+        result.applied = replay_into(self.store, result.records)
+        for record in result.records:
+            self.store.register_used_version(record.client_id, record.version)
+        result.recovery_seconds = time.perf_counter() - started
+        return result
 
     # -- availability ----------------------------------------------------
 
@@ -132,6 +157,8 @@ class ShardStore:
             with self._lock:
                 self.writes += 1
             self.store.import_record(client_id, blob, version)
+            if self.log is not None:
+                self.log.append(client_id, version, blob)
 
         self._call("write", op)
 
@@ -142,6 +169,8 @@ class ShardStore:
             with self._lock:
                 self.repairs_received += 1
             self.store.import_record(client_id, blob, version)
+            if self.log is not None:
+                self.log.append(client_id, version, blob)
 
         self._call("repair", op)
 
@@ -165,6 +194,18 @@ class ShardStore:
         """Replace the shard's store from a peer's snapshot blob."""
         self.store.restore(snapshot)
 
+    # -- durability ------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact this shard's WAL into a fresh encrypted checkpoint."""
+        if self.log is not None:
+            self.log.checkpoint(self.store.snapshot())
+
+    def close(self) -> None:
+        """Release the durable log's file handle (no-op when in-memory)."""
+        if self.log is not None:
+            self.log.close()
+
     # -- introspection ----------------------------------------------------
 
     def __len__(self) -> int:
@@ -173,7 +214,7 @@ class ShardStore:
     def snapshot(self) -> dict[str, object]:
         """Operational counters for the directory-wide snapshot."""
         with self._lock:
-            return {
+            counters: dict[str, object] = {
                 "alive": self._alive,
                 "records": len(self.store),
                 "reads": self.reads,
@@ -183,3 +224,8 @@ class ShardStore:
                 "kills": self.kills,
                 "breaker_state": self.breaker.state,
             }
+        if self.log is not None:
+            counters["durability"] = self.log.counters()
+            if self.recovery is not None:
+                counters["recovered_records"] = self.recovery.recovered_records
+        return counters

@@ -46,6 +46,8 @@ from repro.directory.errors import (
 )
 from repro.directory.hashring import ConsistentHashRing
 from repro.directory.shard import ShardStore
+from repro.durability.log import ShardLog
+from repro.durability.wal import FsyncPolicy
 from repro.engines.result import DirectoryStats
 from repro.puf.image_db import EncryptedImageDatabase
 from repro.puf.ternary import TernaryMask
@@ -77,6 +79,8 @@ class ShardedEnrollmentDirectory:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         tenants: TenantRegistry | None = None,
+        data_dir: str | None = None,
+        fsync: FsyncPolicy | str | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -95,6 +99,10 @@ class ShardedEnrollmentDirectory:
         self._sleep = sleep
         #: Stateless record codec (encrypt-once, install-everywhere).
         self._codec = EncryptedImageDatabase(master_key)
+        if isinstance(fsync, str):
+            fsync = FsyncPolicy.parse(fsync)
+        #: Root of the per-shard durable logs (None = in-memory shards).
+        self.data_dir = data_dir
         names = [f"shard-{index:02d}" for index in range(shards)]
         self.ring = ConsistentHashRing(names, vnodes=vnodes)
         self._shards: dict[str, ShardStore] = {
@@ -112,6 +120,11 @@ class ShardedEnrollmentDirectory:
                     else None
                 ),
                 sleep=sleep,
+                log=(
+                    ShardLog(f"{data_dir}/{name}", fsync=fsync)
+                    if data_dir is not None
+                    else None
+                ),
             )
             for index, name in enumerate(names)
         }
@@ -140,6 +153,31 @@ class ShardedEnrollmentDirectory:
         self.retries = 0
         self.unavailable_lookups = 0
         self.prefetch_batches = 0
+        self.anti_entropy_sweeps = 0
+        self.anti_entropy_repairs = 0
+        if data_dir is not None:
+            self._rebuild_from_recovery()
+
+    def _rebuild_from_recovery(self) -> None:
+        """Re-derive the authority map from what the shards recovered.
+
+        Each shard recovered its own durable slice; the directory's
+        version authority for a key is the max version any replica
+        holds. Tenant record counts are re-derived from the same map, so
+        quota accounting survives the restart too. Reads go straight to
+        the recovered stores (construction time: all shards alive, no
+        faults injected yet), bypassing the breaker.
+        """
+        for shard in self._shards.values():
+            for client_id in shard.store.client_ids():
+                version = shard.store.version_of(client_id)
+                if version > self._known.get(client_id, -1):
+                    self._known[client_id] = version
+        for client_id in self._known:
+            tenant = tenant_of_key(client_id)
+            self._tenant_counts[tenant] = (
+                self._tenant_counts.get(tenant, 0) + 1
+            )
 
     # -- topology --------------------------------------------------------
 
@@ -427,6 +465,73 @@ class ShardedEnrollmentDirectory:
                 self.read_repairs += repaired
         return repaired
 
+    # -- durability / anti-entropy -----------------------------------------
+
+    def checkpoint_all(self) -> None:
+        """Compact every durable shard's WAL into a fresh checkpoint."""
+        for shard in self._shards.values():
+            shard.checkpoint()
+
+    def close(self) -> None:
+        """Release every durable shard's log handle (no-op in-memory)."""
+        for shard in self._shards.values():
+            shard.close()
+
+    def anti_entropy(self) -> dict[str, int]:
+        """One catch-up sweep: heal replicas that missed durable writes.
+
+        A replica that recovered from an older checkpoint — or lost its
+        data directory entirely — holds stale versions of keys the rest
+        of the replica set acknowledged. The sweep walks the authority
+        map, probes each key's replica versions, and pushes the winning
+        still-encrypted record through the existing version-authoritative
+        read-repair path. Best-effort by design: unreachable replica
+        sets are counted, never raised, and a later sweep (or a demand
+        read) finishes the job.
+        """
+        report = {"keys_checked": 0, "repaired": 0, "unreachable": 0}
+        with self._lock:
+            self.anti_entropy_sweeps += 1
+            known = dict(self._known)
+        for client_id, version in known.items():
+            report["keys_checked"] += 1
+            replicas = self.replicas_for(client_id)
+            observed: dict[str, int | None] = {}
+            for name in replicas:
+                try:
+                    observed[name] = self._shards[name].version_of(client_id)
+                except (ShardDown, ShardTimeout, CircuitOpenError):
+                    continue
+            stale = [
+                name
+                for name, seen in observed.items()
+                if seen is None or seen < version
+            ]
+            if not stale:
+                continue
+            winner: tuple[str, bytes] | None = None
+            for name in replicas:
+                if observed.get(name) != version:
+                    continue
+                try:
+                    response = self._read_replica(name, client_id)
+                except (ShardDown, ShardTimeout, CircuitOpenError):
+                    continue
+                if response is not None and response[1] == version:
+                    winner = (name, response[0])
+                    break
+            if winner is None:
+                report["unreachable"] += 1
+                continue
+            winner_shard, blob = winner
+            report["repaired"] += self._read_repair(
+                client_id, blob, version, observed, winner_shard
+            )
+        if report["repaired"]:
+            with self._lock:
+                self.anti_entropy_repairs += report["repaired"]
+        return report
+
     # -- batched prefetch --------------------------------------------------
 
     def prefetch(self, client_ids: Iterable[str]) -> dict[str, int]:
@@ -496,6 +601,9 @@ class ShardedEnrollmentDirectory:
                 "retries": self.retries,
                 "unavailable_lookups": self.unavailable_lookups,
                 "prefetch_batches": self.prefetch_batches,
+                "anti_entropy_sweeps": self.anti_entropy_sweeps,
+                "anti_entropy_repairs": self.anti_entropy_repairs,
+                "durable": self.data_dir is not None,
             }
             tenant_ids = sorted(
                 set(self._tenant_counts) | set(self._tenant_lookups)

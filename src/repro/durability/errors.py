@@ -1,0 +1,50 @@
+"""Typed failures of the durability layer.
+
+Recovery distinguishes two kinds of on-disk damage and refuses to paper
+over the dangerous one:
+
+* a **torn tail** — the final record is incomplete because the process
+  died mid-append. The record was never acknowledged (acknowledgement
+  happens only after the append returns), so truncating it loses
+  nothing a client was promised. Recovery truncates and proceeds.
+* **mid-log corruption** — a CRC mismatch with valid data *after* it.
+  That is not a crash artifact (appends are sequential); it means the
+  medium or a tool damaged history that acknowledged writes depend on.
+  Recovery refuses with :class:`WalCorrupt` instead of silently serving
+  a store missing acknowledged records.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DurabilityError", "WalCorrupt", "CheckpointCorrupt"]
+
+
+class DurabilityError(RuntimeError):
+    """Base class for durability-layer failures."""
+
+
+class WalCorrupt(DurabilityError):
+    """The write-ahead log is damaged in a way truncation cannot heal.
+
+    Raised when a record fails its CRC (or structural) check and valid
+    records follow it — acknowledged history is missing, so recovery
+    must stop rather than reconstruct a store with silent holes.
+    """
+
+    def __init__(self, path, offset: int, reason: str):
+        super().__init__(
+            f"WAL {path} corrupt at byte {offset}: {reason} "
+            "(valid records follow; refusing to drop acknowledged writes)"
+        )
+        self.path = str(path)
+        self.offset = offset
+        self.reason = reason
+
+
+class CheckpointCorrupt(DurabilityError):
+    """A checkpoint file failed its integrity check."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"checkpoint {path} corrupt: {reason}")
+        self.path = str(path)
+        self.reason = reason

@@ -1,0 +1,243 @@
+"""CRC-framed, append-only write-ahead log.
+
+One record on disk is::
+
+    [u16 magic][u32 payload-length][u32 crc32(payload)][payload]
+
+An append writes header+payload with a single ``write`` call, flushes,
+and fsyncs per the configured :class:`FsyncPolicy` — only then does the
+caller acknowledge the write to its client. A crash therefore leaves at
+most one *torn* record at the tail (a prefix of the final append), and
+recovery can truncate it without losing anything that was promised.
+
+The scan rules are deliberately asymmetric about where damage sits:
+
+* incomplete header or incomplete payload at the tail → torn tail,
+  truncate and recover (the append was never acknowledged);
+* a CRC mismatch on the *final* complete record → treated as torn
+  (power loss can persist a garbled final sector), truncate;
+* a CRC or magic failure with valid bytes *after* it → the log's middle
+  is damaged, acknowledged history is gone — refuse with
+  :class:`~repro.durability.errors.WalCorrupt` rather than serve a
+  store with silent holes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.durability.errors import WalCorrupt
+
+__all__ = [
+    "FsyncPolicy",
+    "WriteAheadLog",
+    "WalScan",
+    "scan_wal",
+    "WAL_HEADER",
+    "WAL_MAGIC",
+    "MAX_WAL_RECORD_BYTES",
+]
+
+#: ``>H`` magic + ``>I`` payload length + ``>I`` CRC-32 of the payload.
+WAL_HEADER = struct.Struct(">HII")
+WAL_MAGIC = 0x5741  # "WA"
+
+#: Upper bound on one record's payload. Enrollment records are a few KiB
+#: at the paper's window sizes; a corrupt length field must not turn
+#: into a gigantic allocation during recovery.
+MAX_WAL_RECORD_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When an append becomes *durable* (fsync) rather than just written.
+
+    * ``always`` — fsync before every acknowledgement. Crash-safe for
+      every acknowledged write; the slow, honest default.
+    * ``interval`` — fsync at most once per ``interval_seconds``
+      (opportunistically, on the append path). Bounded data loss on
+      power failure, near-lossless on plain process crash (the page
+      cache survives a SIGKILL), and much cheaper.
+    * ``none`` — never fsync; the OS flushes when it pleases. The lossy
+      baseline the recovery bench contrasts against.
+    """
+
+    mode: str = "always"
+    interval_seconds: float = 0.05
+
+    _MODES = ("always", "interval", "none")
+
+    def __post_init__(self):
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"fsync mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+
+    @classmethod
+    def parse(cls, token: str) -> "FsyncPolicy":
+        """``"always"`` / ``"none"`` / ``"interval"`` / ``"interval:0.2"``."""
+        if ":" in token:
+            mode, _, arg = token.partition(":")
+            return cls(mode=mode, interval_seconds=float(arg))
+        return cls(mode=token)
+
+    def describe(self) -> str:
+        if self.mode == "interval":
+            return f"interval:{self.interval_seconds:g}"
+        return self.mode
+
+
+def encode_wal_record(payload: bytes) -> bytes:
+    """Frame one payload for the log."""
+    if not payload:
+        raise ValueError("cannot log an empty payload")
+    if len(payload) > MAX_WAL_RECORD_BYTES:
+        raise ValueError(
+            f"WAL record of {len(payload)} bytes exceeds "
+            f"{MAX_WAL_RECORD_BYTES}"
+        )
+    return (
+        WAL_HEADER.pack(WAL_MAGIC, len(payload), zlib.crc32(payload)) + payload
+    )
+
+
+@dataclass
+class WalScan:
+    """What a recovery scan found in one log file."""
+
+    records: list[bytes]
+    #: Byte offset where valid data ends (start of any torn tail).
+    valid_bytes: int
+    #: Bytes past ``valid_bytes`` that belong to a torn final append.
+    torn_bytes: int
+
+    @property
+    def tail_was_torn(self) -> bool:
+        return self.torn_bytes > 0
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Scan a log, separating valid records from a torn tail.
+
+    Raises :class:`~repro.durability.errors.WalCorrupt` on mid-log
+    damage (see the module docstring for the exact discrimination).
+    """
+    path = Path(path)
+    data = path.read_bytes() if path.exists() else b""
+    size = len(data)
+    records: list[bytes] = []
+    offset = 0
+    while offset < size:
+        remaining = size - offset
+        if remaining < WAL_HEADER.size:
+            # A torn header: the append died before the header landed.
+            return WalScan(records, offset, remaining)
+        magic, length, crc = WAL_HEADER.unpack_from(data, offset)
+        if magic != WAL_MAGIC:
+            raise WalCorrupt(path, offset, f"bad record magic 0x{magic:04x}")
+        if length == 0 or length > MAX_WAL_RECORD_BYTES:
+            raise WalCorrupt(path, offset, f"implausible record length {length}")
+        end = offset + WAL_HEADER.size + length
+        if end > size:
+            # A torn payload: header landed, payload did not finish.
+            return WalScan(records, offset, remaining)
+        payload = data[offset + WAL_HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                # The final record is complete but fails its CRC: power
+                # loss can garble the last sector it was writing. It was
+                # never acknowledged under fsync=always, so drop it.
+                return WalScan(records, offset, remaining)
+            raise WalCorrupt(path, offset, "record failed its CRC-32 check")
+        records.append(payload)
+        offset = end
+    return WalScan(records, offset, 0)
+
+
+class WriteAheadLog:
+    """One append-only log file with explicit durability accounting."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: FsyncPolicy | None = None,
+        clock=time.monotonic,
+    ):
+        self.path = Path(path)
+        self.fsync_policy = fsync if fsync is not None else FsyncPolicy()
+        self._clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+        self._last_fsync = self._clock()
+        # -- counters --------------------------------------------------
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self.unsynced_appends = 0
+
+    def append(self, payload: bytes) -> int:
+        """Frame, write, flush, and (per policy) fsync one record.
+
+        Returns the byte offset the record starts at. Only after this
+        method returns may the caller acknowledge the write.
+        """
+        frame = encode_wal_record(payload)
+        offset = self._handle.tell()
+        self._handle.write(frame)
+        self._handle.flush()
+        self.appends += 1
+        self.bytes_written += len(frame)
+        self.unsynced_appends += 1
+        policy = self.fsync_policy
+        if policy.mode == "always":
+            self._fsync()
+        elif (
+            policy.mode == "interval"
+            and self._clock() - self._last_fsync >= policy.interval_seconds
+        ):
+            self._fsync()
+        return offset
+
+    def _fsync(self) -> None:
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        self.unsynced_appends = 0
+        self._last_fsync = self._clock()
+
+    def sync(self) -> None:
+        """Force durability now, regardless of policy."""
+        self._handle.flush()
+        self._fsync()
+
+    def truncate_to(self, offset: int) -> None:
+        """Cut the file at ``offset`` (recovery drops a torn tail)."""
+        self._handle.flush()
+        self._handle.truncate(offset)
+        self._handle.seek(0, os.SEEK_END)
+
+    def reset(self) -> None:
+        """Empty the log (a checkpoint just absorbed its records)."""
+        self.truncate_to(0)
+        self._fsync()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._handle.tell()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

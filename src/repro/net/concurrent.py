@@ -100,6 +100,13 @@ class ServerMetrics:
     #: Requests refused because their tenant's admission budget (token
     #: bucket) or enrollment quota was exhausted.
     shed_tenant_quota: int = 0
+    #: Durability telemetry (zero unless the enrollment store is a
+    #: WAL-backed :class:`~repro.durability.store.DurableImageStore`):
+    #: enrollments acknowledged durable over the wire, records recovered
+    #: at startup, and how long that recovery took.
+    enrollments: int = 0
+    recovered_records: int = 0
+    recovery_seconds: float = 0.0
     #: Per-reason shed counts. Written only by :meth:`record_shed`, which
     #: also increments ``shed`` — the two can never drift apart.
     shed_reasons: dict[str, int] = field(default_factory=dict)
@@ -214,6 +221,17 @@ class ServerMetrics:
                 quota_hits=1 if reason == SHED_TENANT_QUOTA else 0,
             )
 
+    def record_enrollment(self) -> None:
+        """One enrollment acknowledged (durably, when the store has a WAL)."""
+        with self._lock:
+            self.enrollments += 1
+
+    def record_recovery(self, records: int, seconds: float) -> None:
+        """Startup recovery outcome (records replayed, wall-clock cost)."""
+        with self._lock:
+            self.recovered_records = records
+            self.recovery_seconds = seconds
+
     def snapshot(self) -> dict[str, float]:
         """A consistent copy of the counters."""
         with self._lock:
@@ -242,6 +260,9 @@ class ServerMetrics:
                 "directory_read_repairs": self.directory_read_repairs,
                 "shed_directory": self.shed_directory,
                 "shed_tenant_quota": self.shed_tenant_quota,
+                "enrollments": self.enrollments,
+                "recovered_records": self.recovered_records,
+                "recovery_seconds": self.recovery_seconds,
             }
 
     def shed_breakdown(self) -> dict[str, int]:

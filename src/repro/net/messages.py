@@ -32,6 +32,8 @@ __all__ = [
     "HandshakeResponse",
     "DigestSubmission",
     "AuthenticationResult",
+    "EnrollRequest",
+    "EnrollReply",
     "MetricsRequest",
     "MetricsSnapshot",
     "ErrorReply",
@@ -366,6 +368,85 @@ class AuthenticationResult:
 
 
 @dataclass(frozen=True)
+class EnrollRequest:
+    """Client -> CA: (re-)enroll one deterministic fleet identity.
+
+    Nothing secret crosses the wire: the frame names a fleet slot and
+    the server reconstructs the PUF image from the deterministic fleet
+    contract (:func:`~repro.deploy.enrollment.build_fleet_record`), then
+    acknowledges only once the record is durable under its WAL policy.
+    ``probe=True`` asks for the currently-held record version without
+    enrolling — the crash storm's loss detector. Both optional fields
+    follow the omitted-field compatibility rule.
+    """
+
+    client_id: str
+    tenant: str = DEFAULT_TENANT
+    probe: bool = False
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        payload: dict = {"client_id": self.client_id}
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
+        if self.probe:
+            payload["probe"] = True
+        return _encode("enroll_request", payload)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "EnrollRequest":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "enroll_request")
+        try:
+            return cls(
+                client_id=body["client_id"],
+                tenant=body.get("tenant") or DEFAULT_TENANT,
+                probe=bool(body.get("probe", False)),
+            )
+        except KeyError as exc:
+            raise MessageCorrupted(f"enroll_request missing {exc}") from exc
+
+
+@dataclass(frozen=True)
+class EnrollReply:
+    """CA -> client: the enrollment acknowledgement.
+
+    ``version`` is the record version the server now holds durably
+    (``-1``: not enrolled — only possible for a probe). An enrollment
+    reply is the durability contract's observable half: once a client
+    has seen it, the record must survive ``kill -9``.
+    """
+
+    client_id: str
+    version: int
+    enrolled: bool
+
+    def to_bytes(self) -> bytes:
+        """Serialize the message for the wire."""
+        return _encode(
+            "enroll_reply",
+            {
+                "client_id": self.client_id,
+                "version": self.version,
+                "enrolled": self.enrolled,
+            },
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "EnrollReply":
+        """Parse and integrity-check a wire frame."""
+        body = _decode(raw, "enroll_reply")
+        try:
+            return cls(
+                client_id=body["client_id"],
+                version=int(body["version"]),
+                enrolled=bool(body["enrolled"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise MessageCorrupted(f"malformed enroll_reply: {exc}") from exc
+
+
+@dataclass(frozen=True)
 class MetricsRequest:
     """Admin -> CA: scrape a :class:`ServerMetrics` snapshot.
 
@@ -502,6 +583,8 @@ MESSAGE_TYPES = {
     "handshake_response": HandshakeResponse,
     "digest_submission": DigestSubmission,
     "authentication_result": AuthenticationResult,
+    "enroll_request": EnrollRequest,
+    "enroll_reply": EnrollReply,
     "metrics_request": MetricsRequest,
     "metrics_snapshot": MetricsSnapshot,
     "error_reply": ErrorReply,

@@ -53,6 +53,8 @@ from repro.net.messages import (
     MAX_FRAME_BYTES,
     AuthenticationResult,
     DigestSubmission,
+    EnrollReply,
+    EnrollRequest,
     ErrorReply,
     FrameDecoder,
     HandshakeRequest,
@@ -346,6 +348,15 @@ class RemoteCAServer:
             MetricsSnapshot,
         )
 
+    def enroll(self, client_id: str, probe: bool = False) -> EnrollReply:
+        """(Re-)enroll a fleet identity; ``probe=True`` only asks the
+        currently-held record version (the storm's loss detector)."""
+        return self._call(
+            "enroll-request",
+            EnrollRequest(client_id=client_id, probe=probe).to_bytes(),
+            EnrollReply,
+        )
+
 
 class SocketCAServer:
     """TCP front end: accept loop + per-connection frame dispatch.
@@ -368,6 +379,8 @@ class SocketCAServer:
         request_timeout_seconds: float = 300.0,
         close_inner: bool = True,
         false_auth_counter: Callable[[], int] | None = None,
+        enroll_handler: Callable[[EnrollRequest], EnrollReply] | None = None,
+        extra_counters: Callable[[], dict] | None = None,
     ):
         self.server = server
         self.host = host
@@ -379,6 +392,15 @@ class SocketCAServer:
         #: Optional callable reporting server-side false authentications
         #: (the chaos tripwire) for the admin metrics snapshot.
         self.false_auth_counter = false_auth_counter
+        #: Optional hook serving ``enroll_request`` frames (the deploy
+        #: server wires the deterministic-fleet enrollment path here);
+        #: without one the frame is refused with a typed error.
+        self.enroll_handler = enroll_handler
+        #: Optional callable whose items are merged into the metrics
+        #: frame's counters under a ``durable_`` prefix — how a live
+        #: WAL's append/fsync/checkpoint telemetry rides the admin frame
+        #: without ServerMetrics needing to know about the store.
+        self.extra_counters = extra_counters
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._connections: set[socket.socket] = set()
@@ -532,6 +554,9 @@ class SocketCAServer:
             if kind == "digest_submission":
                 submission = DigestSubmission.from_bytes(raw)
                 return self._digest(submission).to_bytes()
+            if kind == "enroll_request":
+                enroll_request = EnrollRequest.from_bytes(raw)
+                return self._enroll(enroll_request).to_bytes()
             if kind == "metrics_request":
                 metrics_request = MetricsRequest.from_bytes(raw)
                 return self._metrics(metrics_request).to_bytes()
@@ -581,15 +606,28 @@ class SocketCAServer:
         )
         return future.result(timeout=self.request_timeout_seconds)
 
+    def _enroll(self, request: EnrollRequest) -> EnrollReply:
+        if self.enroll_handler is None:
+            raise TransportError(
+                "this server does not accept enrollment frames"
+            )
+        return self.enroll_handler(request)
+
     def _metrics(self, request: MetricsRequest) -> MetricsSnapshot:
         metrics = getattr(self.server, "metrics", None)
+        counters: dict[str, float] = (
+            metrics.snapshot() if metrics is not None else {}
+        )
+        if self.extra_counters is not None:
+            for key, value in self.extra_counters().items():
+                counters[f"durable_{key}"] = float(value)
         if metrics is None:
-            return MetricsSnapshot(counters={})
+            return MetricsSnapshot(counters=counters)
         false_auths = (
             self.false_auth_counter() if self.false_auth_counter else 0
         )
         return MetricsSnapshot(
-            counters=metrics.snapshot(),
+            counters=counters,
             shed_reasons=metrics.shed_breakdown(),
             tenants=(
                 metrics.tenant_snapshot() if request.include_tenants else {}

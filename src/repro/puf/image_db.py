@@ -26,11 +26,36 @@ from repro.hashes.sha3 import sha3_256
 from repro.keygen.aes import AES128
 from repro.puf.ternary import TernaryMask
 
-__all__ = ["EncryptedImageDatabase"]
+__all__ = ["EncryptedImageDatabase", "NonceReuseError"]
 
 #: On-disk / snapshot format tags. v1 predates record versioning.
 _FORMAT_V1 = "repro-image-db/1"
 _FORMAT_V2 = "repro-image-db/2"
+
+
+class NonceReuseError(AssertionError):
+    """The tripwire: an enrollment was about to reuse a CTR keystream.
+
+    Raised when :meth:`EncryptedImageDatabase.enroll` computes a record
+    version at or below the highest version this store has ever seen a
+    ciphertext for — encrypting fresh plaintext under that nonce would
+    hand an attacker the XOR of two plaintexts. In a correctly recovered
+    store this can never fire: recovery restores the version counters
+    (and the floor) from durable state, so the next enrollment always
+    encrypts under a fresh keystream. Firing means state was rolled back
+    (e.g. a crash-restart that lost the version counters) and the
+    enrollment must be refused, not served.
+    """
+
+    def __init__(self, client_id: str, version: int, floor: int):
+        super().__init__(
+            f"CTR nonce reuse for client {client_id!r}: version {version} "
+            f"was already used for encryption (floor {floor}); "
+            "refusing to reuse a keystream"
+        )
+        self.client_id = client_id
+        self.version = version
+        self.floor = floor
 
 
 class EncryptedImageDatabase:
@@ -43,6 +68,12 @@ class EncryptedImageDatabase:
         self._records: dict[str, bytes] = {}
         #: Per-record re-enrollment counter, mixed into the CTR nonce.
         self._versions: dict[str, int] = {}
+        #: Highest version a ciphertext is *known to exist* for, per
+        #: client — the nonce-reuse tripwire's floor. Fed by enrollments,
+        #: imports, restores, and (crucially) WAL recovery.
+        self._nonce_floor: dict[str, int] = {}
+        #: How many times the tripwire fired (it also raises).
+        self.nonce_reuse_trips = 0
 
     def _nonce(self, client_id: str, version: int = 0) -> bytes:
         if version == 0:
@@ -76,14 +107,23 @@ class EncryptedImageDatabase:
         """Store (encrypted) the enrollment image for ``client_id``.
 
         Re-enrolling bumps the record's version counter so the fresh
-        ciphertext is produced under a fresh keystream.
+        ciphertext is produced under a fresh keystream. The nonce-reuse
+        tripwire refuses (raising :class:`NonceReuseError`) if the
+        computed version does not clear every version a ciphertext is
+        already known to exist for — the failure a crash-restart that
+        rolled back the version counters would otherwise cause silently.
         """
         version = self._versions.get(client_id, -1) + 1
+        floor = self._nonce_floor.get(client_id, -1)
+        if version <= floor:
+            self.nonce_reuse_trips += 1
+            raise NonceReuseError(client_id, version, floor)
         plaintext = self._serialize(mask)
         self._records[client_id] = self._cipher.ctr_transform(
             plaintext, self._nonce(client_id, version)
         )
         self._versions[client_id] = version
+        self._nonce_floor[client_id] = version
 
     def lookup(self, client_id: str) -> TernaryMask:
         """Decrypt and return the enrollment image for ``client_id``."""
@@ -155,11 +195,26 @@ class EncryptedImageDatabase:
         return self._records[client_id], self._versions.get(client_id, 0)
 
     def import_record(self, client_id: str, blob: bytes, version: int) -> None:
-        """Install a still-encrypted record exported from a peer store."""
+        """Install a still-encrypted record exported from a peer store.
+
+        The imported ciphertext exists under (client, version), so the
+        nonce floor rises too — a later local enrollment must clear it.
+        """
         if version < 0:
             raise ValueError("record version must be non-negative")
         self._records[client_id] = blob
         self._versions[client_id] = version
+        self.register_used_version(client_id, version)
+
+    def register_used_version(self, client_id: str, version: int) -> None:
+        """Raise the nonce-reuse floor: a ciphertext exists at ``version``.
+
+        Recovery calls this for every version the durable log ever
+        acknowledged, so the tripwire in :meth:`enroll` can prove the
+        restored counters are monotone with durable history.
+        """
+        if version > self._nonce_floor.get(client_id, -1):
+            self._nonce_floor[client_id] = version
 
     # -- persistence (records stay encrypted at rest) --------------------
 
@@ -192,6 +247,8 @@ class EncryptedImageDatabase:
             client_id: int(version)
             for client_id, version in payload.get("versions", {}).items()
         }
+        for client_id, version in self._versions.items():
+            self.register_used_version(client_id, version)
 
     @classmethod
     def from_snapshot(

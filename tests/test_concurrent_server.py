@@ -190,6 +190,9 @@ class TestServerMetricsRecord:
         metrics.record_shed("deadline_expired")
         metrics.record_shed("directory_unavailable")
         metrics.record_shed("tenant_quota")
+        metrics.record_enrollment()
+        metrics.record_enrollment()
+        metrics.record_recovery(records=7, seconds=0.25)
         snapshot = metrics.snapshot()
         assert snapshot == {
             "submitted": 2,
@@ -216,6 +219,9 @@ class TestServerMetricsRecord:
             "directory_read_repairs": 2,
             "shed_directory": 1,
             "shed_tenant_quota": 1,
+            "enrollments": 2,
+            "recovered_records": 7,
+            "recovery_seconds": 0.25,
         }
 
     def test_shed_reasons_can_never_drift_from_the_total(self):

@@ -12,6 +12,7 @@ hang), and a miniature end-to-end lan storm over real OS processes.
 from __future__ import annotations
 
 import json
+import random
 import signal
 import socket
 import subprocess
@@ -34,7 +35,12 @@ from repro.deploy.loadgen import (
     spec_to_json,
 )
 from repro.deploy.storm import run_profile
-from repro.deploy.supervisor import ProcessDied, ProcessSupervisor
+from repro.deploy.supervisor import (
+    ProcessDied,
+    ProcessSupervisor,
+    RestartBudgetExhausted,
+    RestartPolicy,
+)
 from repro.deploy.topology import TopologySpec
 from repro.deploy.trace import generate_trace
 from repro.deploy.wan import WAN_PROFILES, build_shim
@@ -623,3 +629,169 @@ class TestDeploymentProcesses:
         assert report.drained
         assert report.server_counters["completed"] == 5.0
         assert report.latency_p50_ms > 0
+
+
+# ---------------------------------------------------------------------------
+# Crash-restart: SIGKILL teardown, restart policy, durable recovery
+
+
+_SLEEPER_CHILD = (
+    "import time\n"
+    "print('CHILD-READY 1', flush=True)\n"
+    "time.sleep(60)\n"
+)
+
+
+class TestRestartPolicy:
+    def test_backoff_is_exponential_capped_and_jittered(self):
+        policy = RestartPolicy(
+            max_restarts=10, backoff_base_seconds=0.1,
+            backoff_cap_seconds=0.4, jitter_fraction=0.5, seed=7,
+        )
+        rng = random.Random(7)
+        for n, base in ((1, 0.1), (2, 0.2), (3, 0.4), (4, 0.4), (9, 0.4)):
+            delay = policy.delay_for(n, rng)
+            assert base <= delay <= base * 1.5, (n, delay)
+
+    def test_jitter_is_reproducible_per_seed(self):
+        policy = RestartPolicy(seed=3)
+        first = [policy.delay_for(n, random.Random(3)) for n in (1, 2, 3)]
+        second = [policy.delay_for(n, random.Random(3)) for n in (1, 2, 3)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            RestartPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError):
+            RestartPolicy().delay_for(0, random.Random(0))
+
+
+class TestCrashRestart:
+    def test_kill_is_sigkill_and_reaps(self):
+        supervisor = ProcessSupervisor(grace_seconds=5.0)
+        supervisor.spawn(
+            "victim", [sys.executable, "-u", "-c", _SLEEPER_CHILD],
+            ready_regex=r"CHILD-READY",
+        )
+        code = supervisor.kill("victim")
+        assert code == -signal.SIGKILL
+        assert supervisor.health_check() == {"victim": False}
+        supervisor.teardown()
+
+    def test_restart_sleeps_policy_backoff(self):
+        slept: list[float] = []
+        supervisor = ProcessSupervisor(
+            grace_seconds=5.0,
+            restart_policy=RestartPolicy(
+                max_restarts=3, backoff_base_seconds=0.2,
+                backoff_cap_seconds=1.0, jitter_fraction=0.0, seed=0,
+            ),
+            sleep=slept.append,
+        )
+        supervisor.spawn(
+            "child", [sys.executable, "-u", "-c", _SLEEPER_CHILD],
+            ready_regex=r"CHILD-READY",
+        )
+        supervisor.kill("child")
+        supervisor.restart("child")
+        supervisor.kill("child")
+        supervisor.restart("child")
+        assert slept == [pytest.approx(0.2), pytest.approx(0.4)]
+        assert supervisor.restarts_total == 2
+        assert supervisor.backoff_seconds_total == pytest.approx(0.6)
+        supervisor.teardown()
+
+    def test_restart_budget_exhaustion_is_typed(self):
+        supervisor = ProcessSupervisor(
+            grace_seconds=5.0,
+            restart_policy=RestartPolicy(
+                max_restarts=1, backoff_base_seconds=0.0, seed=0
+            ),
+            sleep=lambda _s: None,
+        )
+        supervisor.spawn(
+            "child", [sys.executable, "-u", "-c", _SLEEPER_CHILD],
+            ready_regex=r"CHILD-READY",
+        )
+        supervisor.kill("child")
+        supervisor.restart("child")
+        supervisor.kill("child")
+        with pytest.raises(RestartBudgetExhausted) as excinfo:
+            supervisor.restart("child")
+        assert excinfo.value.name == "child"
+        assert excinfo.value.budget == 1
+        supervisor.teardown()
+
+    def test_revive_dead_restarts_only_the_dead(self):
+        supervisor = ProcessSupervisor(
+            grace_seconds=5.0,
+            restart_policy=RestartPolicy(
+                max_restarts=5, backoff_base_seconds=0.0, seed=0
+            ),
+            sleep=lambda _s: None,
+        )
+        for name in ("a", "b"):
+            supervisor.spawn(
+                name, [sys.executable, "-u", "-c", _SLEEPER_CHILD],
+                ready_regex=r"CHILD-READY",
+            )
+        supervisor.kill("a")
+        revived = supervisor.revive_dead()
+        assert revived == ["a"]
+        assert supervisor.health_check() == {"a": True, "b": True}
+        supervisor.teardown()
+
+    def test_durable_server_survives_kill_9(self, tmp_path):
+        """The tentpole end-to-end: enroll over TCP, kill -9, restart,
+        and every acknowledged enrollment is back at its version."""
+        spec = TopologySpec(
+            clients=3, engine="fifo", workers=2, time_budget=3.0,
+            durability="always",
+        )
+        argv = [
+            sys.executable, "-u", "-m", "repro.deploy.server",
+            "--spec", spec_to_json(spec), "--seed", "11",
+            "--port", "0", "--data-dir", str(tmp_path / "wal"),
+        ]
+        supervisor = ProcessSupervisor(
+            grace_seconds=15.0, restart_policy=RestartPolicy(seed=11)
+        )
+        try:
+            managed = supervisor.spawn(
+                "server", argv, ready_regex=r"DEPLOY-READY (\S+) (\d+)"
+            )
+            assert managed.ready_match is not None
+            host = managed.ready_match.group(1)
+            port = int(managed.ready_match.group(2))
+            with SocketTransport(host, port) as transport:
+                remote = RemoteCAServer(transport)
+                acked = {
+                    f"dep-{i:04d}": remote.enroll(f"dep-{i:04d}").version
+                    for i in range(spec.clients)
+                }
+            assert supervisor.kill("server") == -signal.SIGKILL
+
+            managed = supervisor.restart("server")
+            assert managed.ready_match is not None
+            recovered_line = [
+                line for line in supervisor.output_of("server")
+                if line.startswith("DEPLOY-RECOVERED")
+            ]
+            assert recovered_line, "restart must report its recovery"
+            host = managed.ready_match.group(1)
+            port = int(managed.ready_match.group(2))
+            with SocketTransport(host, port) as transport:
+                remote = RemoteCAServer(transport)
+                for client_id, version in acked.items():
+                    reply = remote.enroll(client_id, probe=True)
+                    assert reply.version >= version, client_id
+                # And the recovered store still accepts new versions.
+                bumped = remote.enroll("dep-0000")
+                assert bumped.version > acked["dep-0000"]
+                metrics = remote.fetch_metrics()
+                assert metrics.counters["durable_nonce_reuse_trips"] == 0.0
+        finally:
+            codes = supervisor.teardown()
+        assert codes["server"] == 0
